@@ -1,0 +1,55 @@
+//! Per-query latency of the disk-resident GNN algorithms (paper §5.2) at a
+//! bench-friendly scale: 10x-reduced datasets, one centered 8%-workspace
+//! query set. The full sweeps (including the GCP blow-up cells) live in the
+//! `figures` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gnn_bench::{build_tree, disk_query_file, scaled_query_points, varying_m_target, Dataset};
+use gnn_core::{Aggregate, Fmbm, Fmqm, Gcp};
+use gnn_qfile::FileCursor;
+use gnn_rtree::TreeCursor;
+
+fn bench_disk(c: &mut Criterion) {
+    let data = Dataset::Ts.points(true); // 19 497 points
+    let query_src = Dataset::Pp.points(true); // 2 450 points
+    let tree = build_tree(&data);
+    let target = varying_m_target(&tree, 0.08);
+    let qfile = disk_query_file(&query_src, target, true);
+    let qpts = scaled_query_points(&query_src, target);
+    let qtree = build_tree(&qpts);
+
+    c.bench_function("fmqm_ts_pp_m8", |b| {
+        b.iter(|| {
+            let cursor = TreeCursor::with_buffer(&tree, 128);
+            let fc = FileCursor::new(qfile.file());
+            black_box(Fmqm::new().k_gnn(&cursor, &qfile, &fc, 8, Aggregate::Sum))
+        })
+    });
+
+    c.bench_function("fmbm_ts_pp_m8", |b| {
+        b.iter(|| {
+            let cursor = TreeCursor::with_buffer(&tree, 128);
+            let fc = FileCursor::new(qfile.file());
+            black_box(Fmbm::best_first().k_gnn(&cursor, &qfile, &fc, 8, Aggregate::Sum))
+        })
+    });
+
+    c.bench_function("gcp_ts_pp_m8", |b| {
+        b.iter(|| {
+            let dc = TreeCursor::with_buffer(&tree, 128);
+            let qc = TreeCursor::with_buffer(&qtree, 128);
+            let gcp = Gcp {
+                heap_limit: 2_000_000,
+                pair_limit: 5_000_000,
+            };
+            black_box(gcp.k_gnn(&dc, &qc, 8))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_disk
+}
+criterion_main!(benches);

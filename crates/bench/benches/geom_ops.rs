@@ -1,0 +1,91 @@
+//! Microbenchmarks of the geometry kernel: the operations inside every
+//! pruning bound of the paper's heuristics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gnn_core::centroid::{gradient_descent_centroid, weiszfeld_centroid, CentroidOptions};
+use gnn_geom::hilbert::{xy_to_d, HilbertMapper};
+use gnn_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_geom(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts: Vec<Point> = (0..1024)
+        .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+        .collect();
+    let rects: Vec<Rect> = (0..1024)
+        .map(|_| {
+            let x = rng.gen::<f64>() * 90.0;
+            let y = rng.gen::<f64>() * 90.0;
+            Rect::from_corners(x, y, x + 10.0, y + 10.0)
+        })
+        .collect();
+
+    c.bench_function("point_dist", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(pts[i].dist(pts[i + 1]))
+        })
+    });
+
+    c.bench_function("mindist_point_rect", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(rects[i].mindist_point(pts[i]))
+        })
+    });
+
+    c.bench_function("mindist_rect_rect", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(rects[i].mindist_rect(&rects[i + 1]))
+        })
+    });
+
+    c.bench_function("hilbert_xy_to_d", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(xy_to_d(16, i % 65536, (i / 7) % 65536))
+        })
+    });
+
+    c.bench_function("hilbert_mapper_key", |b| {
+        let mapper = HilbertMapper::new(Rect::from_corners(0.0, 0.0, 100.0, 100.0));
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(mapper.key(pts[i]))
+        })
+    });
+
+    let group64: Vec<Point> = pts[..64].to_vec();
+    c.bench_function("centroid_gradient_descent_n64", |b| {
+        b.iter(|| {
+            black_box(gradient_descent_centroid(
+                &group64,
+                None,
+                CentroidOptions::default(),
+            ))
+        })
+    });
+    c.bench_function("centroid_weiszfeld_n64", |b| {
+        b.iter(|| {
+            black_box(weiszfeld_centroid(
+                &group64,
+                None,
+                CentroidOptions::default(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_geom
+}
+criterion_main!(benches);

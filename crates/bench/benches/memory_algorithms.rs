@@ -1,0 +1,55 @@
+//! Per-query latency of the memory-resident GNN algorithms (paper §5.1) at
+//! a bench-friendly scale. The full parameter sweeps live in the `figures`
+//! binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_bench::{build_tree, Dataset};
+use gnn_core::{Mbm, MemoryGnnAlgorithm, Mqm, QueryGroup, Spm};
+use gnn_datasets::{query_workload, QuerySpec};
+use gnn_rtree::TreeCursor;
+
+fn bench_memory(c: &mut Criterion) {
+    // Quick-scale PP substitute: 2 450 clustered points.
+    let pts = Dataset::Pp.points(true);
+    let tree = build_tree(&pts);
+
+    let mut group = c.benchmark_group("memory_gnn");
+    for n in [4usize, 64, 256] {
+        let workload = query_workload(
+            tree.root_mbr(),
+            QuerySpec {
+                n,
+                area_fraction: 0.08,
+            },
+            32,
+            99,
+        );
+        let groups: Vec<QueryGroup> = workload
+            .into_iter()
+            .map(|q| QueryGroup::sum(q).unwrap())
+            .collect();
+        let algos: Vec<(&str, Box<dyn MemoryGnnAlgorithm>)> = vec![
+            ("MQM", Box::new(Mqm::new())),
+            ("SPM", Box::new(Spm::best_first())),
+            ("MBM", Box::new(Mbm::best_first())),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let cursor = TreeCursor::with_buffer(&tree, 128);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % groups.len();
+                    black_box(algo.k_gnn(&cursor, &groups[i], 8))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_memory
+}
+criterion_main!(benches);

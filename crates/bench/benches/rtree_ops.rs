@@ -1,0 +1,104 @@
+//! Microbenchmarks of the R*-tree substrate: construction and the two search
+//! primitives the GNN algorithms are built on.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use gnn_geom::{Point, PointId};
+use gnn_rtree::{
+    bf_k_nearest, df_k_nearest, ClosestPairs, LeafEntry, RTree, RTreeParams, TreeCursor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn entries(n: usize, seed: u64) -> Vec<LeafEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            LeafEntry::new(
+                PointId(i as u64),
+                Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let es10k = entries(10_000, 1);
+
+    c.bench_function("bulk_load_str_10k", |b| {
+        b.iter_batched(
+            || es10k.clone(),
+            |es| black_box(RTree::bulk_load(RTreeParams::default(), es)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("bulk_load_hilbert_10k", |b| {
+        b.iter_batched(
+            || es10k.clone(),
+            |es| black_box(RTree::bulk_load_hilbert(RTreeParams::default(), es, 0.7)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("insert_2k_one_by_one", |b| {
+        let es = entries(2_000, 2);
+        b.iter_batched(
+            || es.clone(),
+            |es| {
+                let mut t = RTree::new(RTreeParams::default());
+                for e in es {
+                    t.insert(e);
+                }
+                black_box(t)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let tree = RTree::bulk_load(RTreeParams::default(), es10k.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<Point> = (0..256)
+        .map(|_| Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
+        .collect();
+
+    c.bench_function("bf_knn_k8_10k", |b| {
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(bf_k_nearest(&cursor, queries[i], 8))
+        })
+    });
+
+    c.bench_function("df_knn_k8_10k", |b| {
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(df_k_nearest(&cursor, queries[i], 8))
+        })
+    });
+
+    let tree_b = RTree::bulk_load(RTreeParams::default(), entries(5_000, 4));
+    c.bench_function("closest_pairs_first100_10k_x_5k", |b| {
+        b.iter(|| {
+            let ca = TreeCursor::unbuffered(&tree);
+            let cb = TreeCursor::unbuffered(&tree_b);
+            let mut cp = ClosestPairs::new(&ca, &cb);
+            let mut out = 0.0;
+            for _ in 0..100 {
+                if let Some(p) = cp.next() {
+                    out += p.dist;
+                }
+            }
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_rtree
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Aggregate distance functions.
+//!
+//! The paper defines `dist(p, Q) = Σ_i |p q_i|` (SUM). Its conclusion lists
+//! other aggregates as future work; the follow-up *aggregate nearest
+//! neighbor* literature settled on SUM / MAX / MIN. All three are
+//! *decomposable monotone* aggregates, which is exactly what the pruning
+//! bounds of MQM and MBM (and their disk variants) need, so this crate
+//! supports all three there. SPM's Lemma 1 is a triangle-inequality argument
+//! over a **sum**, so SPM (and GCP's heuristic 4 bookkeeping) remain
+//! SUM-only — each algorithm advertises its support via
+//! `supports_aggregate`.
+
+use std::fmt;
+
+/// The aggregate combining the distances from a data point to every query
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggregate {
+    /// Total distance `Σ_i w_i |p q_i|` (the paper's definition; weights
+    /// default to 1).
+    #[default]
+    Sum,
+    /// Worst-case distance `max_i |p q_i|` (minimise the farthest user's
+    /// travel).
+    Max,
+    /// Best-case distance `min_i |p q_i|` (classic NN to the closest user).
+    Min,
+}
+
+impl Aggregate {
+    /// Folds one more distance into a running aggregate value.
+    #[inline]
+    pub fn fold(self, acc: f64, d: f64) -> f64 {
+        match self {
+            Aggregate::Sum => acc + d,
+            Aggregate::Max => acc.max(d),
+            Aggregate::Min => acc.min(d),
+        }
+    }
+
+    /// The identity element of [`Aggregate::fold`].
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            Aggregate::Sum => 0.0,
+            Aggregate::Max => f64::NEG_INFINITY,
+            Aggregate::Min => f64::INFINITY,
+        }
+    }
+
+    /// Aggregates an iterator of distances.
+    #[inline]
+    pub fn aggregate(self, dists: impl IntoIterator<Item = f64>) -> f64 {
+        dists
+            .into_iter()
+            .fold(self.identity(), |acc, d| self.fold(acc, d))
+    }
+
+    /// Combines aggregate values of two disjoint sub-groups into the value of
+    /// their union — the decomposability property F-MQM relies on when it
+    /// merges per-group results (§4.2).
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        self.fold(a, b)
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregate::Sum => "sum",
+            Aggregate::Max => "max",
+            Aggregate::Min => "min",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_aggregates() {
+        assert_eq!(Aggregate::Sum.aggregate([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(Aggregate::Sum.aggregate([]), 0.0);
+    }
+
+    #[test]
+    fn max_aggregates() {
+        assert_eq!(Aggregate::Max.aggregate([1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(Aggregate::Max.aggregate([]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn min_aggregates() {
+        assert_eq!(Aggregate::Min.aggregate([4.0, 2.0, 3.0]), 2.0);
+        assert_eq!(Aggregate::Min.aggregate([]), f64::INFINITY);
+    }
+
+    #[test]
+    fn combine_is_decomposable() {
+        for agg in [Aggregate::Sum, Aggregate::Max, Aggregate::Min] {
+            let whole = agg.aggregate([1.0, 7.0, 2.0, 5.0]);
+            let left = agg.aggregate([1.0, 7.0]);
+            let right = agg.aggregate([2.0, 5.0]);
+            assert_eq!(agg.combine(left, right), whole, "{agg}");
+        }
+    }
+
+    #[test]
+    fn default_is_sum() {
+        assert_eq!(Aggregate::default(), Aggregate::Sum);
+    }
+}

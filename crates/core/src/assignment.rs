@@ -1,0 +1,373 @@
+//! Facility assignment — the paper's closing future-work problem.
+//!
+//! > "Consider, for instance, that Q represents a set of facilities and the
+//! > goal is to assign each object of P to a single facility so that the sum
+//! > of distances (of each object to its nearest facility) is minimized.
+//! > Additional constraints (e.g., a facility may serve at most k users) may
+//! > further complicate the solutions." (§6)
+//!
+//! Two exact solvers:
+//!
+//! * [`assign_nearest_facility`] — the unconstrained problem decomposes into
+//!   independent point-NN queries: each object simply picks its nearest
+//!   facility through the R-tree (best-first NN), so the spatial index does
+//!   all the work.
+//! * [`assign_capacitated`] — with per-facility capacities the problem is a
+//!   min-cost bipartite `b`-matching; solved exactly with successive
+//!   shortest augmenting paths under Johnson potentials (Dijkstra inner
+//!   loop). Suited to the moderate instance sizes of the motivating
+//!   scenarios (users-to-restaurants, components-to-ports).
+
+use gnn_geom::Point;
+use gnn_rtree::{bf_k_nearest, TreeCursor};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An assignment of every object to one facility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `facility_of[i]` = index (into the facility list) serving object `i`.
+    pub facility_of: Vec<usize>,
+    /// Total Euclidean distance of the assignment.
+    pub total_cost: f64,
+}
+
+/// Unconstrained assignment: every object goes to its Euclidean nearest
+/// facility (found through the facility R-tree behind `facilities`).
+///
+/// The facility ids stored in the tree must be the indices `0..F` of the
+/// facility list.
+///
+/// Returns `None` when the facility tree is empty.
+pub fn assign_nearest_facility(
+    objects: &[Point],
+    facilities: &TreeCursor<'_>,
+) -> Option<Assignment> {
+    if facilities.tree().is_empty() {
+        return None;
+    }
+    let mut facility_of = Vec::with_capacity(objects.len());
+    let mut total_cost = 0.0;
+    for &p in objects {
+        let nn = bf_k_nearest(facilities, p, 1);
+        let best = nn.first().expect("non-empty tree");
+        facility_of.push(best.entry.id.0 as usize);
+        total_cost += best.dist;
+    }
+    Some(Assignment {
+        facility_of,
+        total_cost,
+    })
+}
+
+/// Capacitated assignment: each facility serves at most `capacity` objects;
+/// the total distance is minimised exactly.
+///
+/// Returns `None` when infeasible (`objects.len() > facilities.len() *
+/// capacity`) or either side is empty.
+pub fn assign_capacitated(
+    objects: &[Point],
+    facilities: &[Point],
+    capacity: usize,
+) -> Option<Assignment> {
+    let n = objects.len();
+    let f = facilities.len();
+    if n == 0 || f == 0 || capacity == 0 || n > f * capacity {
+        return None;
+    }
+    // Min-cost flow on the implicit bipartite graph: source -> objects
+    // (cap 1) -> facilities (cost = distance) -> sink (cap `capacity`).
+    // Successive shortest augmenting paths with Johnson potentials keep all
+    // reduced costs non-negative, so the inner search is a plain Dijkstra.
+    //
+    // Residual state: which facility each object uses (None = unassigned)
+    // and how much capacity each facility has left.
+    let mut assigned: Vec<Option<usize>> = vec![None; n];
+    let mut remaining: Vec<usize> = vec![capacity; f];
+    // Potentials over facilities (object potentials are implicit because
+    // every augmenting path alternates object -> facility -> object...).
+    let mut potential: Vec<f64> = vec![0.0; f];
+    let dist = |o: usize, fi: usize| objects[o].dist(facilities[fi]);
+
+    for start in 0..n {
+        // Dijkstra over facilities: dist_f[j] = cheapest reduced cost of an
+        // alternating path start -> ... -> facility j.
+        let mut dist_f = vec![f64::INFINITY; f];
+        let mut parent_obj: Vec<Option<usize>> = vec![None; f]; // object preceding j on the path
+        let mut heap: BinaryHeap<Reverse<(gnn_geom::OrderedF64, usize)>> = BinaryHeap::new();
+        for j in 0..f {
+            let rc = dist(start, j) - potential[j];
+            if rc < dist_f[j] {
+                dist_f[j] = rc;
+                parent_obj[j] = Some(start);
+                heap.push(Reverse((gnn_geom::OrderedF64(rc), j)));
+            }
+        }
+        let mut settled = vec![false; f];
+        let mut target: Option<usize> = None;
+        while let Some(Reverse((d, j))) = heap.pop() {
+            if settled[j] {
+                continue;
+            }
+            settled[j] = true;
+            let d = d.get();
+            if remaining[j] > 0 {
+                target = Some(j);
+                break;
+            }
+            // Relax through every object currently assigned to j: moving
+            // such an object o to another facility j2 costs
+            // dist(o, j2) - dist(o, j), in reduced terms.
+            for (o, a) in assigned.iter().enumerate() {
+                if *a != Some(j) {
+                    continue;
+                }
+                let back = dist(o, j);
+                for j2 in 0..f {
+                    if settled[j2] {
+                        continue;
+                    }
+                    let nd = d - (back - potential[j]) + dist(o, j2) - potential[j2];
+                    if nd < dist_f[j2] - 1e-15 {
+                        dist_f[j2] = nd;
+                        parent_obj[j2] = Some(o);
+                        heap.push(Reverse((gnn_geom::OrderedF64(nd), j2)));
+                    }
+                }
+            }
+        }
+        let target = target?; // None would mean infeasible, excluded above
+        // Johnson potential update: settled facilities have exact shortest
+        // reduced distances; fold them into the potentials so the next
+        // iteration's reduced costs stay non-negative.
+        let dt = dist_f[target];
+        for j in 0..f {
+            if settled[j] {
+                potential[j] += dt - dist_f[j];
+            }
+        }
+        // Walk the alternating path back, flipping assignments. Per flip,
+        // object `o` moves into facility `j` out of `prev`; the increments
+        // telescope so that only `target` loses net capacity.
+        let mut j = target;
+        loop {
+            let o = parent_obj[j].expect("path reaches the start object");
+            let prev = assigned[o].replace(j);
+            remaining[j] -= 1;
+            match prev {
+                None => {
+                    debug_assert_eq!(o, start);
+                    break;
+                }
+                Some(pj) => {
+                    remaining[pj] += 1;
+                    j = pj;
+                }
+            }
+        }
+    }
+
+    let facility_of: Vec<usize> = assigned.into_iter().map(|a| a.expect("assigned")).collect();
+    let total_cost = facility_of
+        .iter()
+        .enumerate()
+        .map(|(o, &j)| dist(o, j))
+        .sum();
+    Some(Assignment {
+        facility_of,
+        total_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_geom::PointId;
+    use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn facility_tree(facilities: &[Point]) -> RTree {
+        RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            facilities
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+        )
+    }
+
+    fn random_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>() * span, rng.gen::<f64>() * span))
+            .collect()
+    }
+
+    /// Exhaustive optimal capacitated assignment for tiny instances.
+    fn brute_force(objects: &[Point], facilities: &[Point], capacity: usize) -> Option<f64> {
+        fn rec(
+            o: usize,
+            objects: &[Point],
+            facilities: &[Point],
+            used: &mut [usize],
+            capacity: usize,
+            cost: f64,
+            best: &mut f64,
+        ) {
+            if cost >= *best {
+                return;
+            }
+            if o == objects.len() {
+                *best = cost;
+                return;
+            }
+            for j in 0..facilities.len() {
+                if used[j] < capacity {
+                    used[j] += 1;
+                    rec(
+                        o + 1,
+                        objects,
+                        facilities,
+                        used,
+                        capacity,
+                        cost + objects[o].dist(facilities[j]),
+                        best,
+                    );
+                    used[j] -= 1;
+                }
+            }
+        }
+        if objects.len() > facilities.len() * capacity {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        let mut used = vec![0usize; facilities.len()];
+        rec(0, objects, facilities, &mut used, capacity, 0.0, &mut best);
+        best.is_finite().then_some(best)
+    }
+
+    #[test]
+    fn nearest_facility_assignment_is_pointwise_optimal() {
+        let facilities = random_points(20, 1, 100.0);
+        let objects = random_points(100, 2, 100.0);
+        let tree = facility_tree(&facilities);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let a = assign_nearest_facility(&objects, &cursor).unwrap();
+        assert_eq!(a.facility_of.len(), 100);
+        for (o, &j) in a.facility_of.iter().enumerate() {
+            let d = objects[o].dist(facilities[j]);
+            for (j2, fp) in facilities.iter().enumerate() {
+                assert!(
+                    d <= objects[o].dist(*fp) + 1e-12,
+                    "object {o}: facility {j} not nearest (beaten by {j2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tree = RTree::new(RTreeParams::default());
+        let cursor = TreeCursor::unbuffered(&tree);
+        assert!(assign_nearest_facility(&[Point::ORIGIN], &cursor).is_none());
+        assert!(assign_capacitated(&[], &[Point::ORIGIN], 1).is_none());
+        assert!(assign_capacitated(&[Point::ORIGIN], &[], 1).is_none());
+    }
+
+    #[test]
+    fn infeasible_capacity_returns_none() {
+        let objects = random_points(5, 3, 10.0);
+        let facilities = random_points(2, 4, 10.0);
+        assert!(assign_capacitated(&objects, &facilities, 2).is_none()); // 5 > 4
+        assert!(assign_capacitated(&objects, &facilities, 3).is_some()); // 5 <= 6
+    }
+
+    #[test]
+    fn capacitated_matches_brute_force_on_tiny_instances() {
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n_obj = rng.gen_range(2..7);
+            let n_fac = rng.gen_range(2..5);
+            let capacity = rng.gen_range(1..4);
+            let objects = random_points(n_obj, seed * 3 + 1, 10.0);
+            let facilities = random_points(n_fac, seed * 3 + 2, 10.0);
+            let want = brute_force(&objects, &facilities, capacity);
+            let got = assign_capacitated(&objects, &facilities, capacity);
+            match (got, want) {
+                (None, None) => {}
+                (Some(a), Some(w)) => {
+                    assert!(
+                        (a.total_cost - w).abs() < 1e-6 * (1.0 + w),
+                        "seed {seed}: flow {} vs brute {w}",
+                        a.total_cost
+                    );
+                    // Capacity respected.
+                    let mut used = vec![0usize; facilities.len()];
+                    for &j in &a.facility_of {
+                        used[j] += 1;
+                    }
+                    assert!(used.iter().all(|&u| u <= capacity));
+                }
+                (g, w) => panic!("seed {seed}: feasibility mismatch {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn loose_capacity_equals_unconstrained() {
+        let facilities = random_points(10, 5, 50.0);
+        let objects = random_points(30, 6, 50.0);
+        let tree = facility_tree(&facilities);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let unconstrained = assign_nearest_facility(&objects, &cursor).unwrap();
+        // Capacity >= number of objects can never bind.
+        let capacitated = assign_capacitated(&objects, &facilities, 30).unwrap();
+        assert!(
+            (capacitated.total_cost - unconstrained.total_cost).abs() < 1e-9,
+            "{} vs {}",
+            capacitated.total_cost,
+            unconstrained.total_cost
+        );
+    }
+
+    #[test]
+    fn tight_capacity_costs_at_least_unconstrained() {
+        let facilities = random_points(6, 7, 20.0);
+        let objects = random_points(18, 8, 20.0);
+        let tree = facility_tree(&facilities);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let unconstrained = assign_nearest_facility(&objects, &cursor).unwrap();
+        let tight = assign_capacitated(&objects, &facilities, 3).unwrap();
+        assert!(tight.total_cost >= unconstrained.total_cost - 1e-9);
+        let mut used = vec![0usize; 6];
+        for &j in &tight.facility_of {
+            used[j] += 1;
+        }
+        assert!(used.iter().all(|&u| u <= 3));
+        assert_eq!(used.iter().sum::<usize>(), 18);
+    }
+
+    #[test]
+    fn capacity_one_is_a_perfect_matching() {
+        // 3 objects / 3 facilities, capacity 1: a classic assignment
+        // problem; the greedy-nearest answer (everyone to the center) is
+        // infeasible and the matching must spread out.
+        let facilities = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let objects = vec![
+            Point::new(1.0, 1.0),
+            Point::new(1.1, 1.0),
+            Point::new(0.9, 1.0),
+        ];
+        let got = assign_capacitated(&objects, &facilities, 1).unwrap();
+        let want = brute_force(&objects, &facilities, 1).unwrap();
+        assert!((got.total_cost - want).abs() < 1e-9);
+        let mut sorted = got.facility_of.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,479 @@
+//! F-MBM — the file minimum bounding method (paper §4.3, Figure 4.7).
+//!
+//! F-MBM keeps only the MBR `M_i` and cardinality `n_i` of every query
+//! group resident in memory and descends the data R-tree once:
+//!
+//! * *Heuristic 5*: a node `N` is pruned when its **weighted mindist**
+//!   `Σ_i n_i · mindist(N, M_i)` reaches `best_dist` (aggregate-generalised
+//!   to `max_i` / `min_i mindist(N, M_i)` for MAX/MIN).
+//! * At a leaf, groups are loaded from disk in **descending**
+//!   `mindist(N, M_i)` order — far groups first, because they prune points
+//!   fastest — and each point accumulates its distance group by group.
+//! * *Heuristic 6*: a point `p` whose accumulated distance plus
+//!   `Σ_{l≥i} n_l · mindist(p, M_l)` (its best conceivable remainder)
+//!   reaches `best_dist` is dropped before any further distance
+//!   computation.
+//!
+//! Both the best-first (paper's experimental setup) and depth-first
+//! (Figure 4.7 as printed) traversals are provided.
+
+use crate::best_list::KBestList;
+use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::{Aggregate, FileGnnAlgorithm, Traversal};
+use gnn_geom::{OrderedF64, Point, Rect};
+use gnn_qfile::{FileCursor, GroupedQueryFile, GroupSpec};
+use gnn_rtree::{LeafEntry, Node, PageId, TreeCursor};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The file minimum bounding method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fmbm {
+    /// Best-first (default, matches the paper's experiments) or depth-first
+    /// (Figure 4.7) traversal.
+    pub traversal: Traversal,
+}
+
+impl Fmbm {
+    /// F-MBM with best-first traversal.
+    pub fn best_first() -> Self {
+        Fmbm {
+            traversal: Traversal::BestFirst,
+        }
+    }
+
+    /// F-MBM with depth-first traversal.
+    pub fn depth_first() -> Self {
+        Fmbm {
+            traversal: Traversal::DepthFirst,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors of the whole query file.
+    pub fn k_gnn(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+    ) -> GnnResult {
+        let t0 = Instant::now();
+        let data_before = data.stats();
+        let qpages_before = query_cursor.page_reads();
+        if query.group_count() == 0 || data.tree().is_empty() {
+            return GnnResult::default();
+        }
+
+        let mut ctx = SearchCtx {
+            query,
+            query_cursor,
+            aggregate,
+            best: KBestList::new(k),
+            dist_computations: 0,
+        };
+
+        match self.traversal {
+            Traversal::BestFirst => {
+                // Min-heap of nodes keyed by weighted mindist (heuristic 5
+                // is the termination rule: once the key reaches best_dist,
+                // nothing below any pending node can win).
+                let mut heap: BinaryHeap<Reverse<(OrderedF64, PageId, Rect2)>> = BinaryHeap::new();
+                let root_key = ctx.weighted_mindist_rect(&data.root_mbr());
+                heap.push(Reverse((
+                    OrderedF64(root_key),
+                    data.root(),
+                    Rect2(data.root_mbr()),
+                )));
+                while let Some(Reverse((key, id, mbr))) = heap.pop() {
+                    if key.get() >= ctx.best.bound() {
+                        break;
+                    }
+                    match data.read(id) {
+                        Node::Leaf(es) => ctx.process_leaf(es, &mbr.0),
+                        Node::Internal(bs) => {
+                            for b in bs {
+                                let child_key = ctx.weighted_mindist_rect(&b.mbr);
+                                if child_key < ctx.best.bound() {
+                                    heap.push(Reverse((
+                                        OrderedF64(child_key),
+                                        b.child,
+                                        Rect2(b.mbr),
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Traversal::DepthFirst => {
+                self.df_visit(data, data.root(), &data.root_mbr(), &mut ctx);
+            }
+        }
+
+        GnnResult {
+            neighbors: ctx.best.into_sorted(),
+            stats: QueryStats {
+                data_tree: data.stats().since(data_before),
+                query_file_pages: query_cursor.page_reads() - qpages_before,
+                dist_computations: ctx.dist_computations,
+                elapsed: t0.elapsed(),
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    /// Figure 4.7's depth-first recursion: children in ascending weighted
+    /// mindist, stop at the first failing heuristic 5.
+    fn df_visit(
+        &self,
+        data: &TreeCursor<'_>,
+        id: PageId,
+        node_mbr: &Rect,
+        ctx: &mut SearchCtx<'_, '_, '_>,
+    ) {
+        match data.read(id) {
+            Node::Internal(bs) => {
+                let mut order: Vec<(f64, &gnn_rtree::Branch)> = bs
+                    .iter()
+                    .map(|b| (ctx.weighted_mindist_rect(&b.mbr), b))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (wmd, b) in order {
+                    if wmd >= ctx.best.bound() {
+                        break; // heuristic 5; sorted, so the rest fail too
+                    }
+                    self.df_visit(data, b.child, &b.mbr, ctx);
+                }
+            }
+            Node::Leaf(es) => ctx.process_leaf(es, node_mbr),
+        }
+    }
+}
+
+/// Shared state of one F-MBM search.
+struct SearchCtx<'q, 'f, 'c> {
+    query: &'q GroupedQueryFile,
+    query_cursor: &'c FileCursor<'f>,
+    aggregate: Aggregate,
+    best: KBestList,
+    dist_computations: u64,
+}
+
+impl SearchCtx<'_, '_, '_> {
+    /// Heuristic 5's weighted mindist of a rectangle w.r.t. all query
+    /// groups: `Σ n_i · mindist(R, M_i)` (SUM), or the max/min of the plain
+    /// mindists.
+    fn weighted_mindist_rect(&mut self, r: &Rect) -> f64 {
+        let specs = self.query.groups();
+        self.dist_computations += specs.len() as u64;
+        weighted_mindist(specs, self.aggregate, |spec| r.mindist_rect(&spec.mbr))
+    }
+
+    /// Processes one leaf: load groups in descending `mindist(N, M_i)`
+    /// order, accumulating distances and shedding points via heuristic 6.
+    fn process_leaf(&mut self, entries: &[LeafEntry], node_mbr: &Rect) {
+        let specs = self.query.groups();
+        let m = specs.len();
+
+        // Group processing order: descending mindist from this node ("groups
+        // that are far from the node are likely to prune numerous data
+        // points", §4.3).
+        let mut order: Vec<usize> = (0..m).collect();
+        {
+            let mut keys = vec![0.0f64; m];
+            for (gi, spec) in specs.iter().enumerate() {
+                keys[gi] = node_mbr.mindist_rect(&spec.mbr);
+            }
+            self.dist_computations += m as u64;
+            order.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
+        }
+
+        // Per point: mindists to every group MBR (in processing order) and
+        // the suffix aggregation of their weighted values — heuristic 6's
+        // "best conceivable remainder" in O(1) per step.
+        struct Alive {
+            entry: LeafEntry,
+            acc: f64,
+            /// `suffix[j]` = aggregate over groups `order[j..]` of
+            /// `n_l · mindist(p, M_l)` (weighted per the aggregate).
+            suffix: Vec<f64>,
+        }
+        let mut alive: Vec<Alive> = entries
+            .iter()
+            .map(|&entry| {
+                let mut suffix = vec![self.aggregate.identity(); m + 1];
+                for j in (0..m).rev() {
+                    let spec = &specs[order[j]];
+                    let d = spec.mbr.mindist_point(entry.point);
+                    let weighted = match self.aggregate {
+                        Aggregate::Sum => spec.count as f64 * d,
+                        Aggregate::Max | Aggregate::Min => d,
+                    };
+                    suffix[j] = self.aggregate.fold(suffix[j + 1], weighted);
+                }
+                self.dist_computations += m as u64;
+                Alive {
+                    entry,
+                    acc: self.aggregate.identity(),
+                    suffix,
+                }
+            })
+            .collect();
+
+        for (j, &gi) in order.iter().enumerate() {
+            // Heuristic 6 (at j = 0 this is the pure weighted-mindist filter
+            // of Figure 4.7's point pre-pass). For MIN the accumulator only
+            // shrinks, so the prune key combines accumulated and remainder
+            // exactly the same way.
+            let bound = self.best.bound();
+            alive.retain(|a| self.aggregate.combine(a.acc, a.suffix[j]) < bound);
+            if alive.is_empty() {
+                return;
+            }
+            // Load group `gi` (paying its pages) and accumulate.
+            let pts = self.query.load_group(self.query_cursor, gi);
+            let spec = &specs[gi];
+            for a in alive.iter_mut() {
+                let d = group_distance(&pts, a.entry.point, self.aggregate);
+                self.dist_computations += spec.count as u64;
+                a.acc = self.aggregate.combine(a.acc, d);
+            }
+        }
+
+        for a in alive {
+            self.best.offer(Neighbor {
+                id: a.entry.id,
+                point: a.entry.point,
+                dist: a.acc,
+            });
+        }
+    }
+}
+
+/// Aggregates a per-group metric over all group specs with the SUM variant
+/// weighted by group cardinality (the `Σ n_i · mindist` of heuristic 5).
+fn weighted_mindist(
+    specs: &[GroupSpec],
+    aggregate: Aggregate,
+    metric: impl Fn(&GroupSpec) -> f64,
+) -> f64 {
+    let mut acc = aggregate.identity();
+    for spec in specs {
+        let d = metric(spec);
+        let weighted = match aggregate {
+            Aggregate::Sum => spec.count as f64 * d,
+            Aggregate::Max | Aggregate::Min => d,
+        };
+        acc = aggregate.fold(acc, weighted);
+    }
+    acc
+}
+
+/// Aggregate distance from `p` to one loaded group.
+fn group_distance(group_points: &[Point], p: Point, aggregate: Aggregate) -> f64 {
+    let mut acc = aggregate.identity();
+    for q in group_points {
+        acc = aggregate.fold(acc, p.dist(*q));
+    }
+    acc
+}
+
+/// `Rect` with the total order needed to sit inside the traversal heap's
+/// tuple (never meaningfully compared: the key and page id disambiguate
+/// first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Rect2(Rect);
+
+impl Eq for Rect2 {}
+impl PartialOrd for Rect2 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Rect2 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let key = |r: &Rect| {
+            (
+                r.lo.x.to_bits(),
+                r.lo.y.to_bits(),
+                r.hi.x.to_bits(),
+                r.hi.y.to_bits(),
+            )
+        };
+        key(&self.0).cmp(&key(&other.0))
+    }
+}
+
+impl FileGnnAlgorithm for Fmbm {
+    fn name(&self) -> &'static str {
+        "F-MBM"
+    }
+
+    fn k_gnn(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+    ) -> GnnResult {
+        Fmbm::k_gnn(self, data, query, query_cursor, k, aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::linear_scan_entries;
+    use crate::QueryGroup;
+    use gnn_geom::PointId;
+    use gnn_rtree::{RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    lo + rng.gen::<f64>() * (hi - lo),
+                    lo + rng.gen::<f64>() * (hi - lo),
+                )
+            })
+            .collect()
+    }
+
+    fn data_tree(points: &[Point]) -> RTree {
+        RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+        )
+    }
+
+    fn check_against_oracle(
+        data_pts: &[Point],
+        query_pts: Vec<Point>,
+        group_capacity: usize,
+        k: usize,
+        aggregate: Aggregate,
+        fmbm: Fmbm,
+    ) {
+        let tree = data_tree(data_pts);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let qf = GroupedQueryFile::build_with(query_pts.clone(), 16, group_capacity);
+        let fc = FileCursor::new(qf.file());
+        let got = fmbm.k_gnn(&cursor, &qf, &fc, k, aggregate);
+        let group = QueryGroup::with_aggregate(query_pts, aggregate).unwrap();
+        let want = linear_scan_entries(tree.iter(), &group, k);
+        let g = got.distances();
+        let w = want.distances();
+        assert_eq!(g.len(), w.len(), "agg={aggregate} k={k} {fmbm:?}");
+        for (a, b) in g.iter().zip(&w) {
+            assert!(
+                (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                "agg={aggregate} k={k} {fmbm:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_traversals_match_oracle() {
+        for seed in 0..5 {
+            let data = random_points(300, seed, 0.0, 100.0);
+            let queries = random_points(120, 700 + seed, 20.0, 80.0);
+            for fmbm in [Fmbm::best_first(), Fmbm::depth_first()] {
+                check_against_oracle(&data, queries.clone(), 32, 1, Aggregate::Sum, fmbm);
+            }
+        }
+    }
+
+    #[test]
+    fn k_greater_than_one() {
+        let data = random_points(400, 31, 0.0, 100.0);
+        let queries = random_points(100, 32, 10.0, 90.0);
+        for fmbm in [Fmbm::best_first(), Fmbm::depth_first()] {
+            check_against_oracle(&data, queries.clone(), 40, 8, Aggregate::Sum, fmbm);
+        }
+    }
+
+    #[test]
+    fn max_and_min_aggregates() {
+        let data = random_points(250, 33, 0.0, 100.0);
+        let queries = random_points(80, 34, 30.0, 70.0);
+        for agg in [Aggregate::Max, Aggregate::Min] {
+            check_against_oracle(&data, queries.clone(), 30, 3, agg, Fmbm::best_first());
+        }
+    }
+
+    #[test]
+    fn disjoint_and_overlapping_workspaces() {
+        let data = random_points(300, 35, 0.0, 50.0);
+        let far = random_points(60, 36, 200.0, 260.0);
+        check_against_oracle(&data, far, 20, 2, Aggregate::Sum, Fmbm::best_first());
+        let within = random_points(60, 37, 10.0, 40.0);
+        check_against_oracle(&data, within, 20, 2, Aggregate::Sum, Fmbm::best_first());
+    }
+
+    #[test]
+    fn heuristic5_prunes_nodes() {
+        // Clustered query far from most of the data: F-MBM must not read the
+        // whole tree.
+        let data = random_points(5000, 38, 0.0, 100.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let queries = random_points(200, 39, 0.0, 10.0);
+        let qf = GroupedQueryFile::build_with(queries, 16, 64);
+        let fc = FileCursor::new(qf.file());
+        let r = Fmbm::best_first().k_gnn(&cursor, &qf, &fc, 1, Aggregate::Sum);
+        assert!(
+            (r.stats.data_tree.logical as usize) < tree.node_count() / 3,
+            "read {} of {} nodes",
+            r.stats.data_tree.logical,
+            tree.node_count()
+        );
+        assert!(r.best().is_some());
+    }
+
+    #[test]
+    fn group_loads_are_charged() {
+        let data = random_points(200, 40, 0.0, 100.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let queries = random_points(64, 41, 40.0, 60.0);
+        let qf = GroupedQueryFile::build_with(queries, 16, 32);
+        let fc = FileCursor::new(qf.file());
+        let r = Fmbm::best_first().k_gnn(&cursor, &qf, &fc, 1, Aggregate::Sum);
+        assert!(r.stats.query_file_pages > 0);
+    }
+
+    #[test]
+    fn empty_query_file() {
+        let data = random_points(50, 42, 0.0, 10.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let qf = GroupedQueryFile::build_with(vec![], 16, 32);
+        let fc = FileCursor::new(qf.file());
+        let r = Fmbm::best_first().k_gnn(&cursor, &qf, &fc, 3, Aggregate::Sum);
+        assert!(r.neighbors.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let data = random_points(12, 43, 0.0, 10.0);
+        let queries = random_points(50, 44, 0.0, 10.0);
+        check_against_oracle(&data, queries, 20, 40, Aggregate::Sum, Fmbm::best_first());
+    }
+
+    #[test]
+    fn single_point_groups() {
+        // group_capacity == page_capacity: every group is one page.
+        let data = random_points(100, 45, 0.0, 20.0);
+        let queries = random_points(48, 46, 5.0, 15.0);
+        check_against_oracle(&data, queries, 16, 2, Aggregate::Sum, Fmbm::best_first());
+    }
+}

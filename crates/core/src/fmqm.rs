@@ -1,0 +1,435 @@
+//! F-MQM — the file multiple query method (paper §4.2, Figure 4.4).
+//!
+//! Plain MQM on a disk-resident `Q` would run one incremental NN query per
+//! query point — hundreds of thousands of streams. F-MQM instead splits the
+//! Hilbert-sorted file into memory-sized groups `Q1..Qm` and treats each
+//! *group* like MQM treats a single query point:
+//!
+//! * each group runs an incremental **group** NN stream (MBM, the best
+//!   main-memory algorithm per §5.1);
+//! * the groups are served round-robin; each turn re-reads the group's
+//!   pages (one group fits in memory at a time) and advances its stream;
+//! * a retrieved neighbor's global distance is completed *lazily*: every
+//!   other group adds its part when its own turn comes;
+//! * the group thresholds `t_j = dist(p_j, Q_j)` combine into the global
+//!   threshold `T` (sum/max/min per the aggregate); when `T ≥ best_dist` no
+//!   unseen point can win.
+//!
+//! Two details the paper's pseudocode leaves implicit are handled
+//! explicitly (see `DESIGN.md` §6):
+//!
+//! 1. **Flush** — at termination, candidates whose lazy accumulation is
+//!    still in flight get their missing group distances computed (charging
+//!    the group loads), so the result is exact rather than
+//!    almost-always-exact.
+//! 2. **Duplicate suppression** — the same data point surfacing through two
+//!    groups' streams must not occupy two slots of a `k > 1` result list,
+//!    so completed/live point ids are tracked and repeats skipped. This
+//!    subsumes the paper's optional "keep each NN in memory" memoization.
+
+use crate::best_list::KBestList;
+use crate::mbm::MbmStream;
+use crate::query::QueryGroup;
+use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::{Aggregate, FileGnnAlgorithm};
+use gnn_geom::PointId;
+use gnn_qfile::{FileCursor, GroupedQueryFile};
+use gnn_rtree::TreeCursor;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The file multiple query method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fmqm;
+
+/// A data point whose global distance is being accumulated lazily.
+struct Candidate {
+    id: PointId,
+    point: gnn_geom::Point,
+    /// Aggregate over the groups that have contributed so far.
+    acc: f64,
+    /// `got[i]`: group `i` has contributed.
+    got: Vec<bool>,
+    missing: usize,
+}
+
+impl Fmqm {
+    /// F-MQM with the paper's configuration.
+    pub fn new() -> Self {
+        Fmqm
+    }
+
+    /// Retrieves the `k` group nearest neighbors of the whole query file.
+    pub fn k_gnn(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+    ) -> GnnResult {
+        let t0 = Instant::now();
+        let data_before = data.stats();
+        let qpages_before = query_cursor.page_reads();
+        let m = query.group_count();
+        if m == 0 || data.tree().is_empty() {
+            return GnnResult::default();
+        }
+
+        // Materialise the per-group QueryGroups once. Building them here is
+        // un-metered: every turn below pays the page reads for (re)loading
+        // its group, which is where the paper's cost model charges them.
+        let groups: Vec<QueryGroup> = (0..m)
+            .map(|gi| {
+                let pts: Vec<gnn_geom::Point> = query.groups()[gi]
+                    .pages
+                    .clone()
+                    .flat_map(|p| query.file().page(p).iter().copied())
+                    .collect();
+                QueryGroup::with_aggregate(pts, aggregate).expect("groups are non-empty")
+            })
+            .collect();
+
+        // One incremental MBM stream per group, all sharing the data cursor.
+        let mut streams: Vec<MbmStream<'_, '_, '_>> =
+            groups.iter().map(|g| MbmStream::new(data, g)).collect();
+        let mut stream_done = vec![false; m];
+
+        let mut thresholds = vec![f64::NAN; m]; // NaN = group not pulled yet
+        let mut best = KBestList::new(k);
+        let mut live: Vec<Candidate> = Vec::new();
+        let mut live_ids: HashSet<u64> = HashSet::new();
+        // Ids already offered to (or dropped from) the best list: a repeat
+        // candidacy would double-count the point for k > 1.
+        let mut finished: HashSet<u64> = HashSet::new();
+        let mut dist_computations = 0u64;
+        let mut items_pulled = 0u64;
+
+        'outer: loop {
+            let mut any_stream_alive = false;
+            for gi in 0..m {
+                if combine_thresholds(&thresholds, aggregate) >= best.bound() {
+                    break 'outer;
+                }
+                // "read next group Qj": one group resides in memory at a
+                // time, so each turn re-reads its pages.
+                for p in query.groups()[gi].pages.clone() {
+                    query_cursor.read_page(p);
+                }
+
+                // Advance this group's incremental GNN stream.
+                if !stream_done[gi] {
+                    match streams[gi].next() {
+                        Some(nb) => {
+                            any_stream_alive = true;
+                            items_pulled += 1;
+                            thresholds[gi] = nb.dist;
+                            if !finished.contains(&nb.id.0) && !live_ids.contains(&nb.id.0) {
+                                let mut got = vec![false; m];
+                                got[gi] = true;
+                                live.push(Candidate {
+                                    id: nb.id,
+                                    point: nb.point,
+                                    acc: nb.dist,
+                                    got,
+                                    missing: m - 1,
+                                });
+                                live_ids.insert(nb.id.0);
+                            }
+                        }
+                        None => {
+                            // The stream enumerated all of P: no unseen
+                            // point remains for this group, so its
+                            // threshold is infinite.
+                            stream_done[gi] = true;
+                            thresholds[gi] = f64::INFINITY;
+                        }
+                    }
+                }
+
+                // Lazy accumulation: this group contributes to every live
+                // candidate that does not have it yet.
+                let group = &groups[gi];
+                let mut i = 0;
+                while i < live.len() {
+                    if !live[i].got[gi] {
+                        let c = &mut live[i];
+                        c.got[gi] = true;
+                        c.acc = aggregate.combine(c.acc, group.dist(c.point));
+                        dist_computations += group.len() as u64;
+                        c.missing -= 1;
+                        // Partial sums/maxima only grow: drop hopeless
+                        // candidates early (not valid for MIN, which only
+                        // shrinks).
+                        if aggregate != Aggregate::Min && c.missing > 0 && c.acc >= best.bound() {
+                            let c = live.swap_remove(i);
+                            live_ids.remove(&c.id.0);
+                            finished.insert(c.id.0);
+                            continue;
+                        }
+                    }
+                    if live[i].missing == 0 {
+                        let c = live.swap_remove(i);
+                        live_ids.remove(&c.id.0);
+                        finished.insert(c.id.0);
+                        best.offer(Neighbor {
+                            id: c.id,
+                            point: c.point,
+                            dist: c.acc,
+                        });
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+            if !any_stream_alive && live.is_empty() {
+                break;
+            }
+        }
+
+        // Flush: finish the pending candidates so the answer is exact. Work
+        // group-major to pay each group load at most once.
+        if !live.is_empty() {
+            for (gi, group) in groups.iter().enumerate() {
+                if aggregate != Aggregate::Min {
+                    live.retain(|c| {
+                        let keep = c.acc < best.bound() || c.missing == 0;
+                        if !keep {
+                            live_ids.remove(&c.id.0);
+                        }
+                        keep
+                    });
+                }
+                if live.iter().all(|c| c.got[gi]) {
+                    continue;
+                }
+                for p in query.groups()[gi].pages.clone() {
+                    query_cursor.read_page(p);
+                }
+                for c in live.iter_mut() {
+                    if !c.got[gi] {
+                        c.got[gi] = true;
+                        c.acc = aggregate.combine(c.acc, group.dist(c.point));
+                        dist_computations += group.len() as u64;
+                        c.missing -= 1;
+                    }
+                }
+            }
+            for c in live.drain(..) {
+                debug_assert_eq!(c.missing, 0);
+                best.offer(Neighbor {
+                    id: c.id,
+                    point: c.point,
+                    dist: c.acc,
+                });
+            }
+        }
+
+        let stream_dist: u64 = streams.iter().map(|s| s.dist_computations()).sum();
+        GnnResult {
+            neighbors: best.into_sorted(),
+            stats: QueryStats {
+                data_tree: data.stats().since(data_before),
+                query_file_pages: query_cursor.page_reads() - qpages_before,
+                dist_computations: dist_computations + stream_dist,
+                items_pulled,
+                elapsed: t0.elapsed(),
+                ..QueryStats::default()
+            },
+        }
+    }
+}
+
+/// Combines the per-group thresholds into the global threshold `T`: a lower
+/// bound on the aggregate distance of every point no stream has yielded.
+/// Unpulled groups contribute "no information", degrading the bound to a
+/// safe floor.
+fn combine_thresholds(ts: &[f64], agg: Aggregate) -> f64 {
+    match agg {
+        Aggregate::Sum => ts.iter().map(|t| if t.is_nan() { 0.0 } else { *t }).sum(),
+        Aggregate::Max => ts
+            .iter()
+            .map(|t| if t.is_nan() { 0.0 } else { *t })
+            .fold(0.0f64, f64::max),
+        Aggregate::Min => {
+            if ts.iter().any(|t| t.is_nan()) {
+                0.0
+            } else {
+                ts.iter().copied().fold(f64::INFINITY, f64::min)
+            }
+        }
+    }
+}
+
+impl FileGnnAlgorithm for Fmqm {
+    fn name(&self) -> &'static str {
+        "F-MQM"
+    }
+
+    fn k_gnn(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+    ) -> GnnResult {
+        Fmqm::k_gnn(self, data, query, query_cursor, k, aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::linear_scan_entries;
+    use gnn_geom::Point;
+    use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    lo + rng.gen::<f64>() * (hi - lo),
+                    lo + rng.gen::<f64>() * (hi - lo),
+                )
+            })
+            .collect()
+    }
+
+    fn data_tree(points: &[Point]) -> RTree {
+        RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+        )
+    }
+
+    fn check_against_oracle(
+        data_pts: &[Point],
+        query_pts: Vec<Point>,
+        group_capacity: usize,
+        k: usize,
+        aggregate: Aggregate,
+    ) {
+        let tree = data_tree(data_pts);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let qf = GroupedQueryFile::build_with(query_pts.clone(), 16, group_capacity);
+        let fc = FileCursor::new(qf.file());
+        let got = Fmqm::new().k_gnn(&cursor, &qf, &fc, k, aggregate);
+        let group = QueryGroup::with_aggregate(query_pts, aggregate).unwrap();
+        let want = linear_scan_entries(tree.iter(), &group, k);
+        let g = got.distances();
+        let w = want.distances();
+        assert_eq!(g.len(), w.len(), "agg={aggregate} k={k}");
+        for (a, b) in g.iter().zip(&w) {
+            assert!(
+                (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                "agg={aggregate} k={k}: {a} vs {b}"
+            );
+        }
+        // No duplicate ids in a k > 1 result.
+        let mut ids: Vec<u64> = got.neighbors.iter().map(|n| n.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), got.neighbors.len(), "duplicate ids in result");
+    }
+
+    #[test]
+    fn matches_oracle_multiple_groups() {
+        for seed in 0..5 {
+            let data = random_points(300, seed, 0.0, 100.0);
+            let queries = random_points(120, 500 + seed, 20.0, 80.0);
+            // 120 points / 32-per-group -> 4 groups.
+            check_against_oracle(&data, queries, 32, 1, Aggregate::Sum);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_k_greater_than_one() {
+        let data = random_points(400, 11, 0.0, 100.0);
+        let queries = random_points(90, 12, 10.0, 90.0);
+        check_against_oracle(&data, queries, 32, 7, Aggregate::Sum);
+    }
+
+    #[test]
+    fn single_group_degenerates_to_mbm() {
+        let data = random_points(300, 13, 0.0, 100.0);
+        let queries = random_points(40, 14, 30.0, 60.0);
+        check_against_oracle(&data, queries, 64, 3, Aggregate::Sum);
+    }
+
+    #[test]
+    fn overlapping_workspaces_with_duplicates() {
+        let data = random_points(250, 15, 0.0, 50.0);
+        let queries = random_points(100, 16, 0.0, 50.0);
+        check_against_oracle(&data, queries, 25, 4, Aggregate::Sum);
+    }
+
+    #[test]
+    fn max_and_min_aggregates() {
+        let data = random_points(200, 17, 0.0, 100.0);
+        let queries = random_points(60, 18, 20.0, 70.0);
+        check_against_oracle(&data, queries.clone(), 20, 3, Aggregate::Max);
+        check_against_oracle(&data, queries, 20, 3, Aggregate::Min);
+    }
+
+    #[test]
+    fn disjoint_workspaces() {
+        // Query entirely outside the data workspace (paper Figure 4.3b
+        // regime).
+        let data = random_points(200, 19, 0.0, 50.0);
+        let queries = random_points(70, 20, 100.0, 150.0);
+        check_against_oracle(&data, queries, 24, 2, Aggregate::Sum);
+    }
+
+    #[test]
+    fn charges_query_file_io_per_round() {
+        let data = random_points(500, 21, 0.0, 100.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let queries = random_points(128, 22, 40.0, 60.0);
+        let qf = GroupedQueryFile::build_with(queries, 16, 32); // 4 groups, 2 pages each
+        let fc = FileCursor::new(qf.file());
+        let r = Fmqm::new().k_gnn(&cursor, &qf, &fc, 1, Aggregate::Sum);
+        // At least one full cycle of group loads must have been charged.
+        assert!(
+            r.stats.query_file_pages >= qf.file().page_count() as u64,
+            "only {} query pages charged",
+            r.stats.query_file_pages
+        );
+        assert!(r.stats.items_pulled >= 1);
+    }
+
+    #[test]
+    fn empty_query_file() {
+        let data = random_points(50, 23, 0.0, 10.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let qf = GroupedQueryFile::build_with(vec![], 16, 32);
+        let fc = FileCursor::new(qf.file());
+        let r = Fmqm::new().k_gnn(&cursor, &qf, &fc, 3, Aggregate::Sum);
+        assert!(r.neighbors.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let data = random_points(15, 24, 0.0, 10.0);
+        let queries = random_points(40, 25, 0.0, 10.0);
+        check_against_oracle(&data, queries, 16, 30, Aggregate::Sum);
+    }
+
+    #[test]
+    fn clustered_query_blocks() {
+        // Hilbert grouping should produce spatially tight groups out of two
+        // clusters; results must still be exact.
+        let mut queries = random_points(50, 26, 0.0, 10.0);
+        queries.extend(random_points(50, 27, 90.0, 100.0));
+        let data = random_points(300, 28, 0.0, 100.0);
+        check_against_oracle(&data, queries, 25, 3, Aggregate::Sum);
+    }
+}

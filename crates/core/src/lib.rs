@@ -1,0 +1,129 @@
+//! # gnn-core — Group Nearest Neighbor query processing
+//!
+//! A faithful reproduction of
+//!
+//! > D. Papadias, Q. Shen, Y. Tao, K. Mouratidis.
+//! > *Group Nearest Neighbor Queries.* ICDE 2004, pp. 301–312.
+//!
+//! Given a dataset `P` indexed by an R\*-tree and a query group
+//! `Q = {q1..qn}`, a GNN query returns the `k` points of `P` minimising the
+//! aggregate distance `dist(p, Q) = Σ_i |p q_i|`.
+//!
+//! ## Algorithms
+//!
+//! Memory-resident `Q` (paper §3), all implementing
+//! [`MemoryGnnAlgorithm`]:
+//!
+//! | algorithm | idea | paper |
+//! |-----------|------|-------|
+//! | [`Mqm`] | threshold algorithm over per-query-point incremental NN streams | §3.1 |
+//! | [`Spm`] | single traversal anchored at the group centroid; Lemma 1 pruning | §3.2 |
+//! | [`Mbm`] | single traversal pruned by the query MBR (heuristics 2 + 3) | §3.3 |
+//!
+//! Disk-resident `Q` (paper §4):
+//!
+//! | algorithm | requirement on `Q` | paper |
+//! |-----------|--------------------|-------|
+//! | [`Gcp`] | R-tree on `Q` (incremental closest pairs + heuristic 4) | §4.1 |
+//! | [`Fmqm`] | Hilbert-sorted flat file in memory-sized groups | §4.2 |
+//! | [`Fmbm`] | same file; groups pruned by heuristics 5 + 6 | §4.3 |
+//!
+//! ## Symbol glossary (paper Table 3.1)
+//!
+//! | symbol | meaning | here |
+//! |--------|---------|------|
+//! | `Q` | set of query points | [`QueryGroup`] |
+//! | `Q_i` | a group of queries that fits in memory | `gnn_qfile::GroupSpec` |
+//! | `n`, `n_i` | number of queries in `Q` (`Q_i`) | `QueryGroup::len`, `GroupSpec::count` |
+//! | `M`, `M_i` | MBR of `Q` (`Q_i`) | `QueryGroup::mbr`, `GroupSpec::mbr` |
+//! | `q` | centroid of `Q` | [`centroid`] module |
+//! | `dist(p, Q)` | aggregate distance of `p` to `Q` | `QueryGroup::dist` |
+//! | `mindist(N, q)` | min distance between node MBR and centroid | `Rect::mindist_point` |
+//! | `mindist(p, M)` | min distance between point and query MBR | `Rect::mindist_point` |
+//! | `Σ n_i · mindist(N, M_i)` | weighted mindist over query groups | [`Fmbm`] internals |
+//!
+//! ## Beyond the paper
+//!
+//! * MAX / MIN aggregates (the conclusion's "future work"; MQM, MBM, F-MQM
+//!   and F-MBM support them — see [`Aggregate`]),
+//! * weighted SUM queries (all three memory algorithms),
+//! * exact baselines ([`baseline`]) used as test oracles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+pub mod assignment;
+pub mod baseline;
+mod best_list;
+pub mod centroid;
+mod engine;
+mod fmbm;
+mod fmqm;
+mod gcp;
+mod mbm;
+mod mqm;
+mod query;
+mod result;
+mod spm;
+
+pub use aggregate::Aggregate;
+pub use best_list::KBestList;
+pub use engine::{Choice, Planner};
+pub use fmbm::Fmbm;
+pub use fmqm::Fmqm;
+pub use gcp::{Gcp, GCP_DEFAULT_HEAP_LIMIT};
+pub use mbm::{Mbm, MbmStream};
+pub use mqm::Mqm;
+pub use query::{QueryGroup, QueryGroupError};
+pub use result::{GnnResult, Neighbor, QueryStats};
+pub use spm::{CentroidMethod, Spm};
+
+use gnn_qfile::{FileCursor, GroupedQueryFile};
+use gnn_rtree::TreeCursor;
+
+/// R-tree traversal order for the algorithms that support both.
+///
+/// The paper's experiments use best-first everywhere ("All implementations
+/// are based on the best-first traversal", §5); depth-first variants are
+/// provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Traversal {
+    /// Best-first \[HS99\]: I/O-optimal, needs a priority queue.
+    #[default]
+    BestFirst,
+    /// Depth-first \[RKV95\]: bounded memory, possibly more node accesses.
+    DepthFirst,
+}
+
+/// A GNN algorithm for memory-resident query groups (paper §3).
+pub trait MemoryGnnAlgorithm {
+    /// Display name ("MQM", "SPM", "MBM").
+    fn name(&self) -> &'static str;
+
+    /// Whether the algorithm supports this aggregate / weighting
+    /// combination. Calling [`MemoryGnnAlgorithm::k_gnn`] with an
+    /// unsupported combination panics.
+    fn supports(&self, aggregate: Aggregate, weighted: bool) -> bool;
+
+    /// Retrieves the `k` group nearest neighbors of `group`.
+    fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult;
+}
+
+/// A GNN algorithm for disk-resident, non-indexed query files (paper
+/// §4.2–4.3).
+pub trait FileGnnAlgorithm {
+    /// Display name ("F-MQM", "F-MBM").
+    fn name(&self) -> &'static str;
+
+    /// Retrieves the `k` group nearest neighbors of the (Hilbert-sorted,
+    /// grouped) query file.
+    fn k_gnn(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+    ) -> GnnResult;
+}

@@ -1,0 +1,551 @@
+//! MBM — the minimum bounding method (paper §3.3, Figures 3.5–3.7).
+//!
+//! MBM traverses the data R-tree once, pruning with the MBR `M` of the
+//! query group:
+//!
+//! * *Heuristic 2* (cheap, one rectangle distance): prune `N` when
+//!   `mindist(N, M) ≥ best_dist / n` — generalised here to
+//!   `W·mindist(N,M) ≥ best_dist` (SUM) and `mindist(N,M) ≥ best_dist`
+//!   (MAX/MIN) via [`QueryGroup::cheap_bound_rect`].
+//! * *Heuristic 3* (tight, `n` distances): prune `N` when
+//!   `Σ_i mindist(N, q_i) ≥ best_dist` (aggregate-generalised via
+//!   [`QueryGroup::tight_bound_rect`]). Applied only to nodes that pass
+//!   heuristic 2, exactly as the paper recommends (footnote 3: H2 exists to
+//!   save CPU, H3 to save I/O).
+//! * At the leaf level, `mindist(p, M)` filters points before their exact
+//!   aggregate distance is computed.
+//!
+//! The best-first variant is exposed as an *incremental* [`MbmStream`]
+//! yielding group neighbors in ascending `dist(p, Q)` — the building block
+//! F-MQM needs (§4.2), and also how `k` can remain unknown in advance.
+
+use crate::best_list::KBestList;
+use crate::query::QueryGroup;
+use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::{Aggregate, MemoryGnnAlgorithm, Traversal};
+use gnn_geom::OrderedF64;
+use gnn_rtree::{LeafEntry, Node, PageId, TreeCursor};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The minimum bounding method.
+#[derive(Debug, Clone, Copy)]
+pub struct Mbm {
+    /// Best-first (paper's experimental default) or depth-first traversal.
+    pub traversal: Traversal,
+    /// Apply heuristic 2 (cheap MBR bound). Disabling it is an ablation: the
+    /// paper keeps it "because it reduces the CPU time requirements".
+    pub use_h2: bool,
+    /// Apply heuristic 3 (tight per-query-point bound). Disabling it leaves
+    /// H2 only — the configuration the paper found inferior even to SPM.
+    pub use_h3: bool,
+}
+
+impl Default for Mbm {
+    fn default() -> Self {
+        Mbm {
+            traversal: Traversal::BestFirst,
+            use_h2: true,
+            use_h3: true,
+        }
+    }
+}
+
+impl Mbm {
+    /// MBM with best-first traversal and both heuristics (paper default).
+    pub fn best_first() -> Self {
+        Mbm::default()
+    }
+
+    /// MBM with depth-first traversal (Figure 3.7's walkthrough).
+    pub fn depth_first() -> Self {
+        Mbm {
+            traversal: Traversal::DepthFirst,
+            ..Mbm::default()
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors.
+    pub fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        assert!(
+            self.use_h2 || self.use_h3,
+            "MBM needs at least one pruning heuristic enabled"
+        );
+        let t0 = Instant::now();
+        let before = cursor.stats();
+        let mut best = KBestList::new(k);
+        let mut dist_computations = 0u64;
+
+        match self.traversal {
+            Traversal::BestFirst => {
+                // The stream ascends, so its first k items are exactly the
+                // k-GNN; pulling a (k+1)-th would only waste node accesses.
+                let mut stream = MbmStream::with_heuristics(cursor, group, self.use_h3);
+                while best.len() < k {
+                    let Some(n) = stream.next() else { break };
+                    best.offer(n);
+                }
+                dist_computations += stream.dist_computations();
+            }
+            Traversal::DepthFirst => {
+                if !cursor.tree().is_empty() {
+                    self.df_visit(cursor, cursor.root(), group, &mut best, &mut dist_computations);
+                }
+            }
+        }
+
+        GnnResult {
+            neighbors: best.into_sorted(),
+            stats: QueryStats {
+                data_tree: cursor.stats().since(before),
+                dist_computations,
+                elapsed: t0.elapsed(),
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    /// Opens the incremental best-first stream (always uses heuristic-3
+    /// bounds when this `Mbm` does).
+    pub fn stream<'t, 'c, 'g>(
+        &self,
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+    ) -> MbmStream<'t, 'c, 'g> {
+        MbmStream::with_heuristics(cursor, group, self.use_h3)
+    }
+
+    /// Figure 3.7's depth-first recursion.
+    fn df_visit(
+        &self,
+        cursor: &TreeCursor<'_>,
+        id: PageId,
+        group: &QueryGroup,
+        best: &mut KBestList,
+        dist_computations: &mut u64,
+    ) {
+        match cursor.read(id) {
+            Node::Internal(bs) => {
+                // Children sorted by mindist to M (the cheap metric).
+                let mut order: Vec<(f64, &gnn_rtree::Branch)> = bs
+                    .iter()
+                    .map(|b| (b.mbr.mindist_rect(&group.mbr()), b))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (_, b) in order {
+                    if self.use_h2 && group.cheap_bound_rect(&b.mbr) >= best.bound() {
+                        break; // sorted by the same metric: the rest fail too
+                    }
+                    if self.use_h3 {
+                        *dist_computations += group.len() as u64;
+                        if group.tight_bound_rect(&b.mbr) >= best.bound() {
+                            continue;
+                        }
+                    }
+                    self.df_visit(cursor, b.child, group, best, dist_computations);
+                }
+            }
+            Node::Leaf(es) => {
+                let mut order: Vec<(f64, usize)> = es
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (group.mbr().mindist_point(e.point), i))
+                    .collect();
+                *dist_computations += es.len() as u64;
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (_, i) in order {
+                    let e = es[i];
+                    if group.cheap_bound_point(e.point) >= best.bound() {
+                        break;
+                    }
+                    let dist = group.dist(e.point);
+                    *dist_computations += group.len() as u64;
+                    best.offer(Neighbor {
+                        id: e.id,
+                        point: e.point,
+                        dist,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl MemoryGnnAlgorithm for Mbm {
+    fn name(&self) -> &'static str {
+        "MBM"
+    }
+
+    fn supports(&self, _aggregate: Aggregate, _weighted: bool) -> bool {
+        true
+    }
+
+    fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        Mbm::k_gnn(self, cursor, group, k)
+    }
+}
+
+/// Heap element of the incremental stream. Every key is a lower bound on the
+/// aggregate distance of whatever the element may still produce, so popping
+/// in key order yields neighbors in exact ascending order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StreamItem {
+    key: OrderedF64,
+    /// Exact points (2) pop before approximations (1) and nodes (0) on ties,
+    /// surfacing results as early as possible.
+    kind: StreamKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StreamKind {
+    Node(PageId),
+    /// A data point keyed by its cheap bound; its exact distance is computed
+    /// lazily if and when it reaches the top (the paper's `mindist(p, M)`
+    /// filter: points pruned before that never pay the `n`-distance
+    /// computation).
+    PointApprox(LeafEntry),
+    /// A data point keyed by its exact aggregate distance.
+    PointExact(LeafEntry),
+}
+
+impl Eq for StreamItem {}
+impl PartialOrd for StreamItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for StreamItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(k: &StreamKind) -> (u8, u64) {
+            match k {
+                StreamKind::PointExact(e) => (0, e.id.0),
+                StreamKind::PointApprox(e) => (1, e.id.0),
+                StreamKind::Node(p) => (2, u64::from(p.raw())),
+            }
+        }
+        self.key
+            .cmp(&other.key)
+            .then_with(|| rank(&self.kind).cmp(&rank(&other.kind)))
+    }
+}
+
+/// Incremental best-first MBM: yields group nearest neighbors in ascending
+/// aggregate distance, reading R-tree nodes lazily.
+pub struct MbmStream<'t, 'c, 'g> {
+    cursor: &'c TreeCursor<'t>,
+    group: &'g QueryGroup,
+    heap: BinaryHeap<Reverse<StreamItem>>,
+    use_tight: bool,
+    dist_computations: u64,
+}
+
+impl<'t, 'c, 'g> MbmStream<'t, 'c, 'g> {
+    /// Opens a stream with heuristic-3 (tight) node bounds.
+    pub fn new(cursor: &'c TreeCursor<'t>, group: &'g QueryGroup) -> Self {
+        Self::with_heuristics(cursor, group, true)
+    }
+
+    /// Opens a stream choosing between tight (H3) and cheap (H2-only) node
+    /// bounds.
+    pub fn with_heuristics(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+        use_tight: bool,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        if !cursor.tree().is_empty() {
+            heap.push(Reverse(StreamItem {
+                key: OrderedF64(0.0), // root must always be expanded
+                kind: StreamKind::Node(cursor.root()),
+            }));
+        }
+        MbmStream {
+            cursor,
+            group,
+            heap,
+            use_tight,
+            dist_computations: 0,
+        }
+    }
+
+    /// Point-distance evaluations performed so far (CPU proxy).
+    pub fn dist_computations(&self) -> u64 {
+        self.dist_computations
+    }
+
+    /// Lower bound on the aggregate distance of every not-yet-yielded data
+    /// point (`None` when the stream is exhausted).
+    pub fn peek_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(i)| i.key.get())
+    }
+
+    fn node_bound(&mut self, mbr: &gnn_geom::Rect) -> f64 {
+        let cheap = self.group.cheap_bound_rect(mbr);
+        self.dist_computations += 1;
+        if self.use_tight {
+            self.dist_computations += self.group.len() as u64;
+            cheap.max(self.group.tight_bound_rect(mbr))
+        } else {
+            cheap
+        }
+    }
+}
+
+impl Iterator for MbmStream<'_, '_, '_> {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            match item.kind {
+                StreamKind::PointExact(e) => {
+                    return Some(Neighbor {
+                        id: e.id,
+                        point: e.point,
+                        dist: item.key.get(),
+                    });
+                }
+                StreamKind::PointApprox(e) => {
+                    let dist = self.group.dist(e.point);
+                    self.dist_computations += self.group.len() as u64;
+                    self.heap.push(Reverse(StreamItem {
+                        key: OrderedF64(dist),
+                        kind: StreamKind::PointExact(e),
+                    }));
+                }
+                StreamKind::Node(id) => match self.cursor.read(id) {
+                    Node::Leaf(es) => {
+                        for &e in es {
+                            let key = self.group.cheap_bound_point(e.point);
+                            self.dist_computations += 1;
+                            self.heap.push(Reverse(StreamItem {
+                                key: OrderedF64(key),
+                                kind: StreamKind::PointApprox(e),
+                            }));
+                        }
+                    }
+                    Node::Internal(bs) => {
+                        for b in bs {
+                            let key = self.node_bound(&b.mbr);
+                            self.heap.push(Reverse(StreamItem {
+                                key: OrderedF64(key),
+                                kind: StreamKind::Node(b.child),
+                            }));
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::linear_scan_entries;
+    use gnn_geom::{Point, PointId};
+    use gnn_rtree::{RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tree(n: usize, seed: u64) -> RTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            (0..n).map(|i| {
+                LeafEntry::new(
+                    PointId(i as u64),
+                    Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                )
+            }),
+        )
+    }
+
+    fn random_group(n: usize, seed: u64, agg: Aggregate) -> QueryGroup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QueryGroup::with_aggregate(
+            (0..n)
+                .map(|_| Point::new(10.0 + rng.gen::<f64>() * 40.0, 10.0 + rng.gen::<f64>() * 40.0))
+                .collect(),
+            agg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_variants_match_oracle() {
+        let tree = random_tree(700, 1);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let variants = [
+            Mbm::best_first(),
+            Mbm::depth_first(),
+            Mbm {
+                traversal: Traversal::BestFirst,
+                use_h2: true,
+                use_h3: false,
+            },
+            Mbm {
+                traversal: Traversal::DepthFirst,
+                use_h2: true,
+                use_h3: false,
+            },
+            Mbm {
+                traversal: Traversal::DepthFirst,
+                use_h2: false,
+                use_h3: true,
+            },
+        ];
+        for seed in 0..6 {
+            for &k in &[1usize, 8] {
+                let group = random_group(6, seed, Aggregate::Sum);
+                let want = linear_scan_entries(tree.iter(), &group, k);
+                for mbm in variants {
+                    let got = mbm.k_gnn(&cursor, &group, k);
+                    assert_eq!(
+                        got.distances(),
+                        want.distances(),
+                        "{mbm:?} seed={seed} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_and_min_aggregates_match_oracle() {
+        let tree = random_tree(500, 2);
+        let cursor = TreeCursor::unbuffered(&tree);
+        for agg in [Aggregate::Max, Aggregate::Min] {
+            for seed in 0..5 {
+                let group = random_group(5, 50 + seed, agg);
+                let want = linear_scan_entries(tree.iter(), &group, 4);
+                for mbm in [Mbm::best_first(), Mbm::depth_first()] {
+                    let got = mbm.k_gnn(&cursor, &group, 4);
+                    for (a, b) in got.distances().iter().zip(want.distances()) {
+                        assert!((a - b).abs() < 1e-9, "{agg} seed={seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_yields_ascending_and_complete() {
+        let tree = random_tree(300, 3);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = random_group(4, 9, Aggregate::Sum);
+        let stream = MbmStream::new(&cursor, &group);
+        let all: Vec<Neighbor> = stream.collect();
+        assert_eq!(all.len(), 300);
+        for w in all.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // Spot-check exactness of distances.
+        for n in all.iter().step_by(37) {
+            assert!((n.dist - group.dist(n.point)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_prefix_equals_k_gnn() {
+        let tree = random_tree(400, 4);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = random_group(8, 10, Aggregate::Sum);
+        let by_stream: Vec<f64> = MbmStream::new(&cursor, &group)
+            .take(6)
+            .map(|n| n.dist)
+            .collect();
+        let by_query = Mbm::best_first().k_gnn(&cursor, &group, 6);
+        assert_eq!(by_stream, by_query.distances());
+    }
+
+    #[test]
+    fn peek_bound_is_valid() {
+        let tree = random_tree(200, 5);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = random_group(3, 11, Aggregate::Sum);
+        let mut stream = MbmStream::new(&cursor, &group);
+        while let Some(bound) = stream.peek_bound() {
+            let Some(n) = stream.next() else { break };
+            assert!(n.dist >= bound - 1e-9, "yielded {} below bound {bound}", n.dist);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_oracle() {
+        let tree = random_tree(300, 6);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut rng = StdRng::seed_from_u64(13);
+        let pts: Vec<Point> = (0..5)
+            .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+            .collect();
+        let w: Vec<f64> = (0..5).map(|_| 0.1 + rng.gen::<f64>() * 2.0).collect();
+        let group = QueryGroup::weighted_sum(pts, w).unwrap();
+        let want = linear_scan_entries(tree.iter(), &group, 3);
+        let got = Mbm::best_first().k_gnn(&cursor, &group, 3);
+        for (a, b) in got.distances().iter().zip(want.distances()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn h3_heuristic_saves_node_accesses() {
+        // On clustered queries, H2+H3 must access no more nodes than H2
+        // alone (the paper's footnote-3 ablation).
+        let tree = random_tree(5000, 7);
+        let group = random_group(16, 14, Aggregate::Sum);
+        let c_full = TreeCursor::unbuffered(&tree);
+        Mbm::best_first().k_gnn(&c_full, &group, 8);
+        let c_h2 = TreeCursor::unbuffered(&tree);
+        Mbm {
+            traversal: Traversal::BestFirst,
+            use_h2: true,
+            use_h3: false,
+        }
+        .k_gnn(&c_h2, &group, 8);
+        assert!(
+            c_full.stats().logical <= c_h2.stats().logical,
+            "H3 {} vs H2-only {}",
+            c_full.stats().logical,
+            c_h2.stats().logical
+        );
+    }
+
+    #[test]
+    fn figure_3_5_heuristic_2() {
+        // n=2, best_dist=5: node N1 with mindist(N1,M)=3 is pruned since
+        // 2*3 >= 5; node N2 with mindist(N2,M)=2 passes H2 but its tight
+        // bound 6 >= 5 prunes it (heuristic 3).
+        let group = QueryGroup::sum(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)]).unwrap();
+        let n1 = gnn_geom::Rect::from_corners(0.0, 3.0, 4.0, 4.0); // 3 above M
+        assert_eq!(n1.mindist_rect(&group.mbr()), 3.0);
+        assert!(group.cheap_bound_rect(&n1) >= 5.0);
+        let n2 = gnn_geom::Rect::from_corners(-3.0, 2.0, -2.0, 3.0);
+        assert!(group.cheap_bound_rect(&n2) < 6.0);
+        assert!(group.tight_bound_rect(&n2) > 5.0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::new(RTreeParams::default());
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = QueryGroup::sum(vec![Point::new(0.0, 0.0)]).unwrap();
+        assert!(Mbm::best_first().k_gnn(&cursor, &group, 1).neighbors.is_empty());
+        assert!(MbmStream::new(&cursor, &group).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pruning heuristic")]
+    fn rejects_no_heuristics() {
+        let tree = random_tree(10, 8);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = QueryGroup::sum(vec![Point::new(0.0, 0.0)]).unwrap();
+        Mbm {
+            traversal: Traversal::BestFirst,
+            use_h2: false,
+            use_h3: false,
+        }
+        .k_gnn(&cursor, &group, 1);
+    }
+}

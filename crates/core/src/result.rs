@@ -1,0 +1,122 @@
+//! Result and statistics types shared by every GNN algorithm.
+
+use gnn_geom::{Point, PointId};
+use gnn_rtree::AccessStats;
+use std::time::Duration;
+
+/// One group nearest neighbor: a data point and its aggregate distance to
+/// the query group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the data point in `P`.
+    pub id: PointId,
+    /// Its coordinates.
+    pub point: Point,
+    /// `dist(p, Q)` under the query group's aggregate.
+    pub dist: f64,
+}
+
+/// Cost counters of one GNN query — the quantities reported in the paper's
+/// evaluation (§5) plus internals useful for ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Accesses to the R-tree of the data set `P`.
+    pub data_tree: AccessStats,
+    /// Accesses to the R-tree of `Q` (GCP only).
+    pub query_tree: AccessStats,
+    /// Page reads from the disk-resident query file (F-MQM / F-MBM only).
+    pub query_file_pages: u64,
+    /// Point-to-point / point-to-rectangle distance evaluations (CPU proxy).
+    pub dist_computations: u64,
+    /// Individual nearest neighbors pulled from NN streams (MQM, F-MQM) or
+    /// closest pairs consumed (GCP).
+    pub items_pulled: u64,
+    /// Peak size of the closest-pair priority queue (GCP only).
+    pub heap_watermark: usize,
+    /// True when GCP hit its heap limit and gave up (the paper's "does not
+    /// terminate" regime). The reported neighbors are then best-effort, not
+    /// exact.
+    pub aborted: bool,
+    /// Wall-clock time of the algorithm body (the paper's "CPU cost").
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    /// Total simulated I/O: node accesses on both trees after the buffer
+    /// pool, plus query-file page reads. The paper's "number of node
+    /// accesses" for the disk-resident experiments.
+    pub fn total_io(&self) -> u64 {
+        self.data_tree.io + self.query_tree.io + self.query_file_pages
+    }
+}
+
+/// The outcome of a GNN query: up to `k` neighbors in ascending aggregate
+/// distance, and the cost counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GnnResult {
+    /// Neighbors sorted by ascending `dist` (ties broken by id).
+    pub neighbors: Vec<Neighbor>,
+    /// Cost counters.
+    pub stats: QueryStats,
+}
+
+impl GnnResult {
+    /// The single best neighbor, if any.
+    pub fn best(&self) -> Option<&Neighbor> {
+        self.neighbors.first()
+    }
+
+    /// Distances only — convenient for comparing algorithms, whose tie
+    ///-breaking on equal distances may legitimately differ.
+    pub fn distances(&self) -> Vec<f64> {
+        self.neighbors.iter().map(|n| n.dist).collect()
+    }
+}
+
+impl Default for Neighbor {
+    fn default() -> Self {
+        Neighbor {
+            id: PointId(0),
+            point: Point::ORIGIN,
+            dist: f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_io_sums_components() {
+        let stats = QueryStats {
+            data_tree: AccessStats { logical: 10, io: 7 },
+            query_tree: AccessStats { logical: 4, io: 3 },
+            query_file_pages: 5,
+            ..QueryStats::default()
+        };
+        assert_eq!(stats.total_io(), 15);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = GnnResult {
+            neighbors: vec![
+                Neighbor {
+                    id: PointId(1),
+                    point: Point::new(1.0, 1.0),
+                    dist: 2.0,
+                },
+                Neighbor {
+                    id: PointId(2),
+                    point: Point::new(2.0, 2.0),
+                    dist: 3.0,
+                },
+            ],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.best().unwrap().id, PointId(1));
+        assert_eq!(r.distances(), vec![2.0, 3.0]);
+        assert!(GnnResult::default().best().is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! SPM — the single point method (paper §3.2, Figure 3.4).
+//!
+//! SPM answers the GNN query with a *single* traversal anchored at the
+//! (approximate) centroid `q` of `Q`. Lemma 1 — `dist(p,Q) ≥ W·|pq| −
+//! dist(q,Q)` for **any** anchor `q`, by the triangle inequality — turns the
+//! plain point-NN order around `q` into a valid GNN pruning order:
+//!
+//! * *Heuristic 1*: a node `N` can be pruned when
+//!   `mindist(N,q) ≥ (best_dist + dist(q,Q)) / W`.
+//!
+//! The lemma sums triangle inequalities, so SPM is inherently a
+//! SUM-aggregate algorithm (weighted sums work: each inequality is scaled by
+//! `w_i` before summing). MAX/MIN queries are rejected.
+
+use crate::best_list::KBestList;
+use crate::centroid::{
+    arithmetic_mean, gradient_descent_centroid, weiszfeld_centroid, CentroidOptions,
+};
+use crate::query::QueryGroup;
+use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::{Aggregate, MemoryGnnAlgorithm, Traversal};
+use gnn_geom::Point;
+use gnn_rtree::{NearestNeighbors, Node, PageId, TreeCursor};
+use std::time::Instant;
+
+/// How SPM computes its anchor point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CentroidMethod {
+    /// Gradient descent on `dist(q,Q)` (the paper's choice).
+    #[default]
+    GradientDescent,
+    /// Weiszfeld's fixed-point iteration (usually a sharper optimum).
+    Weiszfeld,
+    /// The arithmetic mean — a deliberately crude anchor for ablations.
+    Mean,
+}
+
+/// The single point method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spm {
+    /// Best-first (paper's experimental default) or depth-first traversal.
+    pub traversal: Traversal,
+    /// Anchor point solver.
+    pub centroid: CentroidMethod,
+}
+
+impl Spm {
+    /// SPM with best-first traversal and the paper's gradient-descent
+    /// centroid.
+    pub fn best_first() -> Self {
+        Spm {
+            traversal: Traversal::BestFirst,
+            ..Spm::default()
+        }
+    }
+
+    /// SPM with depth-first traversal (Figure 3.4 as printed).
+    pub fn depth_first() -> Self {
+        Spm {
+            traversal: Traversal::DepthFirst,
+            ..Spm::default()
+        }
+    }
+
+    fn anchor(&self, group: &QueryGroup) -> Point {
+        let weights: Option<Vec<f64>> = group
+            .is_weighted()
+            .then(|| (0..group.len()).map(|i| group.weight(i)).collect());
+        let opts = CentroidOptions::default();
+        match self.centroid {
+            CentroidMethod::GradientDescent => {
+                gradient_descent_centroid(group.points(), weights.as_deref(), opts)
+            }
+            CentroidMethod::Weiszfeld => {
+                weiszfeld_centroid(group.points(), weights.as_deref(), opts)
+            }
+            CentroidMethod::Mean => arithmetic_mean(group.points(), weights.as_deref()),
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for MAX/MIN aggregates (Lemma 1 does not apply); check
+    /// [`MemoryGnnAlgorithm::supports`] first.
+    pub fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        assert_eq!(
+            group.aggregate(),
+            Aggregate::Sum,
+            "SPM supports only the SUM aggregate (Lemma 1 is a sum of triangle inequalities)"
+        );
+        let t0 = Instant::now();
+        let before = cursor.stats();
+        let q = self.anchor(group);
+        let dq = group.dist(q); // dist(q, Q)
+        let w = group.total_weight();
+        let mut dist_computations = group.len() as u64;
+        let mut best = KBestList::new(k);
+
+        match self.traversal {
+            Traversal::BestFirst => {
+                // Incremental NN around the anchor; Lemma 1 converts the
+                // ascending |pq| order into a stopping rule.
+                let mut nn = NearestNeighbors::new(cursor, q);
+                for pn in nn.by_ref() {
+                    if w * pn.dist - dq >= best.bound() {
+                        break;
+                    }
+                    let dist = group.dist(pn.entry.point);
+                    dist_computations += group.len() as u64;
+                    best.offer(Neighbor {
+                        id: pn.entry.id,
+                        point: pn.entry.point,
+                        dist,
+                    });
+                }
+            }
+            Traversal::DepthFirst => {
+                if !cursor.tree().is_empty() {
+                    self.df_visit(
+                        cursor,
+                        cursor.root(),
+                        q,
+                        dq,
+                        w,
+                        group,
+                        &mut best,
+                        &mut dist_computations,
+                    );
+                }
+            }
+        }
+
+        GnnResult {
+            neighbors: best.into_sorted(),
+            stats: QueryStats {
+                data_tree: cursor.stats().since(before),
+                dist_computations,
+                elapsed: t0.elapsed(),
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    /// Figure 3.4: recurse into children in ascending `mindist(N, q)`,
+    /// stopping at the first child failing heuristic 1 (the rest, being
+    /// sorted, fail too).
+    #[allow(clippy::too_many_arguments)]
+    fn df_visit(
+        &self,
+        cursor: &TreeCursor<'_>,
+        id: PageId,
+        q: Point,
+        dq: f64,
+        w: f64,
+        group: &QueryGroup,
+        best: &mut KBestList,
+        dist_computations: &mut u64,
+    ) {
+        match cursor.read(id) {
+            Node::Internal(bs) => {
+                let mut order: Vec<(f64, PageId)> = bs
+                    .iter()
+                    .map(|b| (b.mbr.mindist_point(q), b.child))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (mindist, child) in order {
+                    // Heuristic 1.
+                    if mindist >= (best.bound() + dq) / w {
+                        break;
+                    }
+                    self.df_visit(cursor, child, q, dq, w, group, best, dist_computations);
+                }
+            }
+            Node::Leaf(es) => {
+                let mut order: Vec<(f64, usize)> = es
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (e.point.dist(q), i))
+                    .collect();
+                *dist_computations += es.len() as u64;
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (pq, i) in order {
+                    // Heuristic 1 at the point level.
+                    if pq >= (best.bound() + dq) / w {
+                        break;
+                    }
+                    let e = es[i];
+                    let dist = group.dist(e.point);
+                    *dist_computations += group.len() as u64;
+                    best.offer(Neighbor {
+                        id: e.id,
+                        point: e.point,
+                        dist,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl MemoryGnnAlgorithm for Spm {
+    fn name(&self) -> &'static str {
+        "SPM"
+    }
+
+    fn supports(&self, aggregate: Aggregate, _weighted: bool) -> bool {
+        aggregate == Aggregate::Sum
+    }
+
+    fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        Spm::k_gnn(self, cursor, group, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::linear_scan_entries;
+    use gnn_geom::PointId;
+    use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tree(n: usize, seed: u64) -> RTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            (0..n).map(|i| {
+                LeafEntry::new(
+                    PointId(i as u64),
+                    Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                )
+            }),
+        )
+    }
+
+    fn random_group(n: usize, seed: u64) -> QueryGroup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QueryGroup::sum(
+            (0..n)
+                .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn both_traversals_match_oracle() {
+        let tree = random_tree(600, 1);
+        let cursor = TreeCursor::unbuffered(&tree);
+        for seed in 0..8 {
+            for &k in &[1usize, 5] {
+                let group = random_group(7, seed);
+                let want = linear_scan_entries(tree.iter(), &group, k);
+                for spm in [Spm::best_first(), Spm::depth_first()] {
+                    let got = spm.k_gnn(&cursor, &group, k);
+                    assert_eq!(
+                        got.distances(),
+                        want.distances(),
+                        "{:?} seed={seed} k={k}",
+                        spm.traversal
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_centroid_method_is_exact() {
+        // Lemma 1 holds for any anchor: even the crude mean must yield exact
+        // results (just with more node accesses).
+        let tree = random_tree(500, 2);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = random_group(12, 3);
+        let want = linear_scan_entries(tree.iter(), &group, 3);
+        for method in [
+            CentroidMethod::GradientDescent,
+            CentroidMethod::Weiszfeld,
+            CentroidMethod::Mean,
+        ] {
+            let spm = Spm {
+                traversal: Traversal::BestFirst,
+                centroid: method,
+            };
+            let got = spm.k_gnn(&cursor, &group, 3);
+            assert_eq!(got.distances(), want.distances(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_group_is_exact() {
+        let tree = random_tree(400, 4);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Point> = (0..6)
+            .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+            .collect();
+        let w: Vec<f64> = (0..6).map(|_| 0.5 + rng.gen::<f64>() * 4.0).collect();
+        let group = QueryGroup::weighted_sum(pts, w).unwrap();
+        let want = linear_scan_entries(tree.iter(), &group, 2);
+        let got = Spm::best_first().k_gnn(&cursor, &group, 2);
+        for (a, b) in got.distances().iter().zip(want.distances()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SUM aggregate")]
+    fn rejects_max_aggregate() {
+        let tree = random_tree(10, 5);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group =
+            QueryGroup::with_aggregate(vec![Point::new(0.0, 0.0)], Aggregate::Max).unwrap();
+        Spm::best_first().k_gnn(&cursor, &group, 1);
+    }
+
+    #[test]
+    fn supports_reports_sum_only() {
+        let spm = Spm::best_first();
+        assert!(MemoryGnnAlgorithm::supports(&spm, Aggregate::Sum, true));
+        assert!(!MemoryGnnAlgorithm::supports(&spm, Aggregate::Max, false));
+        assert!(!MemoryGnnAlgorithm::supports(&spm, Aggregate::Min, false));
+    }
+
+    #[test]
+    fn prunes_far_regions() {
+        // Query clustered in a corner: SPM should access far fewer nodes
+        // than a full scan.
+        let tree = random_tree(5000, 6);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut rng = StdRng::seed_from_u64(12);
+        let group = QueryGroup::sum(
+            (0..8)
+                .map(|_| Point::new(rng.gen::<f64>() * 5.0, rng.gen::<f64>() * 5.0))
+                .collect(),
+        )
+        .unwrap();
+        let r = Spm::best_first().k_gnn(&cursor, &group, 1);
+        assert!(
+            (r.stats.data_tree.logical as usize) < tree.node_count() / 4,
+            "accessed {} of {} nodes",
+            r.stats.data_tree.logical,
+            tree.node_count()
+        );
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::new(RTreeParams::default());
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = QueryGroup::sum(vec![Point::new(0.0, 0.0)]).unwrap();
+        for spm in [Spm::best_first(), Spm::depth_first()] {
+            assert!(spm.k_gnn(&cursor, &group, 2).neighbors.is_empty());
+        }
+    }
+
+    #[test]
+    fn figure_3_3_pruning_example() {
+        // Paper example: best_dist = 9, dist(q,Q) = 3, n = 2 ⇒ prune bound
+        // (9+3)/2 = 6: any node with mindist(N,q) >= 6 is pruned. We verify
+        // via Lemma 1 directly: a point at distance 6 from q has
+        // dist(p,Q) >= 2*6-3 = 9 >= best_dist.
+        let q = Point::new(0.0, 0.0);
+        let q1 = Point::new(-1.0, 0.0);
+        let q2 = Point::new(2.0, 0.0);
+        let group = QueryGroup::sum(vec![q1, q2]).unwrap();
+        let dq = group.dist(q);
+        assert_eq!(dq, 3.0);
+        let p = Point::new(6.0, 0.0);
+        assert!(group.dist(p) >= 2.0 * p.dist(q) - dq);
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain-text point file I/O (`x y` per line).
+//!
+//! Lets users swap the synthetic PP/TS substitutes for the real datasets if
+//! they have copies: `read_points("pp.txt")` then build the tree as usual.
+//! Lines starting with `#` and blank lines are ignored.
+
+use gnn_geom::Point;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads whitespace-separated `x y` pairs, one per line.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] (kind `InvalidData`) for malformed lines, plus
+/// any underlying file error.
+pub fn read_points(path: impl AsRef<Path>) -> io::Result<Vec<Point>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<f64> {
+            tok.ok_or_else(|| bad_line(lineno, trimmed))?
+                .parse::<f64>()
+                .map_err(|_| bad_line(lineno, trimmed))
+        };
+        let x = parse(it.next())?;
+        let y = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(bad_line(lineno, trimmed));
+        }
+        let p = Point::new(x, y);
+        if !p.is_finite() {
+            return Err(bad_line(lineno, trimmed));
+        }
+        points.push(p);
+    }
+    Ok(points)
+}
+
+/// Writes points as `x y` lines with full float round-trip precision.
+///
+/// # Errors
+///
+/// Returns any underlying file error.
+pub fn write_points(path: impl AsRef<Path>, points: &[Point]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in points {
+        writeln!(w, "{} {}", p.x, p.y)?;
+    }
+    w.flush()
+}
+
+fn bad_line(lineno: usize, content: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: expected 'x y', got {content:?}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gnn_datasets_io_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let pts = vec![
+            Point::new(1.5, -2.25),
+            Point::new(0.1, 0.2),
+            Point::new(1e-12, 1e12),
+        ];
+        write_points(&path, &pts).unwrap();
+        let back = read_points(&path).unwrap();
+        assert_eq!(back, pts);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# header\n\n1 2\n  \n# more\n3 4\n").unwrap();
+        let pts = read_points(&path).unwrap();
+        assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["1\n", "1 2 3\n", "a b\n", "1 nan\n"] {
+            let path = tmp("bad");
+            std::fs::write(&path, bad).unwrap();
+            let err = read_points(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {bad:?}");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_points("/nonexistent/definitely/missing.txt").is_err());
+    }
+}

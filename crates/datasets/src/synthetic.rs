@@ -1,0 +1,297 @@
+//! Seeded synthetic point generators.
+
+use gnn_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_normal;
+
+/// Cardinality of the paper's PP dataset (populated places, North America).
+pub const PP_CARDINALITY: usize = 24_493;
+
+/// Cardinality of the paper's TS dataset (stream MBR centroids, four US
+/// states).
+pub const TS_CARDINALITY: usize = 194_971;
+
+/// Minimal Box–Muller normal sampling so the crate needs no extra
+/// distribution dependency.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// `n` points uniform in `workspace`.
+pub fn uniform_points(n: usize, workspace: Rect, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                workspace.lo.x + rng.gen::<f64>() * workspace.width(),
+                workspace.lo.y + rng.gen::<f64>() * workspace.height(),
+            )
+        })
+        .collect()
+}
+
+/// Parameters of a Gaussian-mixture dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of cluster centers.
+    pub clusters: usize,
+    /// Standard deviation of each cluster, as a fraction of the workspace
+    /// diagonal.
+    pub sigma: f64,
+    /// Fraction of points drawn uniformly over the workspace instead of from
+    /// a cluster (background noise).
+    pub background: f64,
+}
+
+/// `n` points from a Gaussian mixture with uniformly placed centers and
+/// Zipf-skewed cluster weights. Samples falling outside the workspace are
+/// clamped onto its boundary (mass concentrates at map edges just like
+/// coastal settlements).
+pub fn gaussian_clusters(n: usize, workspace: Rect, spec: ClusterSpec, seed: u64) -> Vec<Point> {
+    assert!(spec.clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..spec.clusters)
+        .map(|_| {
+            Point::new(
+                workspace.lo.x + rng.gen::<f64>() * workspace.width(),
+                workspace.lo.y + rng.gen::<f64>() * workspace.height(),
+            )
+        })
+        .collect();
+    // Zipf-like weights: w_i ∝ 1 / (i + 1).
+    let weights: Vec<f64> = (0..spec.clusters).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let diag = (workspace.width().powi(2) + workspace.height().powi(2)).sqrt();
+    let sigma = spec.sigma * diag;
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < spec.background {
+                return Point::new(
+                    workspace.lo.x + rng.gen::<f64>() * workspace.width(),
+                    workspace.lo.y + rng.gen::<f64>() * workspace.height(),
+                );
+            }
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut ci = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    ci = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let c = centers[ci];
+            let x = c.x + sample_normal(&mut rng) * sigma;
+            let y = c.y + sample_normal(&mut rng) * sigma;
+            Point::new(
+                x.clamp(workspace.lo.x, workspace.hi.x),
+                y.clamp(workspace.lo.y, workspace.hi.y),
+            )
+        })
+        .collect()
+}
+
+/// Synthetic substitute for the PP dataset: 24 493 "populated places" over a
+/// unit workspace — a skewed Gaussian mixture of ~260 settlement clusters
+/// with 15 % dispersed background population.
+pub fn pp_synthetic(seed: u64) -> Vec<Point> {
+    gaussian_clusters(
+        PP_CARDINALITY,
+        unit_workspace(),
+        ClusterSpec {
+            clusters: 260,
+            sigma: 0.012,
+            background: 0.15,
+        },
+        seed,
+    )
+}
+
+/// Synthetic substitute for the TS dataset: 194 971 stream-segment centroids
+/// over a unit workspace — points scattered tightly along ~900 random-walk
+/// poly-lines ("streams"), giving the dense line-shaped clusters of real
+/// hydrography data.
+pub fn ts_synthetic(seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let streams = 900usize;
+    let mut points = Vec::with_capacity(TS_CARDINALITY);
+    // Per-stream share of points, skewed so large rivers carry more
+    // segments.
+    let weights: Vec<f64> = (0..streams).map(|i| 1.0 / (1.0 + i as f64 * 0.02)).collect();
+    let total_w: f64 = weights.iter().sum();
+    for w in &weights {
+        let share = ((w / total_w) * TS_CARDINALITY as f64).round() as usize;
+        let share = share.max(8);
+        // Random-walk polyline: start anywhere, drift in a persistent
+        // direction with meanders.
+        let mut x = rng.gen::<f64>();
+        let mut y = rng.gen::<f64>();
+        let mut heading = rng.gen::<f64>() * std::f64::consts::TAU;
+        let step = 0.9 / share as f64; // stream length ~0.9 across workspace
+        let jitter = step * 0.25;
+        for _ in 0..share {
+            if points.len() >= TS_CARDINALITY {
+                break;
+            }
+            heading += (rng.gen::<f64>() - 0.5) * 0.35; // meander
+            x += heading.cos() * step;
+            y += heading.sin() * step;
+            // Reflect at the borders so streams stay inside the workspace.
+            if !(0.0..=1.0).contains(&x) {
+                heading = std::f64::consts::PI - heading;
+                x = x.clamp(0.0, 1.0);
+            }
+            if !(0.0..=1.0).contains(&y) {
+                heading = -heading;
+                y = y.clamp(0.0, 1.0);
+            }
+            points.push(Point::new(
+                (x + sample_normal(&mut rng) * jitter).clamp(0.0, 1.0),
+                (y + sample_normal(&mut rng) * jitter).clamp(0.0, 1.0),
+            ));
+        }
+        if points.len() >= TS_CARDINALITY {
+            break;
+        }
+    }
+    // Top up (rounding may undershoot) with points on random existing
+    // streams' neighborhoods to preserve the clustered look.
+    while points.len() < TS_CARDINALITY {
+        let base = points[rng.gen_range(0..points.len())];
+        points.push(Point::new(
+            (base.x + sample_normal(&mut rng) * 0.002).clamp(0.0, 1.0),
+            (base.y + sample_normal(&mut rng) * 0.002).clamp(0.0, 1.0),
+        ));
+    }
+    points.truncate(TS_CARDINALITY);
+    points
+}
+
+fn unit_workspace() -> Rect {
+    Rect::from_corners(0.0, 0.0, 1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_workspace_and_count() {
+        let ws = Rect::from_corners(-5.0, 2.0, 5.0, 12.0);
+        let pts = uniform_points(1000, ws, 1);
+        assert_eq!(pts.len(), 1000);
+        assert!(pts.iter().all(|p| ws.contains_point(*p)));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(uniform_points(50, unit_workspace(), 9), uniform_points(50, unit_workspace(), 9));
+        let a = pp_synthetic(7);
+        let b = pp_synthetic(7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+        let c = pp_synthetic(8);
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn pp_has_paper_cardinality_and_fits_workspace() {
+        let pts = pp_synthetic(1);
+        assert_eq!(pts.len(), PP_CARDINALITY);
+        assert!(pts.iter().all(|p| unit_workspace().contains_point(*p)));
+    }
+
+    #[test]
+    fn ts_has_paper_cardinality_and_fits_workspace() {
+        let pts = ts_synthetic(1);
+        assert_eq!(pts.len(), TS_CARDINALITY);
+        assert!(pts.iter().all(|p| unit_workspace().contains_point(*p)));
+    }
+
+    #[test]
+    fn clustered_data_is_skewed_not_uniform() {
+        // Compare occupancy of a 10x10 grid: clustered data must leave many
+        // more cells (nearly) empty than uniform data does.
+        fn empty_cells(pts: &[Point]) -> usize {
+            let mut counts = [0usize; 100];
+            for p in pts {
+                let cx = (p.x * 10.0).min(9.0) as usize;
+                let cy = (p.y * 10.0).min(9.0) as usize;
+                counts[cy * 10 + cx] += 1;
+            }
+            let per_cell = pts.len() / 400; // quarter of the uniform average
+            counts.iter().filter(|&&c| c < per_cell).count()
+        }
+        let clustered = gaussian_clusters(
+            10_000,
+            unit_workspace(),
+            ClusterSpec {
+                clusters: 12,
+                sigma: 0.01,
+                background: 0.0,
+            },
+            3,
+        );
+        let uniform = uniform_points(10_000, unit_workspace(), 3);
+        assert!(
+            empty_cells(&clustered) > empty_cells(&uniform) + 20,
+            "clustered {} vs uniform {}",
+            empty_cells(&clustered),
+            empty_cells(&uniform)
+        );
+    }
+
+    #[test]
+    fn ts_is_line_clustered() {
+        // Stream points should have very small nearest-neighbor distances
+        // compared to uniform points of the same cardinality.
+        fn mean_nn_dist(pts: &[Point]) -> f64 {
+            let sample = &pts[..500];
+            let mut total = 0.0;
+            for (i, a) in sample.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, b) in pts.iter().enumerate().step_by(13) {
+                    if i != j {
+                        best = best.min(a.dist(*b));
+                    }
+                }
+                total += best;
+            }
+            total / sample.len() as f64
+        }
+        let ts = ts_synthetic(2);
+        let uni = uniform_points(TS_CARDINALITY, unit_workspace(), 2);
+        assert!(mean_nn_dist(&ts) < mean_nn_dist(&uni));
+    }
+
+    #[test]
+    fn background_fraction_spreads_points() {
+        let all_bg = gaussian_clusters(
+            5000,
+            unit_workspace(),
+            ClusterSpec {
+                clusters: 3,
+                sigma: 0.001,
+                background: 1.0,
+            },
+            4,
+        );
+        // With 100% background this is plain uniform: bounding box ~ full.
+        let bb = Rect::bounding(all_bg.iter().copied()).unwrap();
+        assert!(bb.area() > 0.9);
+    }
+}

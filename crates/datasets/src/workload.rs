@@ -1,0 +1,269 @@
+//! Query workloads and workspace transforms for the paper's experiments.
+
+use gnn_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one memory-resident query workload (§5.1): every query draws `n`
+/// points uniformly from its own random MBR covering `area_fraction` of the
+/// data workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Number of query points per query (the paper's `n`).
+    pub n: usize,
+    /// Query MBR area as a fraction of the workspace area (the paper's `M`,
+    /// e.g. `0.08` for 8 %).
+    pub area_fraction: f64,
+}
+
+/// Generates `count` queries per the paper's §5.1 recipe: for each query a
+/// square-proportioned MBR of the requested area fraction is placed uniformly
+/// at random inside `workspace`, and `n` points are drawn uniformly in it.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `area_fraction` is not in `(0, 1]`.
+pub fn query_workload(
+    workspace: Rect,
+    spec: QuerySpec,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<Point>> {
+    assert!(spec.n > 0, "queries need at least one point");
+    assert!(
+        spec.area_fraction > 0.0 && spec.area_fraction <= 1.0,
+        "area fraction must be in (0, 1], got {}",
+        spec.area_fraction
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = spec.area_fraction.sqrt();
+    let mbr_w = workspace.width() * side;
+    let mbr_h = workspace.height() * side;
+    (0..count)
+        .map(|_| {
+            let lo_x = workspace.lo.x + rng.gen::<f64>() * (workspace.width() - mbr_w);
+            let lo_y = workspace.lo.y + rng.gen::<f64>() * (workspace.height() - mbr_h);
+            (0..spec.n)
+                .map(|_| {
+                    Point::new(
+                        lo_x + rng.gen::<f64>() * mbr_w,
+                        lo_y + rng.gen::<f64>() * mbr_h,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Affinely rescales `points` from their own bounding box into `target`
+/// (used by §5.2: "the workspaces of P and Q have the same centroid, but the
+/// area M of the MBR of Q varies").
+///
+/// Degenerate source extents map to the center line of the target.
+pub fn scale_points_to_rect(points: &[Point], target: Rect) -> Vec<Point> {
+    let Some(src) = Rect::bounding(points.iter().copied()) else {
+        return Vec::new();
+    };
+    let sx = if src.width() > 0.0 {
+        target.width() / src.width()
+    } else {
+        0.0
+    };
+    let sy = if src.height() > 0.0 {
+        target.height() / src.height()
+    } else {
+        0.0
+    };
+    points
+        .iter()
+        .map(|p| {
+            let x = if sx > 0.0 {
+                target.lo.x + (p.x - src.lo.x) * sx
+            } else {
+                target.center().x
+            };
+            let y = if sy > 0.0 {
+                target.lo.y + (p.y - src.lo.y) * sy
+            } else {
+                target.center().y
+            };
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// The sub-rectangle sharing `workspace`'s center and covering
+/// `area_fraction` of its area (the §5.2 varying-M setup).
+pub fn centered_subrect(workspace: Rect, area_fraction: f64) -> Rect {
+    assert!(
+        area_fraction > 0.0 && area_fraction <= 1.0,
+        "area fraction must be in (0, 1], got {area_fraction}"
+    );
+    let side = area_fraction.sqrt();
+    let c = workspace.center();
+    let hw = workspace.width() * side * 0.5;
+    let hh = workspace.height() * side * 0.5;
+    Rect::from_corners(c.x - hw, c.y - hh, c.x + hw, c.y + hh)
+}
+
+/// A workspace-sized rectangle shifted diagonally so that it overlaps
+/// `workspace` on exactly `overlap_fraction` of the area (the §5.2
+/// overlap experiments: "starting from the 100 % case and shifting the query
+/// dataset on both axes").
+///
+/// `1.0` returns `workspace` itself; `0.0` returns the rectangle touching it
+/// at the upper-right corner.
+pub fn overlap_shifted_rect(workspace: Rect, overlap_fraction: f64) -> Rect {
+    assert!(
+        (0.0..=1.0).contains(&overlap_fraction),
+        "overlap fraction must be in [0, 1], got {overlap_fraction}"
+    );
+    // Shifting by `s` of the side on both axes leaves (1-s)^2 overlap.
+    let s = 1.0 - overlap_fraction.sqrt();
+    let dx = workspace.width() * s;
+    let dy = workspace.height() * s;
+    Rect::from_corners(
+        workspace.lo.x + dx,
+        workspace.lo.y + dy,
+        workspace.hi.x + dx,
+        workspace.hi.y + dy,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::from_corners(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn workload_shape() {
+        let ql = query_workload(
+            unit(),
+            QuerySpec {
+                n: 64,
+                area_fraction: 0.08,
+            },
+            100,
+            42,
+        );
+        assert_eq!(ql.len(), 100);
+        for q in &ql {
+            assert_eq!(q.len(), 64);
+            let mbr = Rect::bounding(q.iter().copied()).unwrap();
+            // Points were drawn in an MBR of 8% area: their own bounding box
+            // cannot exceed it.
+            assert!(mbr.area() <= 0.08 + 1e-9);
+            assert!(unit().contains_rect(&mbr));
+        }
+    }
+
+    #[test]
+    fn workload_mbrs_move_around() {
+        let ql = query_workload(
+            unit(),
+            QuerySpec {
+                n: 4,
+                area_fraction: 0.02,
+            },
+            50,
+            7,
+        );
+        let centers: Vec<Point> = ql
+            .iter()
+            .map(|q| Rect::bounding(q.iter().copied()).unwrap().center())
+            .collect();
+        let spread = Rect::bounding(centers.iter().copied()).unwrap();
+        assert!(spread.area() > 0.2, "query MBRs barely move: {spread}");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let spec = QuerySpec {
+            n: 8,
+            area_fraction: 0.1,
+        };
+        assert_eq!(query_workload(unit(), spec, 5, 3), query_workload(unit(), spec, 5, 3));
+    }
+
+    #[test]
+    fn full_area_workload_is_legal() {
+        let ql = query_workload(
+            unit(),
+            QuerySpec {
+                n: 16,
+                area_fraction: 1.0,
+            },
+            3,
+            1,
+        );
+        for q in &ql {
+            assert!(q.iter().all(|p| unit().contains_point(*p)));
+        }
+    }
+
+    #[test]
+    fn scaling_maps_into_target_exactly() {
+        let pts = vec![
+            Point::new(10.0, 10.0),
+            Point::new(20.0, 30.0),
+            Point::new(15.0, 20.0),
+        ];
+        let target = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        let scaled = scale_points_to_rect(&pts, target);
+        let bb = Rect::bounding(scaled.iter().copied()).unwrap();
+        assert_eq!(bb, target);
+        // Relative positions preserved: middle point stays in the middle.
+        assert!((scaled[2].x - 0.5).abs() < 1e-12);
+        assert!((scaled[2].y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_degenerate_source() {
+        let pts = vec![Point::new(5.0, 1.0), Point::new(5.0, 2.0)];
+        let target = Rect::from_corners(0.0, 0.0, 2.0, 2.0);
+        let scaled = scale_points_to_rect(&pts, target);
+        // x collapses to the target's vertical center line.
+        assert!(scaled.iter().all(|p| p.x == 1.0));
+        assert_eq!(scaled[0].y, 0.0);
+        assert_eq!(scaled[1].y, 2.0);
+        assert!(scale_points_to_rect(&[], target).is_empty());
+    }
+
+    #[test]
+    fn centered_subrect_area_and_center() {
+        let ws = Rect::from_corners(0.0, 0.0, 10.0, 10.0);
+        for f in [0.02, 0.08, 0.32, 1.0] {
+            let r = centered_subrect(ws, f);
+            assert!((r.area() - f * ws.area()).abs() < 1e-9);
+            assert_eq!(r.center(), ws.center());
+            assert!(ws.contains_rect(&r));
+        }
+    }
+
+    #[test]
+    fn overlap_shift_produces_requested_overlap() {
+        let ws = unit();
+        for o in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let shifted = overlap_shifted_rect(ws, o);
+            assert!((shifted.overlap_area(&ws) - o).abs() < 1e-9, "o={o}");
+            assert_eq!(shifted.area(), ws.area());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "area fraction")]
+    fn rejects_zero_area() {
+        query_workload(
+            unit(),
+            QuerySpec {
+                n: 1,
+                area_fraction: 0.0,
+            },
+            1,
+            0,
+        );
+    }
+}

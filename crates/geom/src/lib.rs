@@ -1,0 +1,27 @@
+//! # gnn-geom — geometry kernel for group nearest neighbor search
+//!
+//! Self-contained 2-D geometric primitives shared by every crate in the GNN
+//! workspace:
+//!
+//! * [`Point`] / [`PointId`] — Euclidean points and stable identifiers,
+//! * [`Rect`] — axis-aligned rectangles (MBRs) with the `mindist` /
+//!   `minmaxdist` metrics used by every R-tree pruning bound,
+//! * [`OrderedF64`] — a totally-ordered `f64` wrapper so distances can key
+//!   binary heaps,
+//! * [`hilbert`] — the 2-D Hilbert space-filling curve used to sort query
+//!   points for access locality (paper §3.1, §4.2, §4.3).
+//!
+//! All computations are `f64`; the crate has no dependencies and forbids
+//! `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hilbert;
+mod ordered;
+mod point;
+mod rect;
+
+pub use ordered::OrderedF64;
+pub use point::{Point, PointId};
+pub use rect::Rect;

@@ -1,0 +1,131 @@
+//! Points and point identifiers.
+
+use std::fmt;
+
+/// A stable identifier for a data point.
+///
+/// The R-tree stores `(PointId, Point)` pairs in its leaves; algorithms
+/// report results by id so that callers can map them back to application
+/// objects (restaurants, facilities, circuit components, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u64);
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A point in the 2-D Euclidean plane.
+///
+/// The paper works in 2-D ("following most approaches in the relevant
+/// literature"); all pruning bounds generalise to higher dimensions but the
+/// reproduction keeps the paper's setting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance `|self q|` to another point.
+    #[inline]
+    pub fn dist(&self, q: Point) -> f64 {
+        self.dist_sq(q).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` when only comparisons
+    /// are needed).
+    #[inline]
+    pub fn dist_sq(&self, q: Point) -> f64 {
+        let dx = self.x - q.x;
+        let dy = self.y - q.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise midpoint between `self` and `q`.
+    #[inline]
+    pub fn midpoint(&self, q: Point) -> Point {
+        Point::new((self.x + q.x) * 0.5, (self.y + q.y) * 0.5)
+    }
+
+    /// Returns `true` if both coordinates are finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<[f64; 2]> for Point {
+    fn from([x, y]: [f64; 2]) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(b.dist(a), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let p = Point::new(-2.5, 7.1);
+        assert_eq!(p.dist(p), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 2.0);
+        let b = Point::new(4.0, 0.0);
+        assert_eq!(a.midpoint(b), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Point::from((1.0, 2.0)), Point::new(1.0, 2.0));
+        assert_eq!(Point::from([1.0, 2.0]), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn point_id_display() {
+        assert_eq!(PointId(42).to_string(), "p42");
+    }
+}

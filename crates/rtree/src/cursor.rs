@@ -1,0 +1,374 @@
+//! Disk simulation: page-access accounting and an LRU buffer pool.
+//!
+//! The paper's primary cost metric is the number of *node accesses* (NA).
+//! Algorithms never touch [`crate::RTree`] pages directly; they read them
+//! through a [`TreeCursor`], which counts every logical access and — when a
+//! buffer pool is attached — every buffer miss (the simulated I/O). The
+//! paper notes that MQM "benefits from the existence of an LRU buffer"
+//! (§5.1); giving every algorithm the same buffered cursor keeps the
+//! comparison fair.
+
+use crate::node::{Node, PageId};
+use crate::tree::RTree;
+use gnn_geom::Rect;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Counters accumulated by a [`TreeCursor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Every page read requested by an algorithm.
+    pub logical: u64,
+    /// Page reads that missed the buffer pool (simulated disk I/O). Equal to
+    /// `logical` for unbuffered cursors.
+    pub io: u64,
+}
+
+impl AccessStats {
+    /// Component-wise sum of two counter sets.
+    pub fn merged(self, other: AccessStats) -> AccessStats {
+        AccessStats {
+            logical: self.logical + other.logical,
+            io: self.io + other.io,
+        }
+    }
+
+    /// Counters accumulated since an earlier snapshot of the same cursor
+    /// (`self` is the later snapshot).
+    pub fn since(self, earlier: AccessStats) -> AccessStats {
+        AccessStats {
+            logical: self.logical.saturating_sub(earlier.logical),
+            io: self.io.saturating_sub(earlier.io),
+        }
+    }
+}
+
+/// A fixed-capacity LRU set of page ids with O(1) touch/insert/evict,
+/// implemented as a hash map into an intrusive doubly-linked list kept in a
+/// slab.
+#[derive(Debug)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<u32, usize>,
+    slots: Vec<LruSlot>,
+    head: usize, // most recently used; usize::MAX when empty
+    tail: usize, // least recently used
+    free: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LruSlot {
+    page: u32,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (use an unbuffered cursor instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU buffer capacity must be positive");
+        LruBuffer {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Records an access to `page`. Returns `true` on a buffer hit; on a
+    /// miss the page is admitted, evicting the least-recently-used page if
+    /// the buffer is full.
+    pub fn access(&mut self, page: u32) -> bool {
+        if let Some(&slot) = self.map.get(&page) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return true;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            let evicted = self.slots[lru].page;
+            self.unlink(lru);
+            self.map.remove(&evicted);
+            self.free.push(lru);
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s].page = page;
+            s
+        } else {
+            self.slots.push(LruSlot {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.push_front(slot);
+        self.map.insert(page, slot);
+        false
+    }
+
+    /// Forgets every cached page (e.g. between workload queries when cold
+    /// caches are wanted).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let LruSlot { prev, next, .. } = self.slots[slot];
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+/// A read handle over an [`RTree`] that meters page accesses.
+///
+/// Cheap to create; hold one per experiment (or per algorithm run) and call
+/// [`TreeCursor::take_stats`] between queries.
+pub struct TreeCursor<'t> {
+    tree: &'t RTree,
+    state: RefCell<CursorState>,
+}
+
+#[derive(Debug)]
+struct CursorState {
+    stats: AccessStats,
+    buffer: Option<LruBuffer>,
+}
+
+impl<'t> TreeCursor<'t> {
+    /// A cursor where every logical access is an I/O (no buffer pool).
+    pub fn unbuffered(tree: &'t RTree) -> Self {
+        TreeCursor {
+            tree,
+            state: RefCell::new(CursorState {
+                stats: AccessStats::default(),
+                buffer: None,
+            }),
+        }
+    }
+
+    /// A cursor backed by an LRU buffer pool of `capacity` pages.
+    pub fn with_buffer(tree: &'t RTree, capacity: usize) -> Self {
+        TreeCursor {
+            tree,
+            state: RefCell::new(CursorState {
+                stats: AccessStats::default(),
+                buffer: Some(LruBuffer::new(capacity)),
+            }),
+        }
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &'t RTree {
+        self.tree
+    }
+
+    /// Reads a page, recording the access.
+    #[inline]
+    pub fn read(&self, id: PageId) -> &'t Node {
+        let mut state = self.state.borrow_mut();
+        state.stats.logical += 1;
+        let hit = match state.buffer.as_mut() {
+            Some(buf) => buf.access(id.raw()),
+            None => false,
+        };
+        if !hit {
+            state.stats.io += 1;
+        }
+        self.tree.node(id)
+    }
+
+    /// Root page id (reading the root later still counts as an access).
+    #[inline]
+    pub fn root(&self) -> PageId {
+        self.tree.root()
+    }
+
+    /// Dataset MBR; metadata, not a counted page access.
+    #[inline]
+    pub fn root_mbr(&self) -> Rect {
+        self.tree.root_mbr()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.state.borrow().stats
+    }
+
+    /// Returns the counters and resets them (the buffer pool keeps its
+    /// contents, mirroring a warm cache across a workload).
+    pub fn take_stats(&self) -> AccessStats {
+        let mut state = self.state.borrow_mut();
+        std::mem::take(&mut state.stats)
+    }
+
+    /// Clears both the counters and the buffer pool (cold start).
+    pub fn reset(&self) {
+        let mut state = self.state.borrow_mut();
+        state.stats = AccessStats::default();
+        if let Some(buf) = state.buffer.as_mut() {
+            buf.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use crate::RTreeParams;
+    use gnn_geom::{Point, PointId};
+
+    #[test]
+    fn lru_hits_and_misses() {
+        let mut lru = LruBuffer::new(2);
+        assert!(!lru.access(1)); // miss
+        assert!(!lru.access(2)); // miss
+        assert!(lru.access(1)); // hit
+        assert!(!lru.access(3)); // miss, evicts 2 (LRU)
+        assert!(lru.access(1)); // hit — 1 was refreshed
+        assert!(!lru.access(2)); // miss — 2 was evicted
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut lru = LruBuffer::new(1);
+        assert!(!lru.access(9));
+        assert!(lru.access(9));
+        assert!(!lru.access(8));
+        assert!(!lru.access(9));
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recent() {
+        let mut lru = LruBuffer::new(3);
+        for p in [1, 2, 3] {
+            lru.access(p);
+        }
+        lru.access(1); // order now (MRU) 1,3,2
+        lru.access(4); // evicts 2
+        assert!(lru.access(1));
+        assert!(lru.access(3));
+        assert!(lru.access(4));
+        assert!(!lru.access(2));
+    }
+
+    #[test]
+    fn lru_clear() {
+        let mut lru = LruBuffer::new(2);
+        lru.access(1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.access(1));
+    }
+
+    #[test]
+    fn lru_stress_against_reference_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let cap = 8;
+        let mut lru = LruBuffer::new(cap);
+        let mut reference: Vec<u32> = Vec::new(); // front = MRU
+        for _ in 0..10_000 {
+            let page = rng.gen_range(0..32u32);
+            let expect_hit = reference.contains(&page);
+            assert_eq!(lru.access(page), expect_hit);
+            reference.retain(|&p| p != page);
+            reference.insert(0, page);
+            reference.truncate(cap);
+        }
+    }
+
+    #[test]
+    fn cursor_counts_accesses() {
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..20 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(i as f64, 0.0)));
+        }
+        let cursor = TreeCursor::unbuffered(&tree);
+        cursor.read(tree.root());
+        cursor.read(tree.root());
+        assert_eq!(
+            cursor.stats(),
+            AccessStats {
+                logical: 2,
+                io: 2
+            }
+        );
+        let taken = cursor.take_stats();
+        assert_eq!(taken.logical, 2);
+        assert_eq!(cursor.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn buffered_cursor_absorbs_repeats() {
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..20 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(i as f64, 0.0)));
+        }
+        let cursor = TreeCursor::with_buffer(&tree, 16);
+        for _ in 0..5 {
+            cursor.read(tree.root());
+        }
+        let s = cursor.stats();
+        assert_eq!(s.logical, 5);
+        assert_eq!(s.io, 1);
+        cursor.reset();
+        cursor.read(tree.root());
+        assert_eq!(cursor.stats().io, 1, "reset cleared the buffer");
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = AccessStats { logical: 3, io: 2 };
+        let b = AccessStats { logical: 5, io: 4 };
+        assert_eq!(a.merged(b), AccessStats { logical: 8, io: 6 });
+    }
+}

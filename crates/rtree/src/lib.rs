@@ -1,0 +1,56 @@
+//! # gnn-rtree — an R\*-tree disk simulation for GNN query processing
+//!
+//! The substrate the ICDE 2004 GNN paper assumes: the dataset `P` (and, for
+//! GCP, the query set `Q`) is indexed by an R\*-tree \[BKSS90\] with 1 KByte
+//! pages holding 50 entries. This crate provides, from scratch:
+//!
+//! * [`RTree`] — paged R\*-tree with `ChooseSubtree`, forced reinsertion and
+//!   the topological split; deletion with tree condensation; STR and Hilbert
+//!   bulk loading;
+//! * [`TreeCursor`] / [`AccessStats`] / [`LruBuffer`] — the disk simulation:
+//!   every page read is metered, optionally through an LRU buffer pool, and
+//!   reported as the paper's *node accesses* (NA) metric;
+//! * [`NearestNeighbors`] — incremental best-first NN search \[HS99\] (the
+//!   engine under MQM and SPM) plus the depth-first variant \[RKV95\];
+//! * [`ClosestPairs`] — incremental distance-join between two trees
+//!   \[HS98, CMTV00\] (the engine under GCP), with heap-watermark tracking
+//!   and an optional heap limit reproducing the paper's GCP blow-up;
+//! * [`validate::check_invariants`] — structural checker used by the tests.
+//!
+//! ```
+//! use gnn_geom::{Point, PointId};
+//! use gnn_rtree::{bf_k_nearest, LeafEntry, RTree, RTreeParams, TreeCursor};
+//!
+//! let tree = RTree::bulk_load(
+//!     RTreeParams::default(),
+//!     (0..1000).map(|i| {
+//!         let f = i as f64;
+//!         LeafEntry::new(PointId(i), Point::new(f % 31.0, f % 17.0))
+//!     }),
+//! );
+//! let cursor = TreeCursor::with_buffer(&tree, 128);
+//! let nearest = bf_k_nearest(&cursor, Point::new(5.2, 4.9), 3);
+//! assert_eq!(nearest.len(), 3);
+//! assert!(cursor.stats().io > 0); // page reads were metered
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod closest_pairs;
+mod cursor;
+mod nn;
+mod node;
+mod params;
+mod split;
+mod tree;
+pub mod validate;
+
+pub use bulk::DEFAULT_BULK_FILL;
+pub use closest_pairs::{ClosestPairs, PairResult};
+pub use cursor::{AccessStats, LruBuffer, TreeCursor};
+pub use nn::{bf_k_nearest, df_k_nearest, range_query, NearestNeighbors, PointNeighbor};
+pub use node::{Branch, LeafEntry, Node, PageId};
+pub use params::RTreeParams;
+pub use tree::RTree;

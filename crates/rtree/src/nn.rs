@@ -1,0 +1,412 @@
+//! Point nearest-neighbor search over the R\*-tree.
+//!
+//! Two classic algorithms (paper §2):
+//!
+//! * [`NearestNeighbors`] — the best-first (BF) algorithm of Hjaltason &
+//!   Samet \[HS99\]: I/O-optimal and *incremental*, reporting neighbors in
+//!   ascending distance without knowing `k` in advance. MQM and SPM are
+//!   built on this iterator.
+//! * [`df_k_nearest`] — the depth-first (DF) branch-and-bound algorithm of
+//!   Roussopoulos et al. \[RKV95\]; sub-optimal in node accesses, provided
+//!   for completeness and ablations.
+
+use crate::cursor::TreeCursor;
+use crate::node::{LeafEntry, Node, PageId};
+use gnn_geom::{OrderedF64, Point, Rect};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A neighbor produced by NN search: the entry and its distance to the
+/// query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointNeighbor {
+    /// The data entry.
+    pub entry: LeafEntry,
+    /// Euclidean distance `|entry.point, q|`.
+    pub dist: f64,
+}
+
+/// Heap element of the best-first search: a pending node or data point keyed
+/// by its minimum possible distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct BfItem {
+    dist: OrderedF64,
+    /// Points (rank 0) pop before nodes (rank 1) at equal distance so that
+    /// results are emitted as early as possible.
+    rank: u8,
+    kind: BfKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BfKind {
+    Node(PageId),
+    Point(LeafEntry),
+}
+
+// BinaryHeap needs a total order; distances and ranks decide, the payload is
+// ordered arbitrarily (by page id / point id) just to satisfy `Ord`.
+impl Eq for BfKind {}
+impl PartialOrd for BfKind {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BfKind {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn key(k: &BfKind) -> (u8, u64) {
+            match k {
+                BfKind::Node(p) => (1, u64::from(p.raw())),
+                BfKind::Point(e) => (0, e.id.0),
+            }
+        }
+        key(self).cmp(&key(other))
+    }
+}
+
+/// Incremental best-first nearest-neighbor iterator \[HS99\].
+///
+/// Yields data points in ascending distance from `query`; pull as many as
+/// needed. The traversal reads only the nodes whose MBR intersects the
+/// vicinity circle of the last reported neighbor — the I/O-optimal behavior
+/// the paper relies on for MQM's threshold algorithm.
+///
+/// ```
+/// use gnn_geom::{Point, PointId};
+/// use gnn_rtree::{LeafEntry, NearestNeighbors, RTree, RTreeParams, TreeCursor};
+///
+/// let mut tree = RTree::new(RTreeParams::default());
+/// for (i, xy) in [(0.0, 0.0), (5.0, 5.0), (1.0, 1.0)].iter().enumerate() {
+///     tree.insert(LeafEntry::new(PointId(i as u64), Point::new(xy.0, xy.1)));
+/// }
+/// let cursor = TreeCursor::unbuffered(&tree);
+/// let mut nn = NearestNeighbors::new(&cursor, Point::new(0.9, 0.9));
+/// assert_eq!(nn.next().unwrap().entry.id, PointId(2));
+/// assert_eq!(nn.next().unwrap().entry.id, PointId(0));
+/// assert_eq!(nn.next().unwrap().entry.id, PointId(1));
+/// assert!(nn.next().is_none());
+/// ```
+pub struct NearestNeighbors<'t, 'c> {
+    cursor: &'c TreeCursor<'t>,
+    query: Point,
+    heap: BinaryHeap<Reverse<BfItem>>,
+}
+
+impl<'t, 'c> NearestNeighbors<'t, 'c> {
+    /// Starts an incremental NN search at `query`.
+    pub fn new(cursor: &'c TreeCursor<'t>, query: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        if !cursor.tree().is_empty() {
+            heap.push(Reverse(BfItem {
+                dist: OrderedF64(cursor.root_mbr().mindist_point(query)),
+                rank: 1,
+                kind: BfKind::Node(cursor.root()),
+            }));
+        }
+        NearestNeighbors {
+            cursor,
+            query,
+            heap,
+        }
+    }
+
+    /// The query point.
+    pub fn query(&self) -> Point {
+        self.query
+    }
+
+    /// Lower bound on the distance of every not-yet-returned point:
+    /// the key at the top of the heap (`None` when exhausted).
+    pub fn peek_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(item)| item.dist.get())
+    }
+}
+
+impl Iterator for NearestNeighbors<'_, '_> {
+    type Item = PointNeighbor;
+
+    fn next(&mut self) -> Option<PointNeighbor> {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            match item.kind {
+                BfKind::Point(entry) => {
+                    return Some(PointNeighbor {
+                        entry,
+                        dist: item.dist.get(),
+                    });
+                }
+                BfKind::Node(id) => match self.cursor.read(id) {
+                    Node::Leaf(es) => {
+                        for &e in es {
+                            self.heap.push(Reverse(BfItem {
+                                dist: OrderedF64(e.point.dist(self.query)),
+                                rank: 0,
+                                kind: BfKind::Point(e),
+                            }));
+                        }
+                    }
+                    Node::Internal(bs) => {
+                        for b in bs {
+                            self.heap.push(Reverse(BfItem {
+                                dist: OrderedF64(b.mbr.mindist_point(self.query)),
+                                rank: 1,
+                                kind: BfKind::Node(b.child),
+                            }));
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+/// Best-first k-nearest-neighbors: the first `k` results of
+/// [`NearestNeighbors`].
+pub fn bf_k_nearest(cursor: &TreeCursor<'_>, query: Point, k: usize) -> Vec<PointNeighbor> {
+    NearestNeighbors::new(cursor, query).take(k).collect()
+}
+
+/// Depth-first k-nearest-neighbors \[RKV95\]: visits children in ascending
+/// `mindist` order and prunes subtrees farther than the current k-th
+/// neighbor. Sub-optimal in node accesses compared to [`bf_k_nearest`].
+pub fn df_k_nearest(cursor: &TreeCursor<'_>, query: Point, k: usize) -> Vec<PointNeighbor> {
+    if k == 0 || cursor.tree().is_empty() {
+        return Vec::new();
+    }
+    // Max-heap of the best k found so far, keyed by distance.
+    let mut best: BinaryHeap<(OrderedF64, u64)> = BinaryHeap::new();
+    let mut found: Vec<PointNeighbor> = Vec::new();
+    df_visit(cursor, cursor.root(), query, k, &mut best, &mut found);
+    found.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.entry.id.cmp(&b.entry.id)));
+    found.truncate(k);
+    found
+}
+
+fn df_visit(
+    cursor: &TreeCursor<'_>,
+    id: PageId,
+    query: Point,
+    k: usize,
+    best: &mut BinaryHeap<(OrderedF64, u64)>,
+    found: &mut Vec<PointNeighbor>,
+) {
+    let prune_bound = |best: &BinaryHeap<(OrderedF64, u64)>| -> f64 {
+        if best.len() < k {
+            f64::INFINITY
+        } else {
+            best.peek().expect("non-empty").0.get()
+        }
+    };
+    match cursor.read(id) {
+        Node::Leaf(es) => {
+            for &e in es {
+                let d = e.point.dist(query);
+                if d < prune_bound(best) {
+                    best.push((OrderedF64(d), e.id.0));
+                    if best.len() > k {
+                        best.pop();
+                    }
+                    found.push(PointNeighbor { entry: e, dist: d });
+                }
+            }
+        }
+        Node::Internal(bs) => {
+            // Active branch list: children sorted by mindist.
+            let mut order: Vec<(f64, PageId)> = bs
+                .iter()
+                .map(|b| (b.mbr.mindist_point(query), b.child))
+                .collect();
+            order.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (mindist, child) in order {
+                if mindist >= prune_bound(best) {
+                    break; // all subsequent children are at least this far
+                }
+                df_visit(cursor, child, query, k, best, found);
+            }
+        }
+    }
+}
+
+/// Reports every data point inside `range` (window query).
+pub fn range_query(cursor: &TreeCursor<'_>, range: &Rect) -> Vec<LeafEntry> {
+    let mut out = Vec::new();
+    if cursor.tree().is_empty() {
+        return out;
+    }
+    let mut stack = vec![cursor.root()];
+    while let Some(id) = stack.pop() {
+        match cursor.read(id) {
+            Node::Leaf(es) => out.extend(es.iter().copied().filter(|e| range.contains_point(e.point))),
+            Node::Internal(bs) => {
+                stack.extend(
+                    bs.iter()
+                        .filter(|b| b.mbr.intersects(range))
+                        .map(|b| b.child),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use crate::{RTree, RTreeParams};
+    use gnn_geom::PointId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tree(n: usize, seed: u64) -> (RTree, Vec<LeafEntry>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::new(RTreeParams::with_capacity(8));
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = LeafEntry::new(
+                PointId(i as u64),
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+            );
+            tree.insert(e);
+            entries.push(e);
+        }
+        (tree, entries)
+    }
+
+    fn brute_force_knn(entries: &[LeafEntry], q: Point, k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = entries.iter().map(|e| (e.id.0, e.point.dist(q))).collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn incremental_nn_is_sorted_and_complete() {
+        let (tree, entries) = random_tree(500, 1);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let q = Point::new(42.0, 17.0);
+        let results: Vec<PointNeighbor> = NearestNeighbors::new(&cursor, q).collect();
+        assert_eq!(results.len(), entries.len());
+        for w in results.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // Distances must match a direct computation.
+        for r in &results {
+            assert_eq!(r.dist, r.entry.point.dist(q));
+        }
+    }
+
+    #[test]
+    fn bf_knn_matches_brute_force() {
+        let (tree, entries) = random_tree(800, 2);
+        let cursor = TreeCursor::unbuffered(&tree);
+        for &k in &[1usize, 5, 32] {
+            for seed in 0..10u64 {
+                let mut rng = StdRng::seed_from_u64(seed + 100);
+                let q = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+                let got: Vec<f64> = bf_k_nearest(&cursor, q, k).iter().map(|r| r.dist).collect();
+                let want: Vec<f64> = brute_force_knn(&entries, q, k)
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect();
+                assert_eq!(got, want, "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn df_knn_matches_bf_knn() {
+        let (tree, _) = random_tree(600, 3);
+        let cursor = TreeCursor::unbuffered(&tree);
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 500);
+            let q = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let bf: Vec<f64> = bf_k_nearest(&cursor, q, 10).iter().map(|r| r.dist).collect();
+            let df: Vec<f64> = df_k_nearest(&cursor, q, 10).iter().map(|r| r.dist).collect();
+            assert_eq!(bf, df, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn bf_is_never_worse_than_df_in_node_accesses() {
+        // [PM97] optimality: BF reads only nodes intersecting the vicinity
+        // circle; DF may read more.
+        let (tree, _) = random_tree(2000, 4);
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 900);
+            let q = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let bf_cursor = TreeCursor::unbuffered(&tree);
+            bf_k_nearest(&bf_cursor, q, 1);
+            let df_cursor = TreeCursor::unbuffered(&tree);
+            df_k_nearest(&df_cursor, q, 1);
+            assert!(
+                bf_cursor.stats().logical <= df_cursor.stats().logical,
+                "seed={seed}: BF {} > DF {}",
+                bf_cursor.stats().logical,
+                df_cursor.stats().logical
+            );
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_dataset() {
+        let (tree, entries) = random_tree(10, 5);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let got = bf_k_nearest(&cursor, Point::new(0.0, 0.0), 50);
+        assert_eq!(got.len(), entries.len());
+        let df = df_k_nearest(&cursor, Point::new(0.0, 0.0), 50);
+        assert_eq!(df.len(), entries.len());
+    }
+
+    #[test]
+    fn knn_on_empty_tree() {
+        let tree = RTree::new(RTreeParams::default());
+        let cursor = TreeCursor::unbuffered(&tree);
+        assert!(bf_k_nearest(&cursor, Point::ORIGIN, 3).is_empty());
+        assert!(df_k_nearest(&cursor, Point::ORIGIN, 3).is_empty());
+        assert!(NearestNeighbors::new(&cursor, Point::ORIGIN).next().is_none());
+    }
+
+    #[test]
+    fn peek_bound_is_a_valid_lower_bound() {
+        let (tree, _) = random_tree(300, 6);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let q = Point::new(50.0, 50.0);
+        let mut nn = NearestNeighbors::new(&cursor, q);
+        let mut last = 0.0;
+        while let Some(bound) = nn.peek_bound() {
+            let item = nn.next().unwrap();
+            assert!(item.dist >= bound - 1e-12);
+            assert!(item.dist >= last - 1e-12);
+            last = item.dist;
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let (tree, entries) = random_tree(700, 7);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let window = Rect::from_corners(20.0, 30.0, 60.0, 80.0);
+        let mut got: Vec<u64> = range_query(&cursor, &window).iter().map(|e| e.id.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = entries
+            .iter()
+            .filter(|e| window.contains_point(e.point))
+            .map(|e| e.id.0)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty(), "window should not be trivially empty");
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..25 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(1.0, 1.0)));
+        }
+        let cursor = TreeCursor::unbuffered(&tree);
+        let res: Vec<PointNeighbor> = NearestNeighbors::new(&cursor, Point::new(0.0, 0.0)).collect();
+        assert_eq!(res.len(), 25);
+        assert!(res.iter().all(|r| (r.dist - 2f64.sqrt()).abs() < 1e-12));
+    }
+}

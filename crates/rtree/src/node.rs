@@ -1,0 +1,208 @@
+//! Node and entry types of the paged R*-tree.
+
+use gnn_geom::{Point, PointId, Rect};
+
+/// Identifier of a page (node) in the tree's page arena.
+///
+/// Page ids are stable for the lifetime of the node; deleting a node recycles
+/// its id through a free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub(crate) u32);
+
+impl PageId {
+    /// The arena slot backing this page.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw numeric id (useful for buffer pools keyed by page number).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A data entry stored in a leaf: an identified point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry {
+    /// Stable identifier of the data point.
+    pub id: PointId,
+    /// Its location.
+    pub point: Point,
+}
+
+impl LeafEntry {
+    /// Creates a leaf entry.
+    #[inline]
+    pub const fn new(id: PointId, point: Point) -> Self {
+        LeafEntry { id, point }
+    }
+}
+
+/// An entry of an internal node: the MBR of a child subtree and its page id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Minimum bounding rectangle of everything below `child`.
+    pub mbr: Rect,
+    /// Page id of the child node.
+    pub child: PageId,
+}
+
+/// A page of the tree: either a leaf holding data points or an internal node
+/// holding child branches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Leaf node with data entries.
+    Leaf(Vec<LeafEntry>),
+    /// Internal node with child branches.
+    Internal(Vec<Branch>),
+}
+
+impl Node {
+    /// Whether this is a leaf page.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of entries stored in the page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Internal(bs) => bs.len(),
+        }
+    }
+
+    /// Whether the page holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The minimum bounding rectangle of the page's contents
+    /// ([`Rect::empty`] for an empty page).
+    pub fn mbr(&self) -> Rect {
+        let mut r = Rect::empty();
+        match self {
+            Node::Leaf(es) => {
+                for e in es {
+                    r.expand_point(e.point);
+                }
+            }
+            Node::Internal(bs) => {
+                for b in bs {
+                    r.expand_rect(&b.mbr);
+                }
+            }
+        }
+        r
+    }
+
+    /// Leaf entries; panics when called on an internal node.
+    #[inline]
+    pub fn leaf_entries(&self) -> &[LeafEntry] {
+        match self {
+            Node::Leaf(es) => es,
+            Node::Internal(_) => panic!("leaf_entries() on internal node"),
+        }
+    }
+
+    /// Child branches; panics when called on a leaf.
+    #[inline]
+    pub fn branches(&self) -> &[Branch] {
+        match self {
+            Node::Internal(bs) => bs,
+            Node::Leaf(_) => panic!("branches() on leaf node"),
+        }
+    }
+}
+
+/// Either kind of entry; used by insertion/reinsertion code paths that treat
+/// leaf entries and branches uniformly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnyEntry {
+    Leaf(LeafEntry),
+    Branch(Branch),
+}
+
+impl AnyEntry {
+    #[inline]
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            AnyEntry::Leaf(e) => Rect::from_point(e.point),
+            AnyEntry::Branch(b) => b.mbr,
+        }
+    }
+}
+
+/// Anything with a bounding rectangle; lets the R* split run on both entry
+/// kinds with one implementation.
+pub(crate) trait HasMbr {
+    fn entry_mbr(&self) -> Rect;
+}
+
+impl HasMbr for LeafEntry {
+    #[inline]
+    fn entry_mbr(&self) -> Rect {
+        Rect::from_point(self.point)
+    }
+}
+
+impl HasMbr for Branch {
+    #[inline]
+    fn entry_mbr(&self) -> Rect {
+        self.mbr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_mbr_bounds_points() {
+        let node = Node::Leaf(vec![
+            LeafEntry::new(PointId(1), Point::new(0.0, 5.0)),
+            LeafEntry::new(PointId(2), Point::new(3.0, 1.0)),
+        ]);
+        assert_eq!(node.mbr(), Rect::from_corners(0.0, 1.0, 3.0, 5.0));
+        assert_eq!(node.len(), 2);
+        assert!(node.is_leaf());
+    }
+
+    #[test]
+    fn internal_mbr_bounds_branches() {
+        let node = Node::Internal(vec![
+            Branch {
+                mbr: Rect::from_corners(0.0, 0.0, 1.0, 1.0),
+                child: PageId(7),
+            },
+            Branch {
+                mbr: Rect::from_corners(2.0, -1.0, 3.0, 0.5),
+                child: PageId(9),
+            },
+        ]);
+        assert_eq!(node.mbr(), Rect::from_corners(0.0, -1.0, 3.0, 1.0));
+        assert!(!node.is_leaf());
+    }
+
+    #[test]
+    fn empty_node_mbr_is_empty() {
+        assert!(Node::Leaf(vec![]).mbr().is_empty());
+        assert!(Node::Leaf(vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "branches() on leaf")]
+    fn branches_on_leaf_panics() {
+        let _ = Node::Leaf(vec![]).branches();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_entries() on internal")]
+    fn leaf_entries_on_internal_panics() {
+        let _ = Node::Internal(vec![]).leaf_entries();
+    }
+}

@@ -1,0 +1,118 @@
+//! R*-tree tuning parameters.
+
+/// Structural parameters of an [`crate::RTree`].
+///
+/// The defaults reproduce the paper's setup (§5): a 1 KByte page holds 50
+/// entries, the R*-tree minimum fill is 40 % of capacity, and the forced
+/// reinsertion fraction is the 30 % recommended by Beckmann et al.
+/// \[BKSS90\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Maximum number of entries per node (page capacity). Paper: 50.
+    pub max_entries: usize,
+    /// Minimum number of entries per non-root node. R*: 40 % of capacity.
+    pub min_entries: usize,
+    /// Number of entries removed and reinserted on the first overflow of a
+    /// level per insertion (R* forced reinsert). 0 disables reinsertion,
+    /// degrading the tree to a plain R-tree with the R* split.
+    pub reinsert_count: usize,
+}
+
+impl Default for RTreeParams {
+    fn default() -> Self {
+        RTreeParams::with_capacity(50)
+    }
+}
+
+impl RTreeParams {
+    /// Derives the standard R* parameters from a page capacity:
+    /// `min = 40 %` and `reinsert = 30 %` of `max_entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 4` (the R* split needs at least two entries
+    /// per side with a non-trivial choice).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R*-tree capacity must be >= 4");
+        let min_entries = ((max_entries as f64 * 0.4) as usize).max(2);
+        let reinsert_count = ((max_entries as f64 * 0.3) as usize).min(max_entries - 2);
+        RTreeParams {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
+    }
+
+    /// Checks internal consistency; called by the tree constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the invariants `2 <= min <= max/2` or
+    /// `reinsert <= max - min` are violated.
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries must be >= 4");
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "min_entries must be in 2..=max_entries/2 (got {} of {})",
+            self.min_entries,
+            self.max_entries
+        );
+        assert!(
+            self.reinsert_count <= self.max_entries.saturating_sub(self.min_entries),
+            "reinsert_count {} would underflow a node of capacity {} (min {})",
+            self.reinsert_count,
+            self.max_entries,
+            self.min_entries
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = RTreeParams::default();
+        assert_eq!(p.max_entries, 50);
+        assert_eq!(p.min_entries, 20);
+        assert_eq!(p.reinsert_count, 15);
+        p.validate();
+    }
+
+    #[test]
+    fn small_capacity() {
+        let p = RTreeParams::with_capacity(4);
+        assert_eq!(p.min_entries, 2);
+        assert!(p.reinsert_count <= 2);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 4")]
+    fn rejects_tiny_capacity() {
+        RTreeParams::with_capacity(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn rejects_overlarge_min() {
+        RTreeParams {
+            max_entries: 10,
+            min_entries: 6,
+            reinsert_count: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reinsert_count")]
+    fn rejects_overlarge_reinsert() {
+        RTreeParams {
+            max_entries: 10,
+            min_entries: 5,
+            reinsert_count: 6,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural invariant checking (used heavily by the test suites).
+
+use crate::node::{Node, PageId};
+use crate::tree::RTree;
+use std::collections::HashSet;
+
+/// Asserts every structural invariant of an R\*-tree:
+///
+/// 1. all leaves sit at the same depth (`height - 1` below the root);
+/// 2. every non-root node holds between `min_entries` and `max_entries`
+///    entries; the root holds at most `max_entries` (and, when internal, at
+///    least 2);
+/// 3. every branch MBR exactly equals the MBR computed from its child's
+///    contents;
+/// 4. no page is referenced twice and every referenced page is live;
+/// 5. the tree's `len` equals the number of leaf entries.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first violated invariant.
+pub fn check_invariants(tree: &RTree) {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut leaf_entries = 0usize;
+    check_node(
+        tree,
+        tree.root(),
+        tree.height() - 1,
+        true,
+        &mut seen,
+        &mut leaf_entries,
+    );
+    assert_eq!(
+        leaf_entries,
+        tree.len(),
+        "len() does not match stored entries"
+    );
+}
+
+fn check_node(
+    tree: &RTree,
+    id: PageId,
+    level: usize,
+    is_root: bool,
+    seen: &mut HashSet<u32>,
+    leaf_entries: &mut usize,
+) {
+    assert!(
+        seen.insert(id.raw()),
+        "page {id:?} referenced more than once"
+    );
+    let node = tree.node(id);
+    let params = tree.params();
+    if is_root {
+        assert!(
+            node.len() <= params.max_entries,
+            "root overflow: {} entries",
+            node.len()
+        );
+        if let Node::Internal(bs) = node {
+            assert!(
+                bs.len() >= 2,
+                "internal root must have at least 2 children, has {}",
+                bs.len()
+            );
+        }
+    } else {
+        assert!(
+            node.len() >= params.min_entries && node.len() <= params.max_entries,
+            "node {id:?} occupancy {} outside [{}, {}]",
+            node.len(),
+            params.min_entries,
+            params.max_entries
+        );
+    }
+    match node {
+        Node::Leaf(es) => {
+            assert_eq!(level, 0, "leaf {id:?} at level {level}");
+            *leaf_entries += es.len();
+            for e in es {
+                assert!(e.point.is_finite(), "non-finite point in {id:?}");
+            }
+        }
+        Node::Internal(bs) => {
+            assert!(level > 0, "internal node {id:?} at leaf level");
+            for b in bs {
+                let child_mbr = tree.node(b.child).mbr();
+                assert_eq!(
+                    b.mbr, child_mbr,
+                    "stale branch MBR for child {:?} of {id:?}",
+                    b.child
+                );
+                check_node(tree, b.child, level - 1, false, seen, leaf_entries);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use crate::RTreeParams;
+    use gnn_geom::{Point, PointId};
+
+    #[test]
+    fn accepts_fresh_and_populated_trees() {
+        let mut t = RTree::new(RTreeParams::with_capacity(4));
+        check_invariants(&t);
+        for i in 0..100 {
+            t.insert(LeafEntry::new(
+                PointId(i),
+                Point::new(i as f64, (i * 7 % 13) as f64),
+            ));
+        }
+        check_invariants(&t);
+    }
+}
