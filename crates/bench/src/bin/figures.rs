@@ -18,9 +18,9 @@
 
 use gnn_bench::defaults;
 use gnn_bench::{
-    build_tree, disk_query_file, file_algorithms, memory_algorithms, overlap_target,
-    run_file_cell, run_gcp_cell, run_memory_cell, scaled_query_points, varying_m_target, Cost,
-    Dataset, SeriesTable,
+    build_tree, disk_query_file, file_algorithms, memory_algorithms, overlap_target, run_file_cell,
+    run_gcp_cell, run_memory_cell, scaled_query_points, varying_m_target, Cost, Dataset,
+    SeriesTable,
 };
 use gnn_core::{CentroidMethod, Mbm, MemoryGnnAlgorithm, Spm, Traversal};
 use gnn_geom::Point;
@@ -73,9 +73,10 @@ fn parse_args() -> Options {
                     opts.experiments.insert((*f).into());
                 }
             }
-            other if MEMORY_FIGS.contains(&other)
-                || DISK_FIGS.contains(&other)
-                || ABLATIONS.contains(&other) =>
+            other
+                if MEMORY_FIGS.contains(&other)
+                    || DISK_FIGS.contains(&other)
+                    || ABLATIONS.contains(&other) =>
             {
                 opts.experiments.insert(other.into());
             }
@@ -315,8 +316,13 @@ fn run_disk_figures(opts: &Options) {
             }
             let qf = disk_query_file(qpoints, target, opts.quick);
             for (name, algo) in file_algorithms() {
-                let cost =
-                    run_file_cell(data_tree, &qf, algo.as_ref(), defaults::K, defaults::BUFFER_PAGES);
+                let cost = run_file_cell(
+                    data_tree,
+                    &qf,
+                    algo.as_ref(),
+                    defaults::K,
+                    defaults::BUFFER_PAGES,
+                );
                 eprintln!(
                     "  [{fig}] {name} x={xl}: NA={:.0} cpu={:.2}s",
                     cost.na, cost.cpu_s
@@ -331,8 +337,16 @@ fn run_disk_figures(opts: &Options) {
             SeriesTable {
                 title: format!(
                     "{fig} (P={}, Q={})",
-                    if std::ptr::eq(data_tree, &ts_tree) { "TS" } else { "PP" },
-                    if std::ptr::eq(data_tree, &ts_tree) { "PP" } else { "TS" },
+                    if std::ptr::eq(data_tree, &ts_tree) {
+                        "TS"
+                    } else {
+                        "PP"
+                    },
+                    if std::ptr::eq(data_tree, &ts_tree) {
+                        "PP"
+                    } else {
+                        "TS"
+                    },
                 ),
                 x_label: fig_x_label(fig).into(),
                 x_values: sweep.iter().map(|s| s.0.clone()).collect(),
@@ -431,7 +445,13 @@ fn run_ablations(opts: &Options) {
         let mut cells = vec![Vec::new(); algos.len()];
         for &pages in &sweeps {
             for (ai, (_, algo)) in algos.iter().enumerate() {
-                cells[ai].push(run_memory_cell(&tree, &wl, algo.as_ref(), defaults::K, pages));
+                cells[ai].push(run_memory_cell(
+                    &tree,
+                    &wl,
+                    algo.as_ref(),
+                    defaults::K,
+                    pages,
+                ));
             }
         }
         emit(

@@ -287,7 +287,10 @@ mod tests {
     fn quick_datasets_have_expected_sizes() {
         let pp = Dataset::Pp.points(true);
         assert_eq!(pp.len(), 2450);
-        assert_eq!(Dataset::Pp.points(false).len(), gnn_datasets::PP_CARDINALITY);
+        assert_eq!(
+            Dataset::Pp.points(false).len(),
+            gnn_datasets::PP_CARDINALITY
+        );
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub fn assign_capacitated(
             }
         }
         let target = target?; // None would mean infeasible, excluded above
+
         // Johnson potential update: settled facilities have exact shortest
         // reduced distances; fold them into the potentials so the next
         // iteration's reduced costs stay non-negative.
@@ -340,7 +341,7 @@ mod tests {
         let unconstrained = assign_nearest_facility(&objects, &cursor).unwrap();
         let tight = assign_capacitated(&objects, &facilities, 3).unwrap();
         assert!(tight.total_cost >= unconstrained.total_cost - 1e-9);
-        let mut used = vec![0usize; 6];
+        let mut used = [0usize; 6];
         for &j in &tight.facility_of {
             used[j] += 1;
         }

@@ -164,8 +164,7 @@ mod tests {
         let qpts = random_points(60, 6);
         let qf = GroupedQueryFile::build_with(qpts, 16, 32);
         let fc = FileCursor::new(qf.file());
-        let (choice, result) =
-            Planner::new().k_gnn_file(&cursor, &qf, &fc, 2, Aggregate::Sum);
+        let (choice, result) = Planner::new().k_gnn_file(&cursor, &qf, &fc, 2, Aggregate::Sum);
         assert_eq!(choice, Choice::Fmqm);
         assert_eq!(result.neighbors.len(), 2);
         assert_eq!(choice.to_string(), "F-MQM");

@@ -21,7 +21,7 @@ use crate::best_list::KBestList;
 use crate::result::{GnnResult, Neighbor, QueryStats};
 use crate::{Aggregate, FileGnnAlgorithm, Traversal};
 use gnn_geom::{OrderedF64, Point, Rect};
-use gnn_qfile::{FileCursor, GroupedQueryFile, GroupSpec};
+use gnn_qfile::{FileCursor, GroupSpec, GroupedQueryFile};
 use gnn_rtree::{LeafEntry, Node, PageId, TreeCursor};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -83,12 +83,7 @@ impl Gcp {
     ///
     /// When the heap limit is hit, the returned neighbors are best-effort
     /// and `stats.aborted` is set.
-    pub fn k_gnn(
-        &self,
-        data: &TreeCursor<'_>,
-        query: &TreeCursor<'_>,
-        k: usize,
-    ) -> GnnResult {
+    pub fn k_gnn(&self, data: &TreeCursor<'_>, query: &TreeCursor<'_>, k: usize) -> GnnResult {
         let t0 = Instant::now();
         let data_before = data.stats();
         let query_before = query.stats();
@@ -284,8 +279,8 @@ mod tests {
             Point::new(4.0, 6.0),
         ];
         let data = vec![
-            Point::new(4.0, 2.0), // central: small sum
-            Point::new(4.0, 1.0), // also central
+            Point::new(4.0, 2.0),   // central: small sum
+            Point::new(4.0, 1.0),   // also central
             Point::new(20.0, 20.0), // far: pruned by heuristic 4
         ];
         let dt = tree_of(&data, 0, 4);

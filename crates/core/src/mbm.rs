@@ -90,7 +90,13 @@ impl Mbm {
             }
             Traversal::DepthFirst => {
                 if !cursor.tree().is_empty() {
-                    self.df_visit(cursor, cursor.root(), group, &mut best, &mut dist_computations);
+                    self.df_visit(
+                        cursor,
+                        cursor.root(),
+                        group,
+                        &mut best,
+                        &mut dist_computations,
+                    );
                 }
             }
         }
@@ -366,7 +372,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         QueryGroup::with_aggregate(
             (0..n)
-                .map(|_| Point::new(10.0 + rng.gen::<f64>() * 40.0, 10.0 + rng.gen::<f64>() * 40.0))
+                .map(|_| {
+                    Point::new(
+                        10.0 + rng.gen::<f64>() * 40.0,
+                        10.0 + rng.gen::<f64>() * 40.0,
+                    )
+                })
                 .collect(),
             agg,
         )
@@ -468,7 +479,11 @@ mod tests {
         let mut stream = MbmStream::new(&cursor, &group);
         while let Some(bound) = stream.peek_bound() {
             let Some(n) = stream.next() else { break };
-            assert!(n.dist >= bound - 1e-9, "yielded {} below bound {bound}", n.dist);
+            assert!(
+                n.dist >= bound - 1e-9,
+                "yielded {} below bound {bound}",
+                n.dist
+            );
         }
     }
 
@@ -531,7 +546,10 @@ mod tests {
         let tree = RTree::new(RTreeParams::default());
         let cursor = TreeCursor::unbuffered(&tree);
         let group = QueryGroup::sum(vec![Point::new(0.0, 0.0)]).unwrap();
-        assert!(Mbm::best_first().k_gnn(&cursor, &group, 1).neighbors.is_empty());
+        assert!(Mbm::best_first()
+            .k_gnn(&cursor, &group, 1)
+            .neighbors
+            .is_empty());
         assert!(MbmStream::new(&cursor, &group).next().is_none());
     }
 

@@ -165,7 +165,12 @@ mod tests {
     fn random_group(n: usize, seed: u64, agg: Aggregate) -> QueryGroup {
         let mut rng = StdRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| Point::new(20.0 + rng.gen::<f64>() * 30.0, 20.0 + rng.gen::<f64>() * 30.0))
+            .map(|_| {
+                Point::new(
+                    20.0 + rng.gen::<f64>() * 30.0,
+                    20.0 + rng.gen::<f64>() * 30.0,
+                )
+            })
             .collect();
         QueryGroup::with_aggregate(pts, agg).unwrap()
     }
@@ -281,7 +286,10 @@ mod tests {
         let tree = random_tree(500, 7);
         let cursor = TreeCursor::unbuffered(&tree);
         let group = random_group(8, 8, Aggregate::Sum);
-        let with = Mqm { hilbert_order: true }.k_gnn(&cursor, &group, 3);
+        let with = Mqm {
+            hilbert_order: true,
+        }
+        .k_gnn(&cursor, &group, 3);
         let without = Mqm {
             hilbert_order: false,
         }

@@ -311,8 +311,7 @@ mod tests {
     fn rejects_max_aggregate() {
         let tree = random_tree(10, 5);
         let cursor = TreeCursor::unbuffered(&tree);
-        let group =
-            QueryGroup::with_aggregate(vec![Point::new(0.0, 0.0)], Aggregate::Max).unwrap();
+        let group = QueryGroup::with_aggregate(vec![Point::new(0.0, 0.0)], Aggregate::Max).unwrap();
         Spm::best_first().k_gnn(&cursor, &group, 1);
     }
 

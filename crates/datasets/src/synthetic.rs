@@ -130,7 +130,9 @@ pub fn ts_synthetic(seed: u64) -> Vec<Point> {
     let mut points = Vec::with_capacity(TS_CARDINALITY);
     // Per-stream share of points, skewed so large rivers carry more
     // segments.
-    let weights: Vec<f64> = (0..streams).map(|i| 1.0 / (1.0 + i as f64 * 0.02)).collect();
+    let weights: Vec<f64> = (0..streams)
+        .map(|i| 1.0 / (1.0 + i as f64 * 0.02))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     for w in &weights {
         let share = ((w / total_w) * TS_CARDINALITY as f64).round() as usize;
@@ -198,7 +200,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        assert_eq!(uniform_points(50, unit_workspace(), 9), uniform_points(50, unit_workspace(), 9));
+        assert_eq!(
+            uniform_points(50, unit_workspace(), 9),
+            uniform_points(50, unit_workspace(), 9)
+        );
         let a = pp_synthetic(7);
         let b = pp_synthetic(7);
         assert_eq!(a.len(), b.len());

@@ -185,7 +185,10 @@ mod tests {
             n: 8,
             area_fraction: 0.1,
         };
-        assert_eq!(query_workload(unit(), spec, 5, 3), query_workload(unit(), spec, 5, 3));
+        assert_eq!(
+            query_workload(unit(), spec, 5, 3),
+            query_workload(unit(), spec, 5, 3)
+        );
     }
 
     #[test]

@@ -187,8 +187,8 @@ mod tests {
             let mut prev = d_to_xy(order, 0);
             for d in 1..n * n {
                 let cur = d_to_xy(order, d);
-                let manhattan =
-                    (i64::from(cur.0) - i64::from(prev.0)).abs() + (i64::from(cur.1) - i64::from(prev.1)).abs();
+                let manhattan = (i64::from(cur.0) - i64::from(prev.0)).abs()
+                    + (i64::from(cur.1) - i64::from(prev.1)).abs();
                 assert_eq!(manhattan, 1, "order={order} d={d}");
                 prev = cur;
             }

@@ -360,7 +360,10 @@ mod tests {
         // From origin corner the farthest corner is (1,1).
         assert!((r.maxdist_point(Point::new(0.0, 0.0)) - 2f64.sqrt()).abs() < 1e-12);
         // From outside.
-        assert_eq!(r.maxdist_point(Point::new(4.0, 1.0)), (16.0f64 + 1.0).sqrt());
+        assert_eq!(
+            r.maxdist_point(Point::new(4.0, 1.0)),
+            (16.0f64 + 1.0).sqrt()
+        );
     }
 
     #[test]

@@ -81,14 +81,8 @@ impl RoadNetwork {
             "edge weight {weight} below Euclidean length {euclid}: network distance \
              would not dominate Euclidean distance"
         );
-        self.adjacency[a.index()].push(HalfEdge {
-            to: b.0,
-            weight,
-        });
-        self.adjacency[b.index()].push(HalfEdge {
-            to: a.0,
-            weight,
-        });
+        self.adjacency[a.index()].push(HalfEdge { to: b.0, weight });
+        self.adjacency[b.index()].push(HalfEdge { to: a.0, weight });
         let id = EdgeId(u32::try_from(self.edge_count).expect("edge id overflow"));
         self.edge_count += 1;
         id

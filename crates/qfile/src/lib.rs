@@ -376,10 +376,8 @@ mod tests {
     fn sorting_keeps_the_multiset_of_points() {
         let pts = random_points(777, 7);
         let grouped = GroupedQueryFile::build(pts.clone());
-        let mut original: Vec<(u64, u64)> = pts
-            .iter()
-            .map(|p| (p.x.to_bits(), p.y.to_bits()))
-            .collect();
+        let mut original: Vec<(u64, u64)> =
+            pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         let mut stored: Vec<(u64, u64)> = grouped
             .file()
             .iter()

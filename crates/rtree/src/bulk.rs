@@ -89,13 +89,7 @@ fn effective_capacity(params: &RTreeParams, fill: f64) -> usize {
 
 fn single_leaf_tree(params: RTreeParams, entries: Vec<LeafEntry>) -> RTree {
     let len = entries.len();
-    RTree::from_raw(
-        params,
-        vec![Some(Node::Leaf(entries))],
-        PageId(0),
-        1,
-        len,
-    )
+    RTree::from_raw(params, vec![Some(Node::Leaf(entries))], PageId(0), 1, len)
 }
 
 fn build_upper_levels(

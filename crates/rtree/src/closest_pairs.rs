@@ -171,13 +171,19 @@ impl<'p, 'q> ClosestPairs<'p, 'q> {
             (Side::Node { mbr: ma, .. }, Side::Node { mbr: mb, .. }) => ma.area() >= mb.area(),
             (Side::Node { .. }, Side::Point(_)) => true,
             (Side::Point(_), Side::Node { .. }) => false,
-            (Side::Point(_), Side::Point(_)) => unreachable!("point pairs are yielded, not expanded"),
+            (Side::Point(_), Side::Point(_)) => {
+                unreachable!("point pairs are yielded, not expanded")
+            }
         };
         let (expanded_sides, fixed, expanded_is_a) = if expand_a {
-            let Side::Node { id, .. } = a else { unreachable!() };
+            let Side::Node { id, .. } = a else {
+                unreachable!()
+            };
             (self.children(self.p, id), b, true)
         } else {
-            let Side::Node { id, .. } = b else { unreachable!() };
+            let Side::Node { id, .. } = b else {
+                unreachable!()
+            };
             (self.children(self.q, id), a, false)
         };
         for side in expanded_sides {
@@ -226,9 +232,10 @@ mod tests {
     fn tree_from(points: &[(f64, f64)], id_base: u64) -> RTree {
         RTree::bulk_load(
             RTreeParams::with_capacity(4),
-            points.iter().enumerate().map(|(i, &(x, y))| {
-                LeafEntry::new(PointId(id_base + i as u64), Point::new(x, y))
-            }),
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| LeafEntry::new(PointId(id_base + i as u64), Point::new(x, y))),
         )
     }
 
@@ -247,8 +254,12 @@ mod tests {
     #[test]
     fn pairs_come_out_sorted_and_complete() {
         let mut rng = StdRng::seed_from_u64(77);
-        let ps: Vec<(f64, f64)> = (0..40).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
-        let qs: Vec<(f64, f64)> = (0..25).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let ps: Vec<(f64, f64)> = (0..40)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let qs: Vec<(f64, f64)> = (0..25)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let tp = tree_from(&ps, 0);
         let tq = tree_from(&qs, 1000);
         let cp_p = TreeCursor::unbuffered(&tp);
@@ -295,8 +306,12 @@ mod tests {
     #[test]
     fn heap_limit_stops_the_stream() {
         let mut rng = StdRng::seed_from_u64(5);
-        let ps: Vec<(f64, f64)> = (0..200).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
-        let qs: Vec<(f64, f64)> = (0..200).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let ps: Vec<(f64, f64)> = (0..200)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let qs: Vec<(f64, f64)> = (0..200)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let tp = tree_from(&ps, 0);
         let tq = tree_from(&qs, 10_000);
         let cp_p = TreeCursor::unbuffered(&tp);
@@ -314,8 +329,12 @@ mod tests {
     #[test]
     fn watermark_tracks_heap_growth() {
         let mut rng = StdRng::seed_from_u64(6);
-        let ps: Vec<(f64, f64)> = (0..100).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
-        let qs: Vec<(f64, f64)> = (0..100).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let ps: Vec<(f64, f64)> = (0..100)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let qs: Vec<(f64, f64)> = (0..100)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let tp = tree_from(&ps, 0);
         let tq = tree_from(&qs, 10_000);
         let cp_p = TreeCursor::unbuffered(&tp);

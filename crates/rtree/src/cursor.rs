@@ -335,13 +335,7 @@ mod tests {
         let cursor = TreeCursor::unbuffered(&tree);
         cursor.read(tree.root());
         cursor.read(tree.root());
-        assert_eq!(
-            cursor.stats(),
-            AccessStats {
-                logical: 2,
-                io: 2
-            }
-        );
+        assert_eq!(cursor.stats(), AccessStats { logical: 2, io: 2 });
         let taken = cursor.take_stats();
         assert_eq!(taken.logical, 2);
         assert_eq!(cursor.stats(), AccessStats::default());

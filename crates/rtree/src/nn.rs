@@ -235,7 +235,9 @@ pub fn range_query(cursor: &TreeCursor<'_>, range: &Rect) -> Vec<LeafEntry> {
     let mut stack = vec![cursor.root()];
     while let Some(id) = stack.pop() {
         match cursor.read(id) {
-            Node::Leaf(es) => out.extend(es.iter().copied().filter(|e| range.contains_point(e.point))),
+            Node::Leaf(es) => {
+                out.extend(es.iter().copied().filter(|e| range.contains_point(e.point)))
+            }
             Node::Internal(bs) => {
                 stack.extend(
                     bs.iter()
@@ -320,8 +322,14 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed + 500);
             let q = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
-            let bf: Vec<f64> = bf_k_nearest(&cursor, q, 10).iter().map(|r| r.dist).collect();
-            let df: Vec<f64> = df_k_nearest(&cursor, q, 10).iter().map(|r| r.dist).collect();
+            let bf: Vec<f64> = bf_k_nearest(&cursor, q, 10)
+                .iter()
+                .map(|r| r.dist)
+                .collect();
+            let df: Vec<f64> = df_k_nearest(&cursor, q, 10)
+                .iter()
+                .map(|r| r.dist)
+                .collect();
             assert_eq!(bf, df, "seed={seed}");
         }
     }
@@ -363,7 +371,9 @@ mod tests {
         let cursor = TreeCursor::unbuffered(&tree);
         assert!(bf_k_nearest(&cursor, Point::ORIGIN, 3).is_empty());
         assert!(df_k_nearest(&cursor, Point::ORIGIN, 3).is_empty());
-        assert!(NearestNeighbors::new(&cursor, Point::ORIGIN).next().is_none());
+        assert!(NearestNeighbors::new(&cursor, Point::ORIGIN)
+            .next()
+            .is_none());
     }
 
     #[test]
@@ -386,7 +396,10 @@ mod tests {
         let (tree, entries) = random_tree(700, 7);
         let cursor = TreeCursor::unbuffered(&tree);
         let window = Rect::from_corners(20.0, 30.0, 60.0, 80.0);
-        let mut got: Vec<u64> = range_query(&cursor, &window).iter().map(|e| e.id.0).collect();
+        let mut got: Vec<u64> = range_query(&cursor, &window)
+            .iter()
+            .map(|e| e.id.0)
+            .collect();
         got.sort_unstable();
         let mut want: Vec<u64> = entries
             .iter()
@@ -405,7 +418,8 @@ mod tests {
             tree.insert(LeafEntry::new(PointId(i), Point::new(1.0, 1.0)));
         }
         let cursor = TreeCursor::unbuffered(&tree);
-        let res: Vec<PointNeighbor> = NearestNeighbors::new(&cursor, Point::new(0.0, 0.0)).collect();
+        let res: Vec<PointNeighbor> =
+            NearestNeighbors::new(&cursor, Point::new(0.0, 0.0)).collect();
         assert_eq!(res.len(), 25);
         assert!(res.iter().all(|r| (r.dist - 2f64.sqrt()).abs() < 1e-12));
     }

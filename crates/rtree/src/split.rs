@@ -17,7 +17,7 @@ use gnn_geom::Rect;
 pub(crate) fn rstar_split<E: HasMbr + Clone>(
     params: &RTreeParams,
     mut entries: Vec<E>,
-    ) -> (Vec<E>, Vec<E>) {
+) -> (Vec<E>, Vec<E>) {
     debug_assert!(entries.len() > params.max_entries);
     let m = params.min_entries;
     let total = entries.len();
@@ -132,7 +132,13 @@ mod tests {
     #[test]
     fn split_separates_two_obvious_clusters() {
         // Two clusters far apart on x; the split must not mix them.
-        let es = entries(&[(0.0, 0.0), (0.1, 0.1), (10.0, 0.0), (10.1, 0.1), (0.05, 0.05)]);
+        let es = entries(&[
+            (0.0, 0.0),
+            (0.1, 0.1),
+            (10.0, 0.0),
+            (10.1, 0.1),
+            (0.05, 0.05),
+        ]);
         let (l, r) = rstar_split(&params4(), es);
         let (small, large): (Vec<_>, Vec<_>) = (l, r);
         let lx: Vec<f64> = small.iter().map(|e| e.point.x).collect();
@@ -164,7 +170,13 @@ mod tests {
 
     #[test]
     fn split_prefers_y_axis_when_spread_is_vertical() {
-        let es = entries(&[(0.0, 0.0), (0.1, 10.0), (0.05, 20.0), (0.02, 30.0), (0.07, 40.0)]);
+        let es = entries(&[
+            (0.0, 0.0),
+            (0.1, 10.0),
+            (0.05, 20.0),
+            (0.02, 30.0),
+            (0.07, 40.0),
+        ]);
         let (l, r) = rstar_split(&params4(), es);
         // Groups must be contiguous in y.
         let max_l = l.iter().map(|e| e.point.y).fold(f64::MIN, f64::max);

@@ -120,16 +120,12 @@ impl RTree {
     /// Panics if `id` refers to a freed page.
     #[inline]
     pub fn node(&self, id: PageId) -> &Node {
-        self.nodes[id.index()]
-            .as_ref()
-            .expect("dangling page id")
+        self.nodes[id.index()].as_ref().expect("dangling page id")
     }
 
     #[inline]
     fn node_mut(&mut self, id: PageId) -> &mut Node {
-        self.nodes[id.index()]
-            .as_mut()
-            .expect("dangling page id")
+        self.nodes[id.index()].as_mut().expect("dangling page id")
     }
 
     fn alloc(&mut self, node: Node) -> PageId {
@@ -307,7 +303,8 @@ impl RTree {
         match self.node_mut(node_id) {
             Node::Leaf(es) => {
                 es.sort_by(|a, b| {
-                    sort_key(&Rect::from_point(a.point)).total_cmp(&sort_key(&Rect::from_point(b.point)))
+                    sort_key(&Rect::from_point(a.point))
+                        .total_cmp(&sort_key(&Rect::from_point(b.point)))
                 });
                 es.split_off(es.len() - p)
                     .into_iter()

@@ -42,8 +42,7 @@ fn main() {
         "agg", "depot", "location", "aggregate dist"
     );
     for agg in [Aggregate::Sum, Aggregate::Max, Aggregate::Min] {
-        let group =
-            QueryGroup::with_aggregate(couriers.clone(), agg).expect("valid query group");
+        let group = QueryGroup::with_aggregate(couriers.clone(), agg).expect("valid query group");
         let cursor = TreeCursor::unbuffered(&tree);
         // MBM supports all aggregates; SPM would reject MAX/MIN.
         let r = Mbm::best_first().k_gnn(&cursor, &group, 1);

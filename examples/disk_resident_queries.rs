@@ -20,7 +20,11 @@ fn main() {
     // Query workspace: 8% of the data workspace, shared center (§5.2).
     let query = scale_points_to_rect(&raw_query, centered_subrect(ws, 0.08));
 
-    println!("P: {} points; Q: {} points in an 8% sub-workspace.\n", data.len(), query.len());
+    println!(
+        "P: {} points; Q: {} points in an 8% sub-workspace.\n",
+        data.len(),
+        query.len()
+    );
 
     let data_tree = RTree::bulk_load(
         RTreeParams::default(),

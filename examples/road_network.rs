@@ -80,5 +80,7 @@ fn main() {
         n_best.neighbors[0].vertex.0,
         n_best.neighbors[0].dist
     );
-    println!("The straight-line sum always lower-bounds the walking sum — that is IER's pruning bound.");
+    println!(
+        "The straight-line sum always lower-bounds the walking sum — that is IER's pruning bound."
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
     let cursor = TreeCursor::unbuffered(&tree);
 
     // Compare all three memory algorithms: identical answers, different I/O.
-    println!("{:<6} {:>8} {:>14} {:>16}", "algo", "k=5", "node accesses", "dist comps");
+    println!(
+        "{:<6} {:>8} {:>14} {:>16}",
+        "algo", "k=5", "node accesses", "dist comps"
+    );
     for (name, r) in [
         ("MQM", Mqm::new().k_gnn(&cursor, &group, 5)),
         ("SPM", Spm::best_first().k_gnn(&cursor, &group, 5)),
@@ -57,7 +60,12 @@ fn main() {
     let r = Mbm::best_first().k_gnn(&cursor, &group, 5);
     println!("\nBest 5 buffer slots by total wire length (um):");
     for n in &r.neighbors {
-        println!("  slot {:<8} at {:<24} wire length {:>10.1}", n.id, n.point.to_string(), n.dist);
+        println!(
+            "  slot {:<8} at {:<24} wire length {:>10.1}",
+            n.id,
+            n.point.to_string(),
+            n.dist
+        );
     }
 
     // A MAX-aggregate query bounds the longest single wire instead (timing

@@ -53,8 +53,8 @@
 
 pub use gnn_core as core;
 pub use gnn_datasets as datasets;
-pub use gnn_network as network;
 pub use gnn_geom as geom;
+pub use gnn_network as network;
 pub use gnn_qfile as qfile;
 pub use gnn_rtree as rtree;
 

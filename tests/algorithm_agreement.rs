@@ -136,9 +136,17 @@ fn aggregates_agree_between_memory_and_file_algorithms() {
         let qf = GroupedQueryFile::build_with(qpts.clone(), 16, 32);
         let fc = FileCursor::new(qf.file());
         let fmqm = Fmqm::new().k_gnn(&cursor, &qf, &fc, 4, agg);
-        assert_distances_match(&format!("F-MQM {agg}"), &fmqm.distances(), &want.distances());
+        assert_distances_match(
+            &format!("F-MQM {agg}"),
+            &fmqm.distances(),
+            &want.distances(),
+        );
         let fmbm = Fmbm::best_first().k_gnn(&cursor, &qf, &fc, 4, agg);
-        assert_distances_match(&format!("F-MBM {agg}"), &fmbm.distances(), &want.distances());
+        assert_distances_match(
+            &format!("F-MBM {agg}"),
+            &fmbm.distances(),
+            &want.distances(),
+        );
     }
 }
 

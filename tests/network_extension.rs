@@ -36,8 +36,7 @@ fn euclidean_gnn_lower_bounds_network_gnn() {
             data.iter()
                 .map(|&v| LeafEntry::new(PointId(u64::from(v.0)), g.position(v))),
         );
-        let group =
-            QueryGroup::sum(query.iter().map(|&v| g.position(v)).collect()).unwrap();
+        let group = QueryGroup::sum(query.iter().map(|&v| g.position(v)).collect()).unwrap();
         let cursor = TreeCursor::unbuffered(&tree);
         let euclid = Mbm::best_first().k_gnn(&cursor, &group, 1);
         assert!(

@@ -123,13 +123,29 @@ fn figure_5_2_shape_cost_grows_with_query_mbr() {
     ] {
         let small = avg_na(
             &tree,
-            &query_workload(ws, QuerySpec { n: 64, area_fraction: 0.02 }, 15, 9),
+            &query_workload(
+                ws,
+                QuerySpec {
+                    n: 64,
+                    area_fraction: 0.02,
+                },
+                15,
+                9,
+            ),
             algo.as_ref(),
             8,
         );
         let large = avg_na(
             &tree,
-            &query_workload(ws, QuerySpec { n: 64, area_fraction: 0.32 }, 15, 9),
+            &query_workload(
+                ws,
+                QuerySpec {
+                    n: 64,
+                    area_fraction: 0.32,
+                },
+                15,
+                9,
+            ),
             algo.as_ref(),
             8,
         );
@@ -175,10 +191,7 @@ fn figure_5_4_shape_gcp_heap_explodes_when_workspaces_match() {
     let query_raw = mini_pp(800, 6);
 
     // Small centered query workspace: cheap.
-    let tiny = scale_points_to_rect(
-        &query_raw,
-        Rect::from_corners(0.48, 0.48, 0.52, 0.52),
-    );
+    let tiny = scale_points_to_rect(&query_raw, Rect::from_corners(0.48, 0.48, 0.52, 0.52));
     let tiny_tree = build_tree(&tiny);
     let dc = TreeCursor::unbuffered(&tree);
     let qc = TreeCursor::unbuffered(&tiny_tree);

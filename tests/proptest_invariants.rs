@@ -14,11 +14,7 @@ use proptest::prelude::*;
 
 fn coord() -> impl Strategy<Value = f64> {
     // Finite coordinates over a few orders of magnitude, including negatives.
-    prop_oneof![
-        -100.0..100.0f64,
-        -1.0..1.0f64,
-        0.0..10_000.0f64,
-    ]
+    prop_oneof![-100.0..100.0f64, -1.0..1.0f64, 0.0..10_000.0f64,]
 }
 
 fn point() -> impl Strategy<Value = Point> {

@@ -157,10 +157,18 @@ fn stats_deltas_are_isolated_per_query() {
     // own accesses.
     let (_, tree) = setup(2000, 11);
     let cursor = TreeCursor::with_buffer(&tree, 128);
-    let g1 = QueryGroup::sum(uniform_points(8, Rect::from_corners(10.0, 10.0, 20.0, 20.0), 12))
-        .unwrap();
-    let g2 = QueryGroup::sum(uniform_points(8, Rect::from_corners(80.0, 80.0, 90.0, 90.0), 13))
-        .unwrap();
+    let g1 = QueryGroup::sum(uniform_points(
+        8,
+        Rect::from_corners(10.0, 10.0, 20.0, 20.0),
+        12,
+    ))
+    .unwrap();
+    let g2 = QueryGroup::sum(uniform_points(
+        8,
+        Rect::from_corners(80.0, 80.0, 90.0, 90.0),
+        13,
+    ))
+    .unwrap();
     let r1 = Mbm::best_first().k_gnn(&cursor, &g1, 2);
     let r2 = Mbm::best_first().k_gnn(&cursor, &g2, 2);
     let total = cursor.stats();

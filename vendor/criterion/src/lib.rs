@@ -1,0 +1,338 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate mirrors the
+//! subset of criterion 0.5's API that the `gnn-bench` benches use —
+//! [`Criterion::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and the builder knobs
+//! ([`Criterion::sample_size`], [`Criterion::measurement_time`]).
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples whose per-sample iteration count is
+//! auto-calibrated so a sample takes roughly `measurement_time / sample_size`.
+//! Mean/min/max per-iteration times are printed in a criterion-like one-line
+//! format. There is no statistical analysis, HTML report, or baseline
+//! comparison — swapping the real crate back in is a one-line `Cargo.toml`
+//! change and no bench source needs to move.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier shown for parameterised benchmarks: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark target.
+pub struct Bencher {
+    samples: usize,
+    sample_budget: Duration,
+    /// Per-iteration observations, one per sample.
+    observations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize, sample_budget: Duration) -> Self {
+        Bencher {
+            samples,
+            sample_budget,
+            observations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Calibrates how many iterations fill one sample budget.
+    fn calibrate<O, R: FnMut() -> O>(&self, routine: &mut R) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget / 2 || iters >= 1 << 20 {
+                let per_iter = elapsed.max(Duration::from_nanos(1)) / iters as u32;
+                let budget = self.sample_budget.max(Duration::from_micros(100));
+                let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+                return fit.clamp(1, 1 << 24);
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Times `routine` repeatedly; the routine's return value is black-boxed
+    /// so its computation cannot be optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.calibrate(&mut routine);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.observations.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.observations.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.observations.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.observations.iter().sum();
+        let mean = total / self.observations.len() as u32;
+        let min = self.observations.iter().min().unwrap();
+        let max = self.observations.iter().max().unwrap();
+        println!("{id:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+    }
+}
+
+/// Top-level harness: holds the measurement knobs.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    fn sample_budget(&self) -> Duration {
+        self.measurement_time / self.sample_size as u32
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.sample_budget());
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.sample_budget());
+        f(&mut b, input);
+        b.report(&id.id);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        // The group gets its own copy of the knobs so group-scoped
+        // sample_size/measurement_time never leak into benchmarks registered
+        // after finish() — matching real criterion's scoping.
+        let settings = self.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            settings,
+            name: group_name.into(),
+        }
+    }
+}
+
+/// A named family of related benchmarks (`group/bench_id` reporting).
+/// Setting knobs on the group affects only the group's own benchmarks.
+pub struct BenchmarkGroup<'a> {
+    /// Held to mirror real criterion's exclusive borrow of the harness.
+    _criterion: &'a mut Criterion,
+    settings: Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings = self.settings.clone().sample_size(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings = self.settings.clone().measurement_time(dur);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.settings.bench_function(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = BenchmarkId {
+            id: format!("{}/{}", self.name, id.id),
+        };
+        self.settings.bench_with_input(full, input, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; mirrors criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point (`harness = false` targets need a `main`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(20));
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 16]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn group_settings_do_not_leak_past_finish() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(7);
+        let mut group_setups = 0u32;
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| group_setups += 1, |()| (), BatchSize::SmallInput)
+        });
+        g.finish();
+        // iter_batched runs setup exactly once per sample, so the counts
+        // observe which sample_size each scope used.
+        assert_eq!(group_setups, 7);
+        let mut after_setups = 0u32;
+        c.bench_function("after", |b| {
+            b.iter_batched(|| after_setups += 1, |()| (), BatchSize::SmallInput)
+        });
+        assert_eq!(after_setups, 3);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}
