@@ -1,0 +1,153 @@
+//! End-to-end query throughput (queries/sec) of the zero-allocation hot
+//! path: packed snapshot vs. arena tree, varying `n` (group cardinality),
+//! `M` (query MBR area) and `k`.
+//!
+//! This is the bench behind the perf trajectory's headline number: MBM
+//! k-GNN on `RTree::freeze()` + `QueryScratch` must beat the same queries
+//! on the mutable arena tree (identical node accesses — the property suite
+//! pins that — so the delta is pure engine: memory layout, batched kernels,
+//! sorted leaf runs, allocation-free scratch reuse).
+//!
+//! Set `GNN_BENCH_QUICK=1` to shrink sample counts (the CI smoke setting).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_bench::{build_tree, Dataset};
+use gnn_core::{Mbm, MemoryGnnAlgorithm, Mqm, QueryGroup, QueryScratch, Spm};
+use gnn_datasets::{query_workload, QuerySpec};
+use gnn_rtree::TreeCursor;
+
+fn quick() -> bool {
+    std::env::var("GNN_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn groups_for(tree: &gnn_rtree::RTree, n: usize, area: f64, seed: u64) -> Vec<QueryGroup> {
+    query_workload(
+        tree.root_mbr(),
+        QuerySpec {
+            n,
+            area_fraction: area,
+        },
+        32,
+        seed,
+    )
+    .into_iter()
+    .map(|q| QueryGroup::sum(q).unwrap())
+    .collect()
+}
+
+/// One steady-state cell: cycles the workload through a persistent scratch.
+fn bench_cell(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    algo: &dyn MemoryGnnAlgorithm,
+    cursor: &TreeCursor<'_>,
+    queries: &[QueryGroup],
+    k: usize,
+) {
+    let mut scratch = QueryScratch::new();
+    group.bench_with_input(id, &k, |b, _| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(algo.k_gnn_in(cursor, &queries[i], k, &mut scratch).1)
+        })
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // Full-scale PP substitute (24 493 clustered points): deep enough that
+    // the engine split matters.
+    let pts = Dataset::Pp.points(false);
+    let tree = build_tree(&pts);
+    let packed = tree.freeze();
+    let arena = TreeCursor::unbuffered(&tree);
+    let snap = TreeCursor::packed(&packed);
+    let mbm = Mbm::best_first();
+
+    let mut group = c.benchmark_group("throughput");
+
+    // MBM across group cardinalities (M = 8 %, k = 8).
+    for n in [4usize, 64, 256] {
+        let queries = groups_for(&tree, n, 0.08, 0xBEEF + n as u64);
+        bench_cell(
+            &mut group,
+            BenchmarkId::new("mbm_arena", n),
+            &mbm,
+            &arena,
+            &queries,
+            8,
+        );
+        bench_cell(
+            &mut group,
+            BenchmarkId::new("mbm_packed", n),
+            &mbm,
+            &snap,
+            &queries,
+            8,
+        );
+    }
+
+    // MBM across k (n = 64, M = 8 %).
+    for k in [1usize, 32] {
+        let queries = groups_for(&tree, 64, 0.08, 0xF00D + k as u64);
+        bench_cell(
+            &mut group,
+            BenchmarkId::new("mbm_arena_k", k),
+            &mbm,
+            &arena,
+            &queries,
+            k,
+        );
+        bench_cell(
+            &mut group,
+            BenchmarkId::new("mbm_packed_k", k),
+            &mbm,
+            &snap,
+            &queries,
+            k,
+        );
+    }
+
+    // SPM and MQM on both backends (n = 64, M = 8 %, k = 8).
+    let queries = groups_for(&tree, 64, 0.08, 0xCAFE);
+    for (name, algo) in [
+        (
+            "spm",
+            Box::new(Spm::best_first()) as Box<dyn MemoryGnnAlgorithm>,
+        ),
+        ("mqm", Box::new(Mqm::new())),
+    ] {
+        bench_cell(
+            &mut group,
+            BenchmarkId::new(format!("{name}_arena"), 64),
+            algo.as_ref(),
+            &arena,
+            &queries,
+            8,
+        );
+        bench_cell(
+            &mut group,
+            BenchmarkId::new(format!("{name}_packed"), 64),
+            algo.as_ref(),
+            &snap,
+            &queries,
+            8,
+        );
+    }
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    let (samples, secs) = if quick() { (10, 1) } else { (20, 3) };
+    Criterion::default()
+        .sample_size(samples)
+        .measurement_time(std::time::Duration::from_secs(secs))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_throughput
+}
+criterion_main!(benches);

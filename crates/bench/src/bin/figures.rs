@@ -11,6 +11,14 @@
 //! * `--quick`        10x smaller datasets, fewer queries (smoke run)
 //! * `--queries N`    queries per workload cell (default 100, paper's value)
 //! * `--csv DIR`      also write one CSV per experiment into DIR
+//! * `--json PATH`    write every table plus the packed-vs-arena throughput
+//!   cells as one machine-readable JSON document (the perf-trajectory
+//!   format; `BENCH_baseline.json` at the repo root is a checked-in
+//!   `--quick --json` run)
+//!
+//! Experiments: the paper figures (`fig5_1`..`fig5_7`), the `ablations`,
+//! and `throughput` — steady-state queries/sec of the zero-allocation hot
+//! path on the packed snapshot vs. the arena tree (same node accesses).
 //!
 //! Absolute numbers will not match a 2004 Pentium with real disks; the
 //! *shapes* (who wins, growth trends, blow-ups) are the reproduction target.
@@ -19,8 +27,8 @@
 use gnn_bench::defaults;
 use gnn_bench::{
     build_tree, disk_query_file, file_algorithms, memory_algorithms, overlap_target, run_file_cell,
-    run_gcp_cell, run_memory_cell, scaled_query_points, varying_m_target, Cost, Dataset,
-    SeriesTable,
+    run_gcp_cell, run_memory_cell, run_throughput, scaled_query_points, varying_m_target, Cost,
+    Dataset, SeriesTable, ThroughputCell,
 };
 use gnn_core::{CentroidMethod, Mbm, MemoryGnnAlgorithm, Spm, Traversal};
 use gnn_geom::Point;
@@ -33,7 +41,69 @@ struct Options {
     quick: bool,
     queries: usize,
     csv_dir: Option<String>,
+    json_path: Option<String>,
     experiments: BTreeSet<String>,
+}
+
+/// Tables and throughput cells accumulated for `--json`.
+#[derive(Default)]
+struct Report {
+    tables: Vec<SeriesTable>,
+    throughput: Vec<ThroughputCell>,
+}
+
+impl Report {
+    fn to_json(&self, opts: &Options) -> String {
+        let tables: Vec<String> = self.tables.iter().map(SeriesTable::to_json).collect();
+        let cells: Vec<String> = self
+            .throughput
+            .iter()
+            .map(ThroughputCell::to_json)
+            .collect();
+        format!(
+            "{{\n\"schema\":\"gnn-bench-report/1\",\n\"quick\":{},\n\"queries\":{},\n\
+             \"tables\":[\n{}\n],\n\"throughput\":[\n{}\n]\n}}\n",
+            opts.quick,
+            opts.queries,
+            tables.join(",\n"),
+            cells.join(",\n"),
+        )
+    }
+}
+
+/// The packed-vs-arena throughput experiment (the perf trajectory's
+/// headline metric; see `EXPERIMENTS.md`).
+fn run_throughput_experiment(opts: &Options, report: &mut Report) {
+    if !opts.experiments.contains("throughput") {
+        return;
+    }
+    eprintln!("[throughput] packed vs arena (full-scale datasets)...");
+    let cells = run_throughput(opts.quick);
+    println!("== throughput (steady-state queries/sec, packed vs arena) ==");
+    println!(
+        "{:<4} {:<4} {:>4} {:>5} {:>3} {:>12} {:>12} {:>8} {:>8}",
+        "ds", "algo", "n", "M", "k", "arena q/s", "packed q/s", "speedup", "NA"
+    );
+    for c in &cells {
+        println!(
+            "{:<4} {:<4} {:>4} {:>5} {:>3} {:>12.0} {:>12.0} {:>7.2}x {:>8}",
+            c.dataset,
+            c.algo,
+            c.n,
+            format!("{}%", (c.area * 100.0) as u32),
+            c.k,
+            c.arena_qps,
+            c.packed_qps,
+            c.speedup,
+            if (c.arena_na - c.packed_na).abs() < 1e-9 {
+                format!("{:.1}", c.arena_na)
+            } else {
+                format!("{:.1}!={:.1}", c.arena_na, c.packed_na)
+            }
+        );
+    }
+    println!();
+    report.throughput = cells;
 }
 
 const MEMORY_FIGS: [&str; 3] = ["fig5_1", "fig5_2", "fig5_3"];
@@ -50,6 +120,7 @@ fn parse_args() -> Options {
         quick: false,
         queries: defaults::WORKLOAD_QUERIES,
         csv_dir: None,
+        json_path: None,
         experiments: BTreeSet::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -63,15 +134,27 @@ fn parse_args() -> Options {
             "--csv" => {
                 opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
             }
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path — a full-scale run takes
+                // minutes and its report must not be lost at the very end.
+                std::fs::write(&path, "{}\n")
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                opts.json_path = Some(path);
+            }
             "all" => {
                 for f in MEMORY_FIGS.iter().chain(&DISK_FIGS) {
                     opts.experiments.insert((*f).into());
                 }
+                opts.experiments.insert("throughput".into());
             }
             "ablations" => {
                 for f in &ABLATIONS {
                     opts.experiments.insert((*f).into());
                 }
+            }
+            "throughput" => {
+                opts.experiments.insert("throughput".into());
             }
             other
                 if MEMORY_FIGS.contains(&other)
@@ -83,7 +166,7 @@ fn parse_args() -> Options {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "experiments: {} | all | ablations",
+                    "experiments: {} throughput | all | ablations",
                     MEMORY_FIGS
                         .iter()
                         .chain(&DISK_FIGS)
@@ -100,6 +183,7 @@ fn parse_args() -> Options {
         for f in MEMORY_FIGS.iter().chain(&DISK_FIGS) {
             opts.experiments.insert((*f).into());
         }
+        opts.experiments.insert("throughput".into());
     }
     if opts.quick && opts.queries == defaults::WORKLOAD_QUERIES {
         opts.queries = 10;
@@ -107,7 +191,7 @@ fn parse_args() -> Options {
     opts
 }
 
-fn emit(opts: &Options, table: SeriesTable) {
+fn emit(opts: &Options, report: &mut Report, table: SeriesTable) {
     println!("{}", table.render());
     if let Some(dir) = &opts.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
@@ -125,6 +209,7 @@ fn emit(opts: &Options, table: SeriesTable) {
         std::fs::write(&file, table.to_csv()).expect("write csv");
         println!("[csv] {file}\n");
     }
+    report.tables.push(table);
 }
 
 /// Figures 5.1–5.3: memory-resident queries on both datasets.
@@ -171,7 +256,7 @@ fn fig_x_label(fig: &str) -> &'static str {
     }
 }
 
-fn run_memory_figures(opts: &Options) {
+fn run_memory_figures(opts: &Options, report: &mut Report) {
     let needed: Vec<&str> = MEMORY_FIGS
         .iter()
         .filter(|f| opts.experiments.contains(**f))
@@ -210,13 +295,17 @@ fn run_memory_figures(opts: &Options) {
                     .collect(),
                 _ => unreachable!(),
             };
-            emit(opts, memory_figure(opts, fig, dataset, &tree, &sweep));
+            emit(
+                opts,
+                report,
+                memory_figure(opts, fig, dataset, &tree, &sweep),
+            );
         }
     }
 }
 
 /// Figures 5.4–5.7: disk-resident queries.
-fn run_disk_figures(opts: &Options) {
+fn run_disk_figures(opts: &Options, report: &mut Report) {
     let needed: Vec<&str> = DISK_FIGS
         .iter()
         .filter(|f| opts.experiments.contains(**f))
@@ -334,6 +423,7 @@ fn run_disk_figures(opts: &Options) {
 
         emit(
             opts,
+            report,
             SeriesTable {
                 title: format!(
                     "{fig} (P={}, Q={})",
@@ -358,7 +448,7 @@ fn run_disk_figures(opts: &Options) {
 }
 
 /// Ablations called out in DESIGN.md §6.
-fn run_ablations(opts: &Options) {
+fn run_ablations(opts: &Options, report: &mut Report) {
     if !ABLATIONS.iter().any(|a| opts.experiments.contains(*a)) {
         return;
     }
@@ -400,6 +490,7 @@ fn run_ablations(opts: &Options) {
         }
         emit(
             opts,
+            report,
             SeriesTable {
                 title: "ablation_heuristics (MBM pruning, PP, n=64 M=8% k=8)".into(),
                 x_label: "".into(),
@@ -429,6 +520,7 @@ fn run_ablations(opts: &Options) {
         }
         emit(
             opts,
+            report,
             SeriesTable {
                 title: "ablation_traversal (best-first vs depth-first, PP, n=64 M=8% k=8)".into(),
                 x_label: "".into(),
@@ -456,6 +548,7 @@ fn run_ablations(opts: &Options) {
         }
         emit(
             opts,
+            report,
             SeriesTable {
                 title: "ablation_buffer (LRU pages, PP, n=64 M=8% k=8)".into(),
                 x_label: "pages".into(),
@@ -502,6 +595,7 @@ fn run_ablations(opts: &Options) {
         }
         emit(
             opts,
+            report,
             SeriesTable {
                 title: "ablation_centroid (SPM anchor quality, PP, n=64 M=8% k=8)".into(),
                 x_label: "".into(),
@@ -560,8 +654,14 @@ fn main() {
         "[figures] experiments: {:?} (quick={}, queries={})",
         opts.experiments, opts.quick, opts.queries
     );
-    run_memory_figures(&opts);
-    run_disk_figures(&opts);
-    run_ablations(&opts);
+    let mut report = Report::default();
+    run_memory_figures(&opts, &mut report);
+    run_disk_figures(&opts, &mut report);
+    run_ablations(&opts, &mut report);
+    run_throughput_experiment(&opts, &mut report);
+    if let Some(path) = &opts.json_path {
+        std::fs::write(path, report.to_json(&opts)).expect("write json report");
+        eprintln!("[json] {path}");
+    }
     eprintln!("[figures] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

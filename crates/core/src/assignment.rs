@@ -43,7 +43,7 @@ pub fn assign_nearest_facility(
     objects: &[Point],
     facilities: &TreeCursor<'_>,
 ) -> Option<Assignment> {
-    if facilities.tree().is_empty() {
+    if facilities.is_empty() {
         return None;
     }
     let mut facility_of = Vec::with_capacity(objects.len());

@@ -47,8 +47,8 @@ pub fn full_scan_tree(cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> 
     let mut stack = vec![cursor.root()];
     while let Some(id) = stack.pop() {
         match cursor.read(id) {
-            gnn_rtree::Node::Leaf(es) => {
-                for e in es {
+            gnn_rtree::PageRef::Leaf(es) => {
+                for e in es.entries() {
                     let dist = group.dist(e.point);
                     dist_computations += group.len() as u64;
                     best.offer(Neighbor {
@@ -58,7 +58,7 @@ pub fn full_scan_tree(cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> 
                     });
                 }
             }
-            gnn_rtree::Node::Internal(bs) => stack.extend(bs.iter().map(|b| b.child)),
+            gnn_rtree::PageRef::Internal(view) => stack.extend(view.iter().map(|(_, child)| child)),
         }
     }
     GnnResult {

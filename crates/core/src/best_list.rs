@@ -56,6 +56,11 @@ impl KBestList {
         self.k
     }
 
+    /// Allocated heap capacity (diagnostics for the no-regrowth tests).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Number of neighbors currently retained.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -105,19 +110,37 @@ impl KBestList {
         true
     }
 
+    /// Empties the list and re-arms it for a new query retaining `k`
+    /// neighbors. The heap's capacity is kept, so a warmed-up list never
+    /// reallocates in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Drains the retained neighbors into `out` (cleared first), sorted by
+    /// ascending distance (ties by id). Leaves the list empty but keeps its
+    /// capacity — the allocation-free sibling of [`KBestList::into_sorted`].
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|(d, _, h)| Neighbor {
+            id: gnn_geom::PointId(h.id),
+            point: gnn_geom::Point::new(f64::from_bits(h.x_bits), f64::from_bits(h.y_bits)),
+            dist: d.get(),
+        }));
+        out.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    }
+
     /// Extracts the retained neighbors sorted by ascending distance (ties by
     /// id).
-    pub fn into_sorted(self) -> Vec<Neighbor> {
-        let mut v: Vec<Neighbor> = self
-            .heap
-            .into_iter()
-            .map(|(d, _, h)| Neighbor {
-                id: gnn_geom::PointId(h.id),
-                point: gnn_geom::Point::new(f64::from_bits(h.x_bits), f64::from_bits(h.y_bits)),
-                dist: d.get(),
-            })
-            .collect();
-        v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        let mut v = Vec::with_capacity(self.heap.len());
+        self.drain_sorted_into(&mut v);
         v
     }
 }

@@ -8,7 +8,8 @@
 //! algorithm without re-reading the paper.
 
 use crate::query::QueryGroup;
-use crate::result::GnnResult;
+use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, Fmbm, Fmqm, Mbm, Spm};
 use gnn_qfile::{FileCursor, GroupedQueryFile};
 use gnn_rtree::TreeCursor;
@@ -87,10 +88,77 @@ impl Planner {
         group: &QueryGroup,
         k: usize,
     ) -> (Choice, GnnResult) {
+        let mut scratch = QueryScratch::new();
+        let (choice, neighbors, stats) = self.k_gnn_in(cursor, group, k, &mut scratch);
+        (
+            choice,
+            GnnResult {
+                neighbors: neighbors.to_vec(),
+                stats,
+            },
+        )
+    }
+
+    /// Plans and runs a memory-resident k-GNN query through caller-provided
+    /// scratch storage (allocation-free in steady state).
+    pub fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (Choice, &'s [Neighbor], QueryStats) {
         match self.choose_memory(group) {
-            Choice::Spm => (Choice::Spm, Spm::best_first().k_gnn(cursor, group, k)),
-            _ => (Choice::Mbm, Mbm::best_first().k_gnn(cursor, group, k)),
+            Choice::Spm => {
+                let (neighbors, stats) = Spm::best_first().k_gnn_in(cursor, group, k, scratch);
+                (Choice::Spm, neighbors, stats)
+            }
+            _ => {
+                let (neighbors, stats) = Mbm::best_first().k_gnn_in(cursor, group, k, scratch);
+                (Choice::Mbm, neighbors, stats)
+            }
         }
+    }
+
+    /// Runs a batch of memory-resident k-GNN queries through one scratch —
+    /// the engine's steady-state entry point. After the first (warm-up)
+    /// query the batch performs no heap allocations; `sink` receives each
+    /// query's index, the planner's choice, the neighbors (valid for the
+    /// duration of the callback) and the cost counters.
+    pub fn run_many(
+        &self,
+        cursor: &TreeCursor<'_>,
+        groups: &[QueryGroup],
+        k: usize,
+        scratch: &mut QueryScratch,
+        mut sink: impl FnMut(usize, Choice, &[Neighbor], &QueryStats),
+    ) {
+        for (i, group) in groups.iter().enumerate() {
+            let (choice, neighbors, stats) = self.k_gnn_in(cursor, group, k, scratch);
+            sink(i, choice, neighbors, &stats);
+        }
+    }
+
+    /// Like [`Planner::run_many`] but collecting owned results (allocates
+    /// per query; convenience for callers that want the data anyway).
+    pub fn run_many_collect(
+        &self,
+        cursor: &TreeCursor<'_>,
+        groups: &[QueryGroup],
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(Choice, GnnResult)> {
+        let mut out = Vec::with_capacity(groups.len());
+        self.run_many(cursor, groups, k, scratch, |_, choice, neighbors, stats| {
+            out.push((
+                choice,
+                GnnResult {
+                    neighbors: neighbors.to_vec(),
+                    stats: *stats,
+                },
+            ));
+        });
+        out
     }
 
     /// Plans and runs a disk-resident k-GNN query.

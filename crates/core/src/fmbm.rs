@@ -15,14 +15,19 @@
 //!   computation.
 //!
 //! Both the best-first (paper's experimental setup) and depth-first
-//! (Figure 4.7 as printed) traversals are provided.
+//! (Figure 4.7 as printed) traversals are provided. All per-query state —
+//! the traversal heap, the leaf-processing matrices, the group load buffer —
+//! lives in [`FmbmScratch`] inside [`crate::QueryScratch`], and the
+//! per-point `mindist(p, M_i)` pre-pass runs through the batched leaf
+//! kernels (vectorized on packed snapshots).
 
 use crate::best_list::KBestList;
 use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, FileGnnAlgorithm, Traversal};
 use gnn_geom::{OrderedF64, Point, Rect};
 use gnn_qfile::{FileCursor, GroupSpec, GroupedQueryFile};
-use gnn_rtree::{LeafEntry, Node, PageId, TreeCursor};
+use gnn_rtree::{LeafEntry, LeafRef, PageId, PageRef, TreeCursor};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -33,6 +38,50 @@ pub struct Fmbm {
     /// Best-first (default, matches the paper's experiments) or depth-first
     /// (Figure 4.7) traversal.
     pub traversal: Traversal,
+}
+
+/// One live point of a leaf being processed: its entry, the accumulated
+/// aggregate over the groups loaded so far, and the row of its heuristic-6
+/// suffix table inside [`FmbmScratch::suffix`].
+#[derive(Debug, Clone, Copy)]
+struct AliveSlot {
+    entry: LeafEntry,
+    acc: f64,
+    row: u32,
+}
+
+/// Reusable storage of one F-MBM query.
+#[derive(Debug, Default)]
+pub(crate) struct FmbmScratch {
+    /// Best-first traversal heap (heuristic-5 keys).
+    heap: BinaryHeap<Reverse<(OrderedF64, PageId, Rect2)>>,
+    /// Group processing order per leaf (descending node mindist).
+    order: Vec<usize>,
+    /// Per-group sort keys for `order`.
+    keys: Vec<f64>,
+    /// Live points of the leaf being processed.
+    alive: Vec<AliveSlot>,
+    /// Heuristic-6 suffix table, row-major with stride `m + 1`.
+    suffix: Vec<f64>,
+    /// Batched `mindist²(p, M_i)` output, one leaf page at a time.
+    d2: Vec<f64>,
+    /// Group load buffer (reused across `load_group_into` calls).
+    group_pts: Vec<Point>,
+}
+
+impl FmbmScratch {
+    pub(crate) fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
+        [
+            self.heap.capacity(),
+            self.order.capacity(),
+            self.keys.capacity(),
+            self.alive.capacity(),
+            self.suffix.capacity(),
+            self.d2.capacity(),
+            self.group_pts.capacity(),
+        ]
+        .into_iter()
+    }
 }
 
 impl Fmbm {
@@ -50,7 +99,9 @@ impl Fmbm {
         }
     }
 
-    /// Retrieves the `k` group nearest neighbors of the whole query file.
+    /// Retrieves the `k` group nearest neighbors of the whole query file
+    /// (convenience wrapper allocating a fresh [`QueryScratch`]; see
+    /// [`Fmbm::k_gnn_in`]).
     pub fn k_gnn(
         &self,
         data: &TreeCursor<'_>,
@@ -59,19 +110,49 @@ impl Fmbm {
         k: usize,
         aggregate: Aggregate,
     ) -> GnnResult {
+        let mut scratch = QueryScratch::new();
+        let (neighbors, stats) =
+            self.k_gnn_in(data, query, query_cursor, k, aggregate, &mut scratch);
+        GnnResult {
+            neighbors: neighbors.to_vec(),
+            stats,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors using caller-provided
+    /// scratch storage.
+    pub fn k_gnn_in<'s>(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
         let t0 = Instant::now();
         let data_before = data.stats();
         let qpages_before = query_cursor.page_reads();
-        if query.group_count() == 0 || data.tree().is_empty() {
-            return GnnResult::default();
+        let QueryScratch {
+            best,
+            out,
+            fmbm,
+            df_pool,
+            ..
+        } = scratch;
+        if query.group_count() == 0 || data.is_empty() {
+            out.clear();
+            return (&*out, QueryStats::default());
         }
+        best.reset(k);
 
         let mut ctx = SearchCtx {
             query,
             query_cursor,
             aggregate,
-            best: KBestList::new(k),
+            best,
             dist_computations: 0,
+            scratch: fmbm,
         };
 
         match self.traversal {
@@ -79,27 +160,28 @@ impl Fmbm {
                 // Min-heap of nodes keyed by weighted mindist (heuristic 5
                 // is the termination rule: once the key reaches best_dist,
                 // nothing below any pending node can win).
-                let mut heap: BinaryHeap<Reverse<(OrderedF64, PageId, Rect2)>> = BinaryHeap::new();
                 let root_key = ctx.weighted_mindist_rect(&data.root_mbr());
-                heap.push(Reverse((
+                ctx.scratch.heap.clear();
+                ctx.scratch.heap.push(Reverse((
                     OrderedF64(root_key),
                     data.root(),
                     Rect2(data.root_mbr()),
                 )));
-                while let Some(Reverse((key, id, mbr))) = heap.pop() {
+                while let Some(Reverse((key, id, mbr))) = ctx.scratch.heap.pop() {
                     if key.get() >= ctx.best.bound() {
                         break;
                     }
                     match data.read(id) {
-                        Node::Leaf(es) => ctx.process_leaf(es, &mbr.0),
-                        Node::Internal(bs) => {
-                            for b in bs {
-                                let child_key = ctx.weighted_mindist_rect(&b.mbr);
+                        PageRef::Leaf(es) => ctx.process_leaf(&es, &mbr.0),
+                        PageRef::Internal(view) => {
+                            for i in 0..view.len() {
+                                let child_mbr = view.mbr(i);
+                                let child_key = ctx.weighted_mindist_rect(&child_mbr);
                                 if child_key < ctx.best.bound() {
-                                    heap.push(Reverse((
+                                    ctx.scratch.heap.push(Reverse((
                                         OrderedF64(child_key),
-                                        b.child,
-                                        Rect2(b.mbr),
+                                        view.child(i),
+                                        Rect2(child_mbr),
                                     )));
                                 }
                             }
@@ -108,60 +190,75 @@ impl Fmbm {
                 }
             }
             Traversal::DepthFirst => {
-                self.df_visit(data, data.root(), &data.root_mbr(), &mut ctx);
+                self.df_visit(data, data.root(), &data.root_mbr(), &mut ctx, df_pool, 0);
             }
         }
 
-        GnnResult {
-            neighbors: ctx.best.into_sorted(),
-            stats: QueryStats {
-                data_tree: data.stats().since(data_before),
-                query_file_pages: query_cursor.page_reads() - qpages_before,
-                dist_computations: ctx.dist_computations,
-                elapsed: t0.elapsed(),
-                ..QueryStats::default()
-            },
-        }
+        let stats = QueryStats {
+            data_tree: data.stats().since(data_before),
+            query_file_pages: query_cursor.page_reads() - qpages_before,
+            dist_computations: ctx.dist_computations,
+            elapsed: t0.elapsed(),
+            ..QueryStats::default()
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 
     /// Figure 4.7's depth-first recursion: children in ascending weighted
-    /// mindist, stop at the first failing heuristic 5.
+    /// mindist, stop at the first failing heuristic 5. Sort buffers come
+    /// from the per-level scratch pool.
     fn df_visit(
         &self,
         data: &TreeCursor<'_>,
         id: PageId,
         node_mbr: &Rect,
-        ctx: &mut SearchCtx<'_, '_, '_>,
+        ctx: &mut SearchCtx<'_, '_, '_, '_>,
+        pool: &mut Vec<Vec<(f64, u32)>>,
+        depth: usize,
     ) {
         match data.read(id) {
-            Node::Internal(bs) => {
-                let mut order: Vec<(f64, &gnn_rtree::Branch)> = bs
-                    .iter()
-                    .map(|b| (ctx.weighted_mindist_rect(&b.mbr), b))
-                    .collect();
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (wmd, b) in order {
+            PageRef::Internal(view) => {
+                if pool.len() <= depth {
+                    pool.resize_with(depth + 1, Vec::new);
+                }
+                let mut order = std::mem::take(&mut pool[depth]);
+                order.clear();
+                order.extend(
+                    (0..view.len()).map(|i| (ctx.weighted_mindist_rect(&view.mbr(i)), i as u32)),
+                );
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for &(wmd, i) in &order {
                     if wmd >= ctx.best.bound() {
                         break; // heuristic 5; sorted, so the rest fail too
                     }
-                    self.df_visit(data, b.child, &b.mbr, ctx);
+                    self.df_visit(
+                        data,
+                        view.child(i as usize),
+                        &view.mbr(i as usize),
+                        ctx,
+                        pool,
+                        depth + 1,
+                    );
                 }
+                pool[depth] = order;
             }
-            Node::Leaf(es) => ctx.process_leaf(es, node_mbr),
+            PageRef::Leaf(es) => ctx.process_leaf(&es, node_mbr),
         }
     }
 }
 
 /// Shared state of one F-MBM search.
-struct SearchCtx<'q, 'f, 'c> {
+struct SearchCtx<'q, 'f, 'c, 's> {
     query: &'q GroupedQueryFile,
     query_cursor: &'c FileCursor<'f>,
     aggregate: Aggregate,
-    best: KBestList,
+    best: &'s mut KBestList,
     dist_computations: u64,
+    scratch: &'s mut FmbmScratch,
 }
 
-impl SearchCtx<'_, '_, '_> {
+impl SearchCtx<'_, '_, '_, '_> {
     /// Heuristic 5's weighted mindist of a rectangle w.r.t. all query
     /// groups: `Σ n_i · mindist(R, M_i)` (SUM), or the max/min of the plain
     /// mindists.
@@ -173,76 +270,82 @@ impl SearchCtx<'_, '_, '_> {
 
     /// Processes one leaf: load groups in descending `mindist(N, M_i)`
     /// order, accumulating distances and shedding points via heuristic 6.
-    fn process_leaf(&mut self, entries: &[LeafEntry], node_mbr: &Rect) {
+    fn process_leaf(&mut self, leaf: &LeafRef<'_>, node_mbr: &Rect) {
+        let entries = leaf.entries();
         let specs = self.query.groups();
         let m = specs.len();
+        let s = &mut *self.scratch;
 
         // Group processing order: descending mindist from this node ("groups
         // that are far from the node are likely to prune numerous data
         // points", §4.3).
-        let mut order: Vec<usize> = (0..m).collect();
-        {
-            let mut keys = vec![0.0f64; m];
-            for (gi, spec) in specs.iter().enumerate() {
-                keys[gi] = node_mbr.mindist_rect(&spec.mbr);
-            }
-            self.dist_computations += m as u64;
-            order.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
-        }
+        s.keys.clear();
+        s.keys
+            .extend(specs.iter().map(|spec| node_mbr.mindist_rect(&spec.mbr)));
+        self.dist_computations += m as u64;
+        s.order.clear();
+        s.order.extend(0..m);
+        let keys = &s.keys;
+        s.order
+            .sort_unstable_by(|&a, &b| keys[b].total_cmp(&keys[a]));
 
         // Per point: mindists to every group MBR (in processing order) and
         // the suffix aggregation of their weighted values — heuristic 6's
-        // "best conceivable remainder" in O(1) per step.
-        struct Alive {
-            entry: LeafEntry,
-            acc: f64,
-            /// `suffix[j]` = aggregate over groups `order[j..]` of
-            /// `n_l · mindist(p, M_l)` (weighted per the aggregate).
-            suffix: Vec<f64>,
+        // "best conceivable remainder" in O(1) per step. The table is built
+        // group-major so each group's `mindist(p, M)` pass runs through the
+        // batched leaf kernel.
+        let stride = m + 1;
+        s.suffix.clear();
+        s.suffix
+            .resize(entries.len() * stride, self.aggregate.identity());
+        for j in (0..m).rev() {
+            let spec = &specs[s.order[j]];
+            leaf.mindist_sq_rect_into(&spec.mbr, &mut s.d2);
+            self.dist_computations += entries.len() as u64;
+            for (e, &d2) in s.d2.iter().enumerate() {
+                let d = d2.sqrt();
+                let weighted = match self.aggregate {
+                    Aggregate::Sum => spec.count as f64 * d,
+                    Aggregate::Max | Aggregate::Min => d,
+                };
+                s.suffix[e * stride + j] =
+                    self.aggregate.fold(s.suffix[e * stride + j + 1], weighted);
+            }
         }
-        let mut alive: Vec<Alive> = entries
-            .iter()
-            .map(|&entry| {
-                let mut suffix = vec![self.aggregate.identity(); m + 1];
-                for j in (0..m).rev() {
-                    let spec = &specs[order[j]];
-                    let d = spec.mbr.mindist_point(entry.point);
-                    let weighted = match self.aggregate {
-                        Aggregate::Sum => spec.count as f64 * d,
-                        Aggregate::Max | Aggregate::Min => d,
-                    };
-                    suffix[j] = self.aggregate.fold(suffix[j + 1], weighted);
-                }
-                self.dist_computations += m as u64;
-                Alive {
-                    entry,
-                    acc: self.aggregate.identity(),
-                    suffix,
-                }
-            })
-            .collect();
+        s.alive.clear();
+        s.alive
+            .extend(entries.iter().enumerate().map(|(e, &entry)| AliveSlot {
+                entry,
+                acc: self.aggregate.identity(),
+                row: e as u32,
+            }));
 
-        for (j, &gi) in order.iter().enumerate() {
+        for j in 0..m {
+            let gi = s.order[j];
             // Heuristic 6 (at j = 0 this is the pure weighted-mindist filter
             // of Figure 4.7's point pre-pass). For MIN the accumulator only
             // shrinks, so the prune key combines accumulated and remainder
             // exactly the same way.
             let bound = self.best.bound();
-            alive.retain(|a| self.aggregate.combine(a.acc, a.suffix[j]) < bound);
-            if alive.is_empty() {
+            let aggregate = self.aggregate;
+            let suffix = &s.suffix;
+            s.alive
+                .retain(|a| aggregate.combine(a.acc, suffix[a.row as usize * stride + j]) < bound);
+            if s.alive.is_empty() {
                 return;
             }
             // Load group `gi` (paying its pages) and accumulate.
-            let pts = self.query.load_group(self.query_cursor, gi);
+            self.query
+                .load_group_into(self.query_cursor, gi, &mut s.group_pts);
             let spec = &specs[gi];
-            for a in alive.iter_mut() {
-                let d = group_distance(&pts, a.entry.point, self.aggregate);
+            for a in s.alive.iter_mut() {
+                let d = group_distance(&s.group_pts, a.entry.point, aggregate);
                 self.dist_computations += spec.count as u64;
-                a.acc = self.aggregate.combine(a.acc, d);
+                a.acc = aggregate.combine(a.acc, d);
             }
         }
 
-        for a in alive {
+        for a in s.alive.drain(..) {
             self.best.offer(Neighbor {
                 id: a.entry.id,
                 point: a.entry.point,
@@ -320,6 +423,18 @@ impl FileGnnAlgorithm for Fmbm {
         aggregate: Aggregate,
     ) -> GnnResult {
         Fmbm::k_gnn(self, data, query, query_cursor, k, aggregate)
+    }
+
+    fn k_gnn_in<'s>(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        Fmbm::k_gnn_in(self, data, query, query_cursor, k, aggregate, scratch)
     }
 }
 
@@ -417,6 +532,24 @@ mod tests {
         check_against_oracle(&data, far, 20, 2, Aggregate::Sum, Fmbm::best_first());
         let within = random_points(60, 37, 10.0, 40.0);
         check_against_oracle(&data, within, 20, 2, Aggregate::Sum, Fmbm::best_first());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let data = random_points(300, 50, 0.0, 100.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut scratch = QueryScratch::new();
+        for seed in 0..4 {
+            let queries = random_points(80, 900 + seed, 10.0, 90.0);
+            let qf = GroupedQueryFile::build_with(queries.clone(), 16, 25);
+            let fc = FileCursor::new(qf.file());
+            let fresh = Fmbm::best_first().k_gnn(&cursor, &qf, &fc, 3, Aggregate::Sum);
+            let (reused, _) =
+                Fmbm::best_first().k_gnn_in(&cursor, &qf, &fc, 3, Aggregate::Sum, &mut scratch);
+            let got: Vec<f64> = reused.iter().map(|n| n.dist).collect();
+            assert_eq!(got, fresh.distances(), "seed={seed}");
+        }
     }
 
     #[test]

@@ -26,11 +26,18 @@
 //!    groups' streams must not occupy two slots of a `k > 1` result list,
 //!    so completed/live point ids are tracked and repeats skipped. This
 //!    subsumes the paper's optional "keep each NN in memory" memoization.
+//!
+//! The per-group stream heaps, thresholds and candidate bookkeeping live in
+//! [`FmqmScratch`] inside [`crate::QueryScratch`]; the streams are
+//! suspended/resumed via [`MbmStream::resume_in`] between round-robin
+//! turns, and candidate `got` masks are recycled through a pool. The only
+//! per-query allocations left are the materialised [`QueryGroup`]s, whose
+//! construction the paper charges to the (metered) group page reads.
 
-use crate::best_list::KBestList;
-use crate::mbm::MbmStream;
+use crate::mbm::{MbmScratch, MbmStream};
 use crate::query::QueryGroup;
 use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, FileGnnAlgorithm};
 use gnn_geom::PointId;
 use gnn_qfile::{FileCursor, GroupedQueryFile};
@@ -43,14 +50,59 @@ use std::time::Instant;
 pub struct Fmqm;
 
 /// A data point whose global distance is being accumulated lazily.
+#[derive(Debug)]
 struct Candidate {
     id: PointId,
     point: gnn_geom::Point,
     /// Aggregate over the groups that have contributed so far.
     acc: f64,
-    /// `got[i]`: group `i` has contributed.
+    /// `got[i]`: group `i` has contributed. Recycled through the pool.
     got: Vec<bool>,
     missing: usize,
+}
+
+/// Reusable storage of one F-MQM query.
+#[derive(Debug, Default)]
+pub(crate) struct FmqmScratch {
+    /// Per-group incremental MBM stream states.
+    streams: Vec<MbmScratch>,
+    /// Per-group thresholds `t_j` (NaN = group not pulled yet).
+    thresholds: Vec<f64>,
+    /// Streams that have enumerated all of `P`.
+    stream_done: Vec<bool>,
+    /// Candidates whose lazy accumulation is in flight.
+    live: Vec<Candidate>,
+    /// Ids of `live` candidates.
+    live_ids: HashSet<u64>,
+    /// Ids already offered to (or dropped from) the best list.
+    finished: HashSet<u64>,
+    /// Recycled `got` masks for candidates.
+    got_pool: Vec<Vec<bool>>,
+}
+
+impl FmqmScratch {
+    pub(crate) fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
+        [
+            self.streams.capacity(),
+            self.thresholds.capacity(),
+            self.stream_done.capacity(),
+            self.live.capacity(),
+            self.live_ids.capacity(),
+            self.finished.capacity(),
+            self.got_pool.capacity(),
+        ]
+        .into_iter()
+        .chain(self.streams.iter().flat_map(MbmScratch::capacity_profile))
+        .chain(self.got_pool.iter().map(Vec::capacity))
+        .chain(self.live.iter().map(|c| c.got.capacity()))
+    }
+
+    fn take_mask(&mut self, m: usize) -> Vec<bool> {
+        let mut mask = self.got_pool.pop().unwrap_or_default();
+        mask.clear();
+        mask.resize(m, false);
+        mask
+    }
 }
 
 impl Fmqm {
@@ -59,7 +111,9 @@ impl Fmqm {
         Fmqm
     }
 
-    /// Retrieves the `k` group nearest neighbors of the whole query file.
+    /// Retrieves the `k` group nearest neighbors of the whole query file
+    /// (convenience wrapper allocating a fresh [`QueryScratch`]; see
+    /// [`Fmqm::k_gnn_in`]).
     pub fn k_gnn(
         &self,
         data: &TreeCursor<'_>,
@@ -68,13 +122,38 @@ impl Fmqm {
         k: usize,
         aggregate: Aggregate,
     ) -> GnnResult {
+        let mut scratch = QueryScratch::new();
+        let (neighbors, stats) =
+            self.k_gnn_in(data, query, query_cursor, k, aggregate, &mut scratch);
+        GnnResult {
+            neighbors: neighbors.to_vec(),
+            stats,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors using caller-provided
+    /// scratch storage.
+    pub fn k_gnn_in<'s>(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
         let t0 = Instant::now();
         let data_before = data.stats();
         let qpages_before = query_cursor.page_reads();
         let m = query.group_count();
-        if m == 0 || data.tree().is_empty() {
-            return GnnResult::default();
+        let QueryScratch {
+            best, out, fmqm, ..
+        } = scratch;
+        if m == 0 || data.is_empty() {
+            out.clear();
+            return (&*out, QueryStats::default());
         }
+        best.reset(k);
 
         // Materialise the per-group QueryGroups once. Building them here is
         // un-metered: every turn below pays the page reads for (re)loading
@@ -91,24 +170,31 @@ impl Fmqm {
             .collect();
 
         // One incremental MBM stream per group, all sharing the data cursor.
-        let mut streams: Vec<MbmStream<'_, '_, '_>> =
-            groups.iter().map(|g| MbmStream::new(data, g)).collect();
-        let mut stream_done = vec![false; m];
+        // Seeding through `new_in` resets each scratch; every round-robin
+        // turn below re-attaches with `resume_in`.
+        if fmqm.streams.len() < m {
+            fmqm.streams.resize_with(m, MbmScratch::default);
+        }
+        for (gi, group) in groups.iter().enumerate() {
+            MbmStream::new_in(data, group, &mut fmqm.streams[gi]);
+        }
+        fmqm.stream_done.clear();
+        fmqm.stream_done.resize(m, false);
+        fmqm.thresholds.clear();
+        fmqm.thresholds.resize(m, f64::NAN); // NaN = group not pulled yet
+        for c in fmqm.live.drain(..) {
+            fmqm.got_pool.push(c.got);
+        }
+        fmqm.live_ids.clear();
+        fmqm.finished.clear();
 
-        let mut thresholds = vec![f64::NAN; m]; // NaN = group not pulled yet
-        let mut best = KBestList::new(k);
-        let mut live: Vec<Candidate> = Vec::new();
-        let mut live_ids: HashSet<u64> = HashSet::new();
-        // Ids already offered to (or dropped from) the best list: a repeat
-        // candidacy would double-count the point for k > 1.
-        let mut finished: HashSet<u64> = HashSet::new();
         let mut dist_computations = 0u64;
         let mut items_pulled = 0u64;
 
         'outer: loop {
             let mut any_stream_alive = false;
             for gi in 0..m {
-                if combine_thresholds(&thresholds, aggregate) >= best.bound() {
+                if combine_thresholds(&fmqm.thresholds, aggregate) >= best.bound() {
                     break 'outer;
                 }
                 // "read next group Qj": one group resides in memory at a
@@ -118,31 +204,35 @@ impl Fmqm {
                 }
 
                 // Advance this group's incremental GNN stream.
-                if !stream_done[gi] {
-                    match streams[gi].next() {
+                if !fmqm.stream_done[gi] {
+                    let next =
+                        MbmStream::resume_in(data, &groups[gi], true, &mut fmqm.streams[gi]).next();
+                    match next {
                         Some(nb) => {
                             any_stream_alive = true;
                             items_pulled += 1;
-                            thresholds[gi] = nb.dist;
-                            if !finished.contains(&nb.id.0) && !live_ids.contains(&nb.id.0) {
-                                let mut got = vec![false; m];
+                            fmqm.thresholds[gi] = nb.dist;
+                            if !fmqm.finished.contains(&nb.id.0)
+                                && !fmqm.live_ids.contains(&nb.id.0)
+                            {
+                                let mut got = fmqm.take_mask(m);
                                 got[gi] = true;
-                                live.push(Candidate {
+                                fmqm.live.push(Candidate {
                                     id: nb.id,
                                     point: nb.point,
                                     acc: nb.dist,
                                     got,
                                     missing: m - 1,
                                 });
-                                live_ids.insert(nb.id.0);
+                                fmqm.live_ids.insert(nb.id.0);
                             }
                         }
                         None => {
                             // The stream enumerated all of P: no unseen
                             // point remains for this group, so its
                             // threshold is infinite.
-                            stream_done[gi] = true;
-                            thresholds[gi] = f64::INFINITY;
+                            fmqm.stream_done[gi] = true;
+                            fmqm.thresholds[gi] = f64::INFINITY;
                         }
                     }
                 }
@@ -151,9 +241,9 @@ impl Fmqm {
                 // candidate that does not have it yet.
                 let group = &groups[gi];
                 let mut i = 0;
-                while i < live.len() {
-                    if !live[i].got[gi] {
-                        let c = &mut live[i];
+                while i < fmqm.live.len() {
+                    if !fmqm.live[i].got[gi] {
+                        let c = &mut fmqm.live[i];
                         c.got[gi] = true;
                         c.acc = aggregate.combine(c.acc, group.dist(c.point));
                         dist_computations += group.len() as u64;
@@ -162,51 +252,57 @@ impl Fmqm {
                         // candidates early (not valid for MIN, which only
                         // shrinks).
                         if aggregate != Aggregate::Min && c.missing > 0 && c.acc >= best.bound() {
-                            let c = live.swap_remove(i);
-                            live_ids.remove(&c.id.0);
-                            finished.insert(c.id.0);
+                            let c = fmqm.live.swap_remove(i);
+                            fmqm.live_ids.remove(&c.id.0);
+                            fmqm.finished.insert(c.id.0);
+                            fmqm.got_pool.push(c.got);
                             continue;
                         }
                     }
-                    if live[i].missing == 0 {
-                        let c = live.swap_remove(i);
-                        live_ids.remove(&c.id.0);
-                        finished.insert(c.id.0);
+                    if fmqm.live[i].missing == 0 {
+                        let c = fmqm.live.swap_remove(i);
+                        fmqm.live_ids.remove(&c.id.0);
+                        fmqm.finished.insert(c.id.0);
                         best.offer(Neighbor {
                             id: c.id,
                             point: c.point,
                             dist: c.acc,
                         });
+                        fmqm.got_pool.push(c.got);
                         continue;
                     }
                     i += 1;
                 }
             }
-            if !any_stream_alive && live.is_empty() {
+            if !any_stream_alive && fmqm.live.is_empty() {
                 break;
             }
         }
 
         // Flush: finish the pending candidates so the answer is exact. Work
         // group-major to pay each group load at most once.
-        if !live.is_empty() {
+        if !fmqm.live.is_empty() {
             for (gi, group) in groups.iter().enumerate() {
                 if aggregate != Aggregate::Min {
-                    live.retain(|c| {
-                        let keep = c.acc < best.bound() || c.missing == 0;
+                    let bound = best.bound();
+                    let live_ids = &mut fmqm.live_ids;
+                    let got_pool = &mut fmqm.got_pool;
+                    fmqm.live.retain_mut(|c| {
+                        let keep = c.acc < bound || c.missing == 0;
                         if !keep {
                             live_ids.remove(&c.id.0);
+                            got_pool.push(std::mem::take(&mut c.got));
                         }
                         keep
                     });
                 }
-                if live.iter().all(|c| c.got[gi]) {
+                if fmqm.live.iter().all(|c| c.got[gi]) {
                     continue;
                 }
                 for p in query.groups()[gi].pages.clone() {
                     query_cursor.read_page(p);
                 }
-                for c in live.iter_mut() {
+                for c in fmqm.live.iter_mut() {
                     if !c.got[gi] {
                         c.got[gi] = true;
                         c.acc = aggregate.combine(c.acc, group.dist(c.point));
@@ -215,28 +311,32 @@ impl Fmqm {
                     }
                 }
             }
-            for c in live.drain(..) {
+            for c in fmqm.live.drain(..) {
                 debug_assert_eq!(c.missing, 0);
                 best.offer(Neighbor {
                     id: c.id,
                     point: c.point,
                     dist: c.acc,
                 });
+                fmqm.got_pool.push(c.got);
             }
+            fmqm.live_ids.clear();
         }
 
-        let stream_dist: u64 = streams.iter().map(|s| s.dist_computations()).sum();
-        GnnResult {
-            neighbors: best.into_sorted(),
-            stats: QueryStats {
-                data_tree: data.stats().since(data_before),
-                query_file_pages: query_cursor.page_reads() - qpages_before,
-                dist_computations: dist_computations + stream_dist,
-                items_pulled,
-                elapsed: t0.elapsed(),
-                ..QueryStats::default()
-            },
-        }
+        let stream_dist: u64 = fmqm.streams[..m]
+            .iter()
+            .map(MbmScratch::dist_computations)
+            .sum();
+        let stats = QueryStats {
+            data_tree: data.stats().since(data_before),
+            query_file_pages: query_cursor.page_reads() - qpages_before,
+            dist_computations: dist_computations + stream_dist,
+            items_pulled,
+            elapsed: t0.elapsed(),
+            ..QueryStats::default()
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 }
 
@@ -275,6 +375,18 @@ impl FileGnnAlgorithm for Fmqm {
         aggregate: Aggregate,
     ) -> GnnResult {
         Fmqm::k_gnn(self, data, query, query_cursor, k, aggregate)
+    }
+
+    fn k_gnn_in<'s>(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        Fmqm::k_gnn_in(self, data, query, query_cursor, k, aggregate, scratch)
     }
 }
 
@@ -385,6 +497,24 @@ mod tests {
         let data = random_points(200, 19, 0.0, 50.0);
         let queries = random_points(70, 20, 100.0, 150.0);
         check_against_oracle(&data, queries, 24, 2, Aggregate::Sum);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let data = random_points(300, 60, 0.0, 100.0);
+        let tree = data_tree(&data);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut scratch = QueryScratch::new();
+        for seed in 0..4 {
+            let queries = random_points(96, 800 + seed, 15.0, 85.0);
+            let qf = GroupedQueryFile::build_with(queries, 16, 32);
+            let fc = FileCursor::new(qf.file());
+            let fresh = Fmqm::new().k_gnn(&cursor, &qf, &fc, 4, Aggregate::Sum);
+            let (reused, _) =
+                Fmqm::new().k_gnn_in(&cursor, &qf, &fc, 4, Aggregate::Sum, &mut scratch);
+            let got: Vec<f64> = reused.iter().map(|n| n.dist).collect();
+            assert_eq!(got, fresh.distances(), "seed={seed}");
+        }
     }
 
     #[test]

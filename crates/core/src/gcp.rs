@@ -87,7 +87,7 @@ impl Gcp {
         let t0 = Instant::now();
         let data_before = data.stats();
         let query_before = query.stats();
-        let n = query.tree().len();
+        let n = query.len();
         let mut best = KBestList::new(k);
         let mut list: HashMap<u64, QualEntry> = HashMap::new();
         let mut threshold = 0.0f64; // the global threshold T
@@ -95,7 +95,7 @@ impl Gcp {
         let mut dist_computations = 0u64;
         let mut aborted = false;
 
-        if n > 0 && !data.tree().is_empty() {
+        if n > 0 && !data.is_empty() {
             let mut cp = ClosestPairs::with_heap_limit(data, query, self.heap_limit);
             loop {
                 let Some(pair) = cp.next() else {

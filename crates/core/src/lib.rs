@@ -65,6 +65,7 @@ mod mbm;
 mod mqm;
 mod query;
 mod result;
+mod scratch;
 mod spm;
 
 pub use aggregate::Aggregate;
@@ -73,10 +74,11 @@ pub use engine::{Choice, Planner};
 pub use fmbm::Fmbm;
 pub use fmqm::Fmqm;
 pub use gcp::{Gcp, GCP_DEFAULT_HEAP_LIMIT};
-pub use mbm::{Mbm, MbmStream};
+pub use mbm::{Mbm, MbmScratch, MbmStream};
 pub use mqm::Mqm;
 pub use query::{QueryGroup, QueryGroupError};
 pub use result::{GnnResult, Neighbor, QueryStats};
+pub use scratch::QueryScratch;
 pub use spm::{CentroidMethod, Spm};
 
 use gnn_qfile::{FileCursor, GroupedQueryFile};
@@ -108,6 +110,22 @@ pub trait MemoryGnnAlgorithm {
 
     /// Retrieves the `k` group nearest neighbors of `group`.
     fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult;
+
+    /// Retrieves the `k` group nearest neighbors reusing caller-provided
+    /// scratch storage. With a warmed-up [`QueryScratch`], steady-state
+    /// queries perform zero heap allocations (the seed behavior — one
+    /// fresh set of heaps and lists per query — remains available through
+    /// [`MemoryGnnAlgorithm::k_gnn`]).
+    fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        let result = self.k_gnn(cursor, group, k);
+        scratch.stash(result)
+    }
 }
 
 /// A GNN algorithm for disk-resident, non-indexed query files (paper
@@ -126,4 +144,19 @@ pub trait FileGnnAlgorithm {
         k: usize,
         aggregate: Aggregate,
     ) -> GnnResult;
+
+    /// Retrieves the `k` group nearest neighbors reusing caller-provided
+    /// scratch storage (see [`QueryScratch`]).
+    fn k_gnn_in<'s>(
+        &self,
+        data: &TreeCursor<'_>,
+        query: &GroupedQueryFile,
+        query_cursor: &FileCursor<'_>,
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        let result = self.k_gnn(data, query, query_cursor, k, aggregate);
+        scratch.stash(result)
+    }
 }

@@ -18,16 +18,33 @@
 //! The best-first variant is exposed as an *incremental* [`MbmStream`]
 //! yielding group neighbors in ascending `dist(p, Q)` — the building block
 //! F-MQM needs (§4.2), and also how `k` can remain unknown in advance.
+//!
+//! The hot path is allocation-free in steady state: node scans run through
+//! the batched `mindist²` kernels of the cursor's [`PageRef`] view
+//! (vectorized on packed snapshots), and all per-query storage — the
+//! best-first heap, the bound buffer, the result list — lives in a
+//! reusable [`MbmScratch`] / [`crate::QueryScratch`].
 
 use crate::best_list::KBestList;
 use crate::query::QueryGroup;
 use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, MemoryGnnAlgorithm, Traversal};
-use gnn_geom::OrderedF64;
-use gnn_rtree::{LeafEntry, Node, PageId, TreeCursor};
+use gnn_geom::{OrderedF64, Point};
+use gnn_rtree::{LeafEntry, PageId, PageRef, ScratchRef, TreeCursor};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
+
+/// Default pre-sizing of the incremental stream's priority queue; covers the
+/// paper-scale workloads without a single regrowth.
+const STREAM_HEAP_CAPACITY: usize = 256;
+
+/// How many pending leaf-run points the packed engine converts to exact
+/// distances per batch. Conversion keys only rise (approx → exact), so the
+/// node-access trace is unaffected; batching merely amortises the kernel
+/// and the run bookkeeping over 16 points.
+const CONVERT_CHUNK: usize = 16;
 
 /// The minimum bounding method.
 #[derive(Debug, Clone, Copy)]
@@ -66,22 +83,49 @@ impl Mbm {
         }
     }
 
-    /// Retrieves the `k` group nearest neighbors.
+    /// Retrieves the `k` group nearest neighbors (convenience wrapper that
+    /// allocates a fresh [`QueryScratch`]; see [`Mbm::k_gnn_in`] for the
+    /// steady-state entry point).
     pub fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        let mut scratch = QueryScratch::new();
+        let (neighbors, stats) = self.k_gnn_in(cursor, group, k, &mut scratch);
+        GnnResult {
+            neighbors: neighbors.to_vec(),
+            stats,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors using caller-provided
+    /// scratch storage. A warmed-up scratch makes repeated queries perform
+    /// **zero heap allocations**.
+    pub fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
         assert!(
             self.use_h2 || self.use_h3,
             "MBM needs at least one pruning heuristic enabled"
         );
         let t0 = Instant::now();
         let before = cursor.stats();
-        let mut best = KBestList::new(k);
+        let QueryScratch {
+            best,
+            out,
+            mbm,
+            df_pool,
+            ..
+        } = scratch;
+        best.reset(k);
         let mut dist_computations = 0u64;
 
         match self.traversal {
             Traversal::BestFirst => {
                 // The stream ascends, so its first k items are exactly the
                 // k-GNN; pulling a (k+1)-th would only waste node accesses.
-                let mut stream = MbmStream::with_heuristics(cursor, group, self.use_h3);
+                let mut stream = MbmStream::with_heuristics_in(cursor, group, self.use_h3, mbm);
                 while best.len() < k {
                     let Some(n) = stream.next() else { break };
                     best.offer(n);
@@ -89,27 +133,28 @@ impl Mbm {
                 dist_computations += stream.dist_computations();
             }
             Traversal::DepthFirst => {
-                if !cursor.tree().is_empty() {
+                if !cursor.is_empty() {
                     self.df_visit(
                         cursor,
                         cursor.root(),
                         group,
-                        &mut best,
+                        best,
                         &mut dist_computations,
+                        df_pool,
+                        0,
                     );
                 }
             }
         }
 
-        GnnResult {
-            neighbors: best.into_sorted(),
-            stats: QueryStats {
-                data_tree: cursor.stats().since(before),
-                dist_computations,
-                elapsed: t0.elapsed(),
-                ..QueryStats::default()
-            },
-        }
+        let stats = QueryStats {
+            data_tree: cursor.stats().since(before),
+            dist_computations,
+            elapsed: t0.elapsed(),
+            ..QueryStats::default()
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 
     /// Opens the incremental best-first stream (always uses heuristic-3
@@ -118,11 +163,13 @@ impl Mbm {
         &self,
         cursor: &'c TreeCursor<'t>,
         group: &'g QueryGroup,
-    ) -> MbmStream<'t, 'c, 'g> {
+    ) -> MbmStream<'t, 'c, 'g, 'static> {
         MbmStream::with_heuristics(cursor, group, self.use_h3)
     }
 
-    /// Figure 3.7's depth-first recursion.
+    /// Figure 3.7's depth-first recursion. Per-level sort buffers come from
+    /// the scratch pool, so the recursion allocates nothing in steady state.
+    #[allow(clippy::too_many_arguments)]
     fn df_visit(
         &self,
         cursor: &TreeCursor<'_>,
@@ -130,41 +177,56 @@ impl Mbm {
         group: &QueryGroup,
         best: &mut KBestList,
         dist_computations: &mut u64,
+        pool: &mut Vec<Vec<(f64, u32)>>,
+        depth: usize,
     ) {
+        if pool.len() <= depth {
+            pool.resize_with(depth + 1, Vec::new);
+        }
+        let mut order = std::mem::take(&mut pool[depth]);
+        order.clear();
         match cursor.read(id) {
-            Node::Internal(bs) => {
-                // Children sorted by mindist to M (the cheap metric).
-                let mut order: Vec<(f64, &gnn_rtree::Branch)> = bs
-                    .iter()
-                    .map(|b| (b.mbr.mindist_rect(&group.mbr()), b))
-                    .collect();
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (_, b) in order {
-                    if self.use_h2 && group.cheap_bound_rect(&b.mbr) >= best.bound() {
+            PageRef::Internal(view) => {
+                // Children sorted by mindist² to M (same order as mindist).
+                let m = group.mbr();
+                order.extend((0..view.len()).map(|i| (view.mbr(i).mindist_rect_sq(&m), i as u32)));
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for &(d2, i) in &order {
+                    if self.use_h2 && group.cheap_bound_from_sq(d2) >= best.bound() {
                         break; // sorted by the same metric: the rest fail too
                     }
                     if self.use_h3 {
                         *dist_computations += group.len() as u64;
-                        if group.tight_bound_rect(&b.mbr) >= best.bound() {
+                        if group.tight_bound_rect(&view.mbr(i as usize)) >= best.bound() {
                             continue;
                         }
                     }
-                    self.df_visit(cursor, b.child, group, best, dist_computations);
+                    self.df_visit(
+                        cursor,
+                        view.child(i as usize),
+                        group,
+                        best,
+                        dist_computations,
+                        pool,
+                        depth + 1,
+                    );
                 }
             }
-            Node::Leaf(es) => {
-                let mut order: Vec<(f64, usize)> = es
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (group.mbr().mindist_point(e.point), i))
-                    .collect();
+            PageRef::Leaf(es) => {
+                let m = group.mbr();
+                order.extend(
+                    es.entries()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| (m.mindist_point_sq(e.point), i as u32)),
+                );
                 *dist_computations += es.len() as u64;
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (_, i) in order {
-                    let e = es[i];
-                    if group.cheap_bound_point(e.point) >= best.bound() {
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for &(d2, i) in &order {
+                    if group.cheap_bound_from_sq(d2) >= best.bound() {
                         break;
                     }
+                    let e = es.entries()[i as usize];
                     let dist = group.dist(e.point);
                     *dist_computations += group.len() as u64;
                     best.offer(Neighbor {
@@ -175,6 +237,7 @@ impl Mbm {
                 }
             }
         }
+        pool[depth] = order;
     }
 }
 
@@ -190,13 +253,23 @@ impl MemoryGnnAlgorithm for Mbm {
     fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
         Mbm::k_gnn(self, cursor, group, k)
     }
+
+    fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        Mbm::k_gnn_in(self, cursor, group, k, scratch)
+    }
 }
 
 /// Heap element of the incremental stream. Every key is a lower bound on the
 /// aggregate distance of whatever the element may still produce, so popping
 /// in key order yields neighbors in exact ascending order.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct StreamItem {
+pub(crate) struct StreamItem {
     key: OrderedF64,
     /// Exact points (2) pop before approximations (1) and nodes (0) on ties,
     /// surfacing results as early as possible.
@@ -213,6 +286,12 @@ enum StreamKind {
     PointApprox(LeafEntry),
     /// A data point keyed by its exact aggregate distance.
     PointExact(LeafEntry),
+    /// Packed engine only: a whole leaf's entries, key-sorted ascending in
+    /// [`MbmScratch::runs`], represented in the heap by its unconsumed head
+    /// (one heap item per leaf instead of one per entry). Popping consumes
+    /// the head — equivalent to popping that entry's `PointApprox` — and
+    /// re-inserts the run keyed by the next entry.
+    Run(u32),
 }
 
 impl Eq for StreamItem {}
@@ -227,6 +306,7 @@ impl Ord for StreamItem {
             match k {
                 StreamKind::PointExact(e) => (0, e.id.0),
                 StreamKind::PointApprox(e) => (1, e.id.0),
+                StreamKind::Run(rid) => (1, u64::from(*rid)),
                 StreamKind::Node(p) => (2, u64::from(p.raw())),
             }
         }
@@ -236,32 +316,203 @@ impl Ord for StreamItem {
     }
 }
 
-/// Incremental best-first MBM: yields group nearest neighbors in ascending
-/// aggregate distance, reading R-tree nodes lazily.
-pub struct MbmStream<'t, 'c, 'g> {
-    cursor: &'c TreeCursor<'t>,
-    group: &'g QueryGroup,
+/// Reusable storage of one incremental MBM stream: the priority queue, the
+/// batched-kernel bound buffers, and the stream's distance-computation
+/// counter and anchor (which must survive suspend/resume cycles — F-MQM
+/// serves its group streams round-robin through [`MbmStream::resume_in`]).
+#[derive(Debug, Default)]
+pub struct MbmScratch {
     heap: BinaryHeap<Reverse<StreamItem>>,
-    use_tight: bool,
+    bounds: Vec<f64>,
+    bounds2: Vec<f64>,
+    bounds3: Vec<f64>,
+    /// Whether the stream runs the packed fast path (sorted runs, batched
+    /// kernels, anchor keys) or the seed's reference mechanics.
+    fast: bool,
+    /// Packed-engine anchor `(c, dist(c, Q))` for the strengthened point
+    /// keys (SUM only); `None` on the reference (arena) path.
+    anchor: Option<(Point, f64)>,
+    /// Sorted leaf runs (packed engine): per-run `(key, entry)` ascending.
+    runs: Vec<Vec<(f64, LeafEntry)>>,
+    /// Consumption cursor of each run.
+    run_pos: Vec<usize>,
+    /// Recycled run slots.
+    free_runs: Vec<u32>,
     dist_computations: u64,
 }
 
-impl<'t, 'c, 'g> MbmStream<'t, 'c, 'g> {
-    /// Opens a stream with heuristic-3 (tight) node bounds.
-    pub fn new(cursor: &'c TreeCursor<'t>, group: &'g QueryGroup) -> Self {
+impl MbmScratch {
+    /// Scratch pre-sized for a heap of `capacity` pending items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MbmScratch {
+            heap: BinaryHeap::with_capacity(capacity),
+            bounds: Vec::with_capacity(64),
+            bounds2: Vec::with_capacity(64),
+            bounds3: Vec::with_capacity(64),
+            fast: false,
+            anchor: None,
+            runs: Vec::new(),
+            run_pos: Vec::new(),
+            free_runs: Vec::new(),
+            dist_computations: 0,
+        }
+    }
+
+    fn alloc_run(&mut self) -> u32 {
+        if let Some(rid) = self.free_runs.pop() {
+            rid
+        } else {
+            self.runs.push(Vec::new());
+            self.run_pos.push(0);
+            u32::try_from(self.runs.len() - 1).expect("run id overflow")
+        }
+    }
+
+    /// Current heap capacity (diagnostics for the no-regrowth tests).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Current number of pending heap items (diagnostics).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Every internal buffer capacity (for the no-regrowth tests — any
+    /// buffer omitted here could silently reintroduce steady-state
+    /// allocations).
+    pub(crate) fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
+        [
+            self.heap.capacity(),
+            self.bounds.capacity(),
+            self.bounds2.capacity(),
+            self.bounds3.capacity(),
+            self.runs.capacity(),
+            self.run_pos.capacity(),
+            self.free_runs.capacity(),
+        ]
+        .into_iter()
+        .chain(self.runs.iter().map(Vec::capacity))
+    }
+
+    /// Point-distance evaluations performed by the stream backed by this
+    /// scratch since it was last (re)seeded.
+    pub fn dist_computations(&self) -> u64 {
+        self.dist_computations
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.bounds.clear();
+        self.bounds2.clear();
+        self.bounds3.clear();
+        self.fast = false;
+        self.anchor = None;
+        self.free_runs.clear();
+        for i in 0..self.runs.len() {
+            self.free_runs.push(i as u32);
+        }
+        self.dist_computations = 0;
+    }
+}
+
+/// Incremental best-first MBM: yields group nearest neighbors in ascending
+/// aggregate distance, reading R-tree nodes lazily.
+pub struct MbmStream<'t, 'c, 'g, 's> {
+    cursor: &'c TreeCursor<'t>,
+    group: &'g QueryGroup,
+    use_tight: bool,
+    scratch: ScratchRef<'s, MbmScratch>,
+}
+
+impl<'t, 'c, 'g, 's> MbmStream<'t, 'c, 'g, 's> {
+    /// Opens a stream with heuristic-3 (tight) node bounds and its own
+    /// (pre-sized) storage.
+    pub fn new(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+    ) -> MbmStream<'t, 'c, 'g, 'static> {
         Self::with_heuristics(cursor, group, true)
     }
 
     /// Opens a stream choosing between tight (H3) and cheap (H2-only) node
-    /// bounds.
+    /// bounds, with its own (pre-sized) storage.
     pub fn with_heuristics(
         cursor: &'c TreeCursor<'t>,
         group: &'g QueryGroup,
         use_tight: bool,
-    ) -> Self {
-        let mut heap = BinaryHeap::new();
-        if !cursor.tree().is_empty() {
-            heap.push(Reverse(StreamItem {
+    ) -> MbmStream<'t, 'c, 'g, 'static> {
+        MbmStream::<'t, 'c, 'g, 'static>::open(
+            cursor,
+            group,
+            use_tight,
+            ScratchRef::Owned(Box::new(MbmScratch::with_capacity(STREAM_HEAP_CAPACITY))),
+        )
+    }
+
+    /// Opens a stream reusing `scratch` (cleared and re-seeded first).
+    pub fn new_in(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+        scratch: &'s mut MbmScratch,
+    ) -> MbmStream<'t, 'c, 'g, 's> {
+        Self::with_heuristics_in(cursor, group, true, scratch)
+    }
+
+    /// Opens a stream with explicit heuristics, reusing `scratch`.
+    pub fn with_heuristics_in(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+        use_tight: bool,
+        scratch: &'s mut MbmScratch,
+    ) -> MbmStream<'t, 'c, 'g, 's> {
+        Self::open(cursor, group, use_tight, ScratchRef::Borrowed(scratch))
+    }
+
+    /// Re-attaches to a suspended stream whose state lives in `scratch`
+    /// (seeded earlier by [`MbmStream::new_in`]): nothing is cleared, the
+    /// stream continues exactly where it stopped. This is how F-MQM serves
+    /// many group streams round-robin without keeping borrow-holding stream
+    /// objects alive.
+    pub fn resume_in(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+        use_tight: bool,
+        scratch: &'s mut MbmScratch,
+    ) -> MbmStream<'t, 'c, 'g, 's> {
+        MbmStream {
+            cursor,
+            group,
+            use_tight,
+            scratch: ScratchRef::Borrowed(scratch),
+        }
+    }
+
+    fn open(
+        cursor: &'c TreeCursor<'t>,
+        group: &'g QueryGroup,
+        use_tight: bool,
+        mut scratch: ScratchRef<'s, MbmScratch>,
+    ) -> MbmStream<'t, 'c, 'g, 's> {
+        let s = scratch.get();
+        s.reset();
+        if !cursor.is_empty() {
+            // Packed snapshots run the read-optimized engine: batched
+            // kernels, sorted leaf runs, and — for SUM — point keys
+            // strengthened with the Lemma-1 anchor bound
+            // `W·|p c| − dist(c, Q)` (a valid lower bound for any anchor
+            // `c`, by the triangle inequality). None of this steers node
+            // expansion — a node is read iff its own key beats the k-th
+            // result distance — so node accesses stay identical to the
+            // arena reference path; the fast path only reduces per-point
+            // CPU and priority-queue traffic.
+            s.fast = cursor.is_packed();
+            if s.fast && group.aggregate() == Aggregate::Sum {
+                let c = group.mbr().center();
+                s.anchor = Some((c, group.dist(c)));
+                s.dist_computations += group.len() as u64;
+            }
+            s.heap.push(Reverse(StreamItem {
                 key: OrderedF64(0.0), // root must always be expanded
                 kind: StreamKind::Node(cursor.root()),
             }));
@@ -269,40 +520,36 @@ impl<'t, 'c, 'g> MbmStream<'t, 'c, 'g> {
         MbmStream {
             cursor,
             group,
-            heap,
             use_tight,
-            dist_computations: 0,
+            scratch,
         }
     }
 
     /// Point-distance evaluations performed so far (CPU proxy).
     pub fn dist_computations(&self) -> u64 {
-        self.dist_computations
+        self.scratch.peek().dist_computations
     }
 
     /// Lower bound on the aggregate distance of every not-yet-yielded data
     /// point (`None` when the stream is exhausted).
     pub fn peek_bound(&self) -> Option<f64> {
-        self.heap.peek().map(|Reverse(i)| i.key.get())
-    }
-
-    fn node_bound(&mut self, mbr: &gnn_geom::Rect) -> f64 {
-        let cheap = self.group.cheap_bound_rect(mbr);
-        self.dist_computations += 1;
-        if self.use_tight {
-            self.dist_computations += self.group.len() as u64;
-            cheap.max(self.group.tight_bound_rect(mbr))
-        } else {
-            cheap
-        }
+        self.scratch
+            .peek()
+            .heap
+            .peek()
+            .map(|Reverse(i)| i.key.get())
     }
 }
 
-impl Iterator for MbmStream<'_, '_, '_> {
+impl Iterator for MbmStream<'_, '_, '_, '_> {
     type Item = Neighbor;
 
     fn next(&mut self) -> Option<Neighbor> {
-        while let Some(Reverse(item)) = self.heap.pop() {
+        let group = self.group;
+        let cursor = self.cursor;
+        let use_tight = self.use_tight;
+        let s = self.scratch.get();
+        while let Some(Reverse(item)) = s.heap.pop() {
             match item.kind {
                 StreamKind::PointExact(e) => {
                     return Some(Neighbor {
@@ -312,30 +559,139 @@ impl Iterator for MbmStream<'_, '_, '_> {
                     });
                 }
                 StreamKind::PointApprox(e) => {
-                    let dist = self.group.dist(e.point);
-                    self.dist_computations += self.group.len() as u64;
-                    self.heap.push(Reverse(StreamItem {
+                    let dist = group.dist(e.point);
+                    s.dist_computations += group.len() as u64;
+                    s.heap.push(Reverse(StreamItem {
                         key: OrderedF64(dist),
                         kind: StreamKind::PointExact(e),
                     }));
                 }
-                StreamKind::Node(id) => match self.cursor.read(id) {
-                    Node::Leaf(es) => {
-                        for &e in es {
-                            let key = self.group.cheap_bound_point(e.point);
-                            self.dist_computations += 1;
-                            self.heap.push(Reverse(StreamItem {
+                StreamKind::Run(rid) => {
+                    // The run's head is the global heap minimum: consume a
+                    // chunk starting at it (equivalent to popping those
+                    // entries' `PointApprox` items — exact keys only rise,
+                    // so order and node accesses are unaffected), convert
+                    // the chunk through the batched distance kernel, and
+                    // re-insert the run keyed by its next entry.
+                    let ri = rid as usize;
+                    let pos = s.run_pos[ri];
+                    let end = (pos + CONVERT_CHUNK).min(s.runs[ri].len());
+                    s.bounds.clear();
+                    s.bounds2.clear();
+                    for &(_, e) in &s.runs[ri][pos..end] {
+                        s.bounds.push(e.point.x);
+                        s.bounds2.push(e.point.y);
+                    }
+                    group.dist_many(&s.bounds, &s.bounds2, &mut s.bounds3);
+                    s.dist_computations += ((end - pos) * group.len()) as u64;
+                    for (&(_, e), &dist) in s.runs[ri][pos..end].iter().zip(&s.bounds3) {
+                        s.heap.push(Reverse(StreamItem {
+                            key: OrderedF64(dist),
+                            kind: StreamKind::PointExact(e),
+                        }));
+                    }
+                    s.run_pos[ri] = end;
+                    if end < s.runs[ri].len() {
+                        let next_key = s.runs[ri][end].0;
+                        s.heap.push(Reverse(StreamItem {
+                            key: OrderedF64(next_key),
+                            kind: StreamKind::Run(rid),
+                        }));
+                    } else {
+                        s.free_runs.push(rid);
+                    }
+                }
+                StreamKind::Node(id) => match cursor.read(id) {
+                    PageRef::Leaf(leaf) if s.fast => {
+                        // Packed engine: batched mindist²(p, M) (and |p c|²
+                        // to the anchor) over the whole page, keys sorted
+                        // into a run — one heap item per leaf instead of
+                        // one per entry.
+                        leaf.mindist_sq_rect_into(&group.mbr(), &mut s.bounds);
+                        s.dist_computations += leaf.len() as u64;
+                        let rid = s.alloc_run();
+                        if let Some((c, dist_c)) = s.anchor {
+                            leaf.dist_sq_into(c, &mut s.bounds2);
+                            s.dist_computations += leaf.len() as u64;
+                            let w = group.total_weight();
+                            let run = &mut s.runs[rid as usize];
+                            run.clear();
+                            run.extend(leaf.entries().iter().zip(&s.bounds).zip(&s.bounds2).map(
+                                |((&e, &d2m), &d2c)| {
+                                    let cheap = group.cheap_bound_from_sq(d2m);
+                                    (cheap.max(w * d2c.sqrt() - dist_c), e)
+                                },
+                            ));
+                        } else {
+                            let run = &mut s.runs[rid as usize];
+                            run.clear();
+                            run.extend(
+                                leaf.entries()
+                                    .iter()
+                                    .zip(&s.bounds)
+                                    .map(|(&e, &d2)| (group.cheap_bound_from_sq(d2), e)),
+                            );
+                        }
+                        let run = &mut s.runs[rid as usize];
+                        run.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+                        if let Some(&(head_key, _)) = run.first() {
+                            s.run_pos[rid as usize] = 0;
+                            s.heap.push(Reverse(StreamItem {
+                                key: OrderedF64(head_key),
+                                kind: StreamKind::Run(rid),
+                            }));
+                        } else {
+                            s.free_runs.push(rid);
+                        }
+                    }
+                    PageRef::Leaf(leaf) => {
+                        // Reference (arena) engine: the seed's flow — one
+                        // `mindist(p, M)` filter key per entry, pushed
+                        // individually.
+                        for &e in leaf.entries() {
+                            let key = group.cheap_bound_point(e.point);
+                            s.dist_computations += 1;
+                            s.heap.push(Reverse(StreamItem {
                                 key: OrderedF64(key),
                                 kind: StreamKind::PointApprox(e),
                             }));
                         }
                     }
-                    Node::Internal(bs) => {
-                        for b in bs {
-                            let key = self.node_bound(&b.mbr);
-                            self.heap.push(Reverse(StreamItem {
+                    PageRef::Internal(view) if s.fast => {
+                        // Packed engine: batched mindist²(N, M) over the
+                        // whole page; the tight bound (n distances) through
+                        // the fused SoA kernel.
+                        view.mindist_sq_rect_into(&group.mbr(), &mut s.bounds);
+                        s.dist_computations += view.len() as u64;
+                        for i in 0..view.len() {
+                            let cheap = group.cheap_bound_from_sq(s.bounds[i]);
+                            let key = if use_tight {
+                                s.dist_computations += group.len() as u64;
+                                cheap.max(group.tight_bound_rect(&view.mbr(i)))
+                            } else {
+                                cheap
+                            };
+                            s.heap.push(Reverse(StreamItem {
                                 key: OrderedF64(key),
-                                kind: StreamKind::Node(b.child),
+                                kind: StreamKind::Node(view.child(i)),
+                            }));
+                        }
+                    }
+                    PageRef::Internal(view) => {
+                        // Reference engine: the seed's scalar per-branch
+                        // bounds.
+                        for (mbr, child) in view.iter() {
+                            let cheap = group.cheap_bound_rect(&mbr);
+                            s.dist_computations += 1;
+                            let key = if use_tight {
+                                s.dist_computations += group.len() as u64;
+                                cheap.max(group.tight_bound_rect_reference(&mbr))
+                            } else {
+                                cheap
+                            };
+                            s.heap.push(Reverse(StreamItem {
+                                key: OrderedF64(key),
+                                kind: StreamKind::Node(child),
                             }));
                         }
                     }
@@ -424,6 +780,38 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let tree = random_tree(600, 9);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut scratch = QueryScratch::new();
+        for seed in 0..8 {
+            let group = random_group(5, 60 + seed, Aggregate::Sum);
+            let want = linear_scan_entries(tree.iter(), &group, 4);
+            let (neighbors, _) = Mbm::best_first().k_gnn_in(&cursor, &group, 4, &mut scratch);
+            let got: Vec<f64> = neighbors.iter().map(|n| n.dist).collect();
+            assert_eq!(got, want.distances(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn packed_backend_identical_results_and_accesses() {
+        let tree = random_tree(900, 10);
+        let packed = tree.freeze();
+        let ac = TreeCursor::unbuffered(&tree);
+        let pc = TreeCursor::packed(&packed);
+        for seed in 0..5 {
+            let group = random_group(6, 80 + seed, Aggregate::Sum);
+            let a = Mbm::best_first().k_gnn(&ac, &group, 5);
+            let p = Mbm::best_first().k_gnn(&pc, &group, 5);
+            assert_eq!(a.distances(), p.distances(), "seed={seed}");
+            assert_eq!(
+                a.stats.data_tree.logical, p.stats.data_tree.logical,
+                "node accesses diverged (seed={seed})"
+            );
+        }
+    }
+
+    #[test]
     fn max_and_min_aggregates_match_oracle() {
         let tree = random_tree(500, 2);
         let cursor = TreeCursor::unbuffered(&tree);
@@ -469,6 +857,28 @@ mod tests {
             .collect();
         let by_query = Mbm::best_first().k_gnn(&cursor, &group, 6);
         assert_eq!(by_stream, by_query.distances());
+    }
+
+    #[test]
+    fn suspended_stream_resumes_where_it_stopped() {
+        let tree = random_tree(400, 12);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let group = random_group(4, 13, Aggregate::Sum);
+        let want: Vec<f64> = MbmStream::new(&cursor, &group)
+            .take(10)
+            .map(|n| n.dist)
+            .collect();
+        let mut scratch = MbmScratch::default();
+        let mut got = Vec::new();
+        {
+            let mut s = MbmStream::new_in(&cursor, &group, &mut scratch);
+            got.extend(s.by_ref().take(4).map(|n| n.dist));
+        }
+        for _ in 0..6 {
+            let mut s = MbmStream::resume_in(&cursor, &group, true, &mut scratch);
+            got.push(s.next().unwrap().dist);
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

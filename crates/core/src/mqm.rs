@@ -12,14 +12,12 @@
 //! node accesses for individual queries" — consecutive streams then touch
 //! nearby R-tree nodes and the shared LRU buffer absorbs the repeats.
 
-use crate::best_list::KBestList;
 use crate::query::QueryGroup;
 use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, MemoryGnnAlgorithm};
 use gnn_geom::hilbert::HilbertMapper;
-use gnn_geom::PointId;
-use gnn_rtree::{NearestNeighbors, TreeCursor};
-use std::collections::HashSet;
+use gnn_rtree::{NearestNeighbors, NnScratch, TreeCursor};
 use std::time::Instant;
 
 /// The multiple query method.
@@ -48,14 +46,47 @@ impl Mqm {
     }
 
     /// Retrieves the `k` group nearest neighbors of `group` from the tree
-    /// behind `cursor`.
+    /// behind `cursor` (convenience wrapper allocating a fresh
+    /// [`QueryScratch`]; see [`Mqm::k_gnn_in`]).
     pub fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        let mut scratch = QueryScratch::new();
+        let (neighbors, stats) = self.k_gnn_in(cursor, group, k, &mut scratch);
+        GnnResult {
+            neighbors: neighbors.to_vec(),
+            stats,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors using caller-provided
+    /// scratch storage. The per-stream NN heaps live in the scratch's pool
+    /// and are suspended/resumed between round-robin turns, so a warmed-up
+    /// scratch performs no per-query heap allocations.
+    pub fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
         let t0 = Instant::now();
         let before = cursor.stats();
+        let n = group.len();
+        let QueryScratch {
+            best,
+            out,
+            nn_pool,
+            order,
+            ts,
+            evaluated,
+            ..
+        } = scratch;
+        best.reset(k);
+        evaluated.clear();
 
         // Order query points by Hilbert value over the data workspace.
-        let mut order: Vec<usize> = (0..group.len()).collect();
-        if self.hilbert_order && group.len() > 1 {
+        order.clear();
+        order.extend(0..n);
+        if self.hilbert_order && n > 1 {
             let workspace = {
                 let mut ws = cursor.root_mbr();
                 if ws.is_empty() {
@@ -66,35 +97,40 @@ impl Mqm {
                 ws
             };
             let mapper = HilbertMapper::new(workspace);
-            order.sort_by_key(|&i| mapper.key(group.points()[i]));
+            order.sort_unstable_by_key(|&i| mapper.key(group.points()[i]));
         }
 
         // One incremental best-first NN stream per query point, all sharing
-        // `cursor` (and therefore its LRU buffer).
-        let mut streams: Vec<NearestNeighbors<'_, '_>> = order
-            .iter()
-            .map(|&i| NearestNeighbors::new(cursor, group.points()[i]))
-            .collect();
+        // `cursor` (and therefore its LRU buffer). Stream state lives in the
+        // scratch pool; `new_in` seeds it, `resume_in` picks it up on each
+        // round-robin turn.
+        if nn_pool.len() < n {
+            nn_pool.resize_with(n, NnScratch::default);
+        }
+        for (slot, &qi) in order.iter().enumerate() {
+            NearestNeighbors::new_in(cursor, group.points()[qi], &mut nn_pool[slot]);
+        }
 
-        let mut ts = vec![0.0f64; group.len()];
-        let mut best = KBestList::new(k);
-        let mut evaluated: HashSet<PointId> = HashSet::new();
+        ts.clear();
+        ts.resize(n, 0.0);
         let mut dist_computations = 0u64;
         let mut items_pulled = 0u64;
         let mut exhausted = false;
 
         'outer: loop {
             for (slot, &qi) in order.iter().enumerate() {
-                if group.threshold(&ts) >= best.bound() {
+                if group.threshold(ts) >= best.bound() {
                     break 'outer;
                 }
-                match streams[slot].next() {
+                let q = group.points()[qi];
+                let next = NearestNeighbors::resume_in(cursor, q, &mut nn_pool[slot]).next();
+                match next {
                     Some(pn) => {
                         items_pulled += 1;
                         ts[qi] = pn.dist;
-                        if evaluated.insert(pn.entry.id) {
+                        if evaluated.insert(pn.entry.id.0) {
                             let dist = group.dist(pn.entry.point);
-                            dist_computations += group.len() as u64;
+                            dist_computations += n as u64;
                             best.offer(Neighbor {
                                 id: pn.entry.id,
                                 point: pn.entry.point,
@@ -113,16 +149,15 @@ impl Mqm {
         }
         let _ = exhausted;
 
-        GnnResult {
-            neighbors: best.into_sorted(),
-            stats: QueryStats {
-                data_tree: cursor.stats().since(before),
-                dist_computations,
-                items_pulled,
-                elapsed: t0.elapsed(),
-                ..QueryStats::default()
-            },
-        }
+        let stats = QueryStats {
+            data_tree: cursor.stats().since(before),
+            dist_computations,
+            items_pulled,
+            elapsed: t0.elapsed(),
+            ..QueryStats::default()
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 }
 
@@ -138,13 +173,23 @@ impl MemoryGnnAlgorithm for Mqm {
     fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
         Mqm::k_gnn(self, cursor, group, k)
     }
+
+    fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        Mqm::k_gnn_in(self, cursor, group, k, scratch)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baseline::linear_scan_entries;
-    use gnn_geom::Point;
+    use gnn_geom::{Point, PointId};
     use gnn_rtree::{LeafEntry, RTree, RTreeParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

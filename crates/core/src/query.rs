@@ -39,7 +39,10 @@ impl std::error::Error for QueryGroupError {}
 /// function (Table 3.1 of the paper).
 ///
 /// The group caches its MBR `M` and total weight `W` (= `n` when
-/// unweighted), the two resident values every pruning heuristic consumes.
+/// unweighted), the two resident values every pruning heuristic consumes —
+/// plus an SoA mirror of its coordinates and weights, so the per-point
+/// bounds (`dist`, heuristic 3) run through the branch-free batched kernels
+/// of [`gnn_geom::batch`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryGroup {
     points: Vec<Point>,
@@ -48,6 +51,12 @@ pub struct QueryGroup {
     aggregate: Aggregate,
     mbr: Rect,
     total_weight: f64,
+    /// SoA mirror of `points` (x coordinates).
+    qx: Vec<f64>,
+    /// SoA mirror of `points` (y coordinates).
+    qy: Vec<f64>,
+    /// Effective weights: `weights` or all ones. Kernel input.
+    wts: Vec<f64>,
 }
 
 impl QueryGroup {
@@ -100,12 +109,21 @@ impl QueryGroup {
             Some(w) => w.iter().sum(),
             None => points.len() as f64,
         };
+        let qx: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let qy: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let wts = match &weights {
+            Some(w) => w.clone(),
+            None => vec![1.0; points.len()],
+        };
         Ok(QueryGroup {
             points,
             weights,
             aggregate,
             mbr,
             total_weight,
+            qx,
+            qy,
+            wts,
         })
     }
 
@@ -161,13 +179,55 @@ impl QueryGroup {
         self.total_weight
     }
 
+    /// Explicit weights, if the group carries any (SUM only).
+    #[inline]
+    pub fn explicit_weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
     /// The exact aggregate distance `dist(p, Q)`.
+    ///
+    /// The SUM fold is sequential over the cached SoA mirror, which makes
+    /// every result **bit-identical** to the multi-point conversion kernel
+    /// ([`QueryGroup::dist_many`]) and to the seed's
+    /// [`QueryGroup::dist_reference`] — so results never depend on which
+    /// engine computed them.
     pub fn dist(&self, p: Point) -> f64 {
-        let mut acc = self.aggregate.identity();
-        for (i, q) in self.points.iter().enumerate() {
-            acc = self.aggregate.fold(acc, self.weight(i) * p.dist(*q));
+        use gnn_geom::batch;
+        match self.aggregate {
+            Aggregate::Sum => {
+                let mut acc = 0.0;
+                for i in 0..self.qx.len() {
+                    let dx = self.qx[i] - p.x;
+                    let dy = self.qy[i] - p.y;
+                    acc += self.wts[i] * (dx * dx + dy * dy).sqrt();
+                }
+                acc
+            }
+            Aggregate::Max => batch::point_dist_sq_max(p, &self.qx, &self.qy).sqrt(),
+            Aggregate::Min => batch::point_dist_sq_min(p, &self.qx, &self.qy).sqrt(),
         }
-        acc
+    }
+
+    /// Exact aggregate distances for a batch of points in SoA form:
+    /// `out[j] = dist(p_j, Q)`, bit-identical per element to
+    /// [`QueryGroup::dist`] but vectorized across the batch. The packed
+    /// engine converts pending leaf-run points 16 at a time through this.
+    pub fn dist_many(&self, xs: &[f64], ys: &[f64], out: &mut Vec<f64>) {
+        use gnn_geom::batch;
+        match self.aggregate {
+            Aggregate::Sum => {
+                batch::points_weighted_dist_sum_multi(xs, ys, &self.qx, &self.qy, &self.wts, out)
+            }
+            Aggregate::Max => {
+                batch::points_dist_sq_max_multi(xs, ys, &self.qx, &self.qy, out);
+                out.iter_mut().for_each(|v| *v = v.sqrt());
+            }
+            Aggregate::Min => {
+                batch::points_dist_sq_min_multi(xs, ys, &self.qx, &self.qy, out);
+                out.iter_mut().for_each(|v| *v = v.sqrt());
+            }
+        }
     }
 
     /// **Cheap node bound** (heuristic 2 shape): a lower bound on
@@ -176,7 +236,15 @@ impl QueryGroup {
     ///
     /// SUM: `W · mindist(N, M)`; MAX/MIN: `mindist(N, M)`.
     pub fn cheap_bound_rect(&self, rect: &Rect) -> f64 {
-        let d = rect.mindist_rect(&self.mbr);
+        self.cheap_bound_from_sq(rect.mindist_rect_sq(&self.mbr))
+    }
+
+    /// The cheap bound given a precomputed **squared** `mindist` to the
+    /// query MBR `M` — the bridge from the batched `mindist²` kernels back
+    /// to the paper's metric space (one `sqrt`, one multiply).
+    #[inline]
+    pub fn cheap_bound_from_sq(&self, mindist_sq: f64) -> f64 {
+        let d = mindist_sq.sqrt();
         match self.aggregate {
             Aggregate::Sum => self.total_weight * d,
             Aggregate::Max | Aggregate::Min => d,
@@ -186,22 +254,45 @@ impl QueryGroup {
     /// **Cheap point bound**: same shape for a concrete point, using
     /// `mindist(p, M)` (the leaf-entry filter of MBM, §3.3).
     pub fn cheap_bound_point(&self, p: Point) -> f64 {
-        let d = self.mbr.mindist_point(p);
-        match self.aggregate {
-            Aggregate::Sum => self.total_weight * d,
-            Aggregate::Max | Aggregate::Min => d,
-        }
+        self.cheap_bound_from_sq(self.mbr.mindist_point_sq(p))
     }
 
     /// **Tight node bound** (heuristic 3 shape): aggregates
     /// `mindist(rect, q_i)` over every query point — `n` rectangle distances
-    /// but much stronger than the cheap bound.
+    /// but much stronger than the cheap bound. Runs through the fused SoA
+    /// kernels; for MAX/MIN the fold happens in squared space and pays a
+    /// single `sqrt`.
     pub fn tight_bound_rect(&self, rect: &Rect) -> f64 {
+        use gnn_geom::batch;
+        match self.aggregate {
+            Aggregate::Sum => batch::rect_weighted_mindist_sum(rect, &self.qx, &self.qy, &self.wts),
+            Aggregate::Max => batch::rect_mindist_sq_max(rect, &self.qx, &self.qy).sqrt(),
+            Aggregate::Min => batch::rect_mindist_sq_min(rect, &self.qx, &self.qy).sqrt(),
+        }
+    }
+
+    /// The seed's sequential-fold implementation of
+    /// [`QueryGroup::tight_bound_rect`], kept bit-for-bit as the reference:
+    /// the arena query engine prunes with it, and the property suite uses it
+    /// as the oracle for the batched kernel (which reassociates the
+    /// floating-point sum and may differ in the last ulps).
+    pub fn tight_bound_rect_reference(&self, rect: &Rect) -> f64 {
         let mut acc = self.aggregate.identity();
         for (i, q) in self.points.iter().enumerate() {
             acc = self
                 .aggregate
                 .fold(acc, self.weight(i) * rect.mindist_point(*q));
+        }
+        acc
+    }
+
+    /// The seed's sequential-fold implementation of [`QueryGroup::dist`]
+    /// (reference semantics; oracle for the batched distance kernel in the
+    /// property suite).
+    pub fn dist_reference(&self, p: Point) -> f64 {
+        let mut acc = self.aggregate.identity();
+        for (i, q) in self.points.iter().enumerate() {
+            acc = self.aggregate.fold(acc, self.weight(i) * p.dist(*q));
         }
         acc
     }

@@ -1,0 +1,120 @@
+//! Reusable per-query storage — the zero-allocation hot path.
+//!
+//! Every GNN algorithm needs the same kinds of transient state: a best-first
+//! priority queue, a [`KBestList`], per-query-point threshold buffers, sort
+//! buffers for the depth-first variants, and candidate bookkeeping for the
+//! file algorithms. The seed implementation allocated all of it afresh on
+//! every query; [`QueryScratch`] hoists it into one reusable bundle that an
+//! engine keeps per worker thread.
+//!
+//! After a warm-up query, the buffers have reached their steady-state
+//! capacities and every further query through the `*_in` entry points
+//! ([`crate::Mbm::k_gnn_in`], [`crate::Planner::run_many`], ...) performs
+//! **zero heap allocations**. The `scratch_reuse` integration test pins this
+//! by asserting that [`QueryScratch::capacity_profile`] never changes across
+//! a steady-state workload.
+
+use crate::best_list::KBestList;
+use crate::fmbm::FmbmScratch;
+use crate::fmqm::FmqmScratch;
+use crate::mbm::MbmScratch;
+use crate::result::Neighbor;
+use crate::result::QueryStats;
+use crate::GnnResult;
+use gnn_rtree::NnScratch;
+use std::collections::HashSet;
+
+/// Reusable storage for GNN queries. Create once, thread through the
+/// `*_in` query entry points, and steady-state queries stop allocating.
+///
+/// One scratch serves one query at a time (the algorithms borrow it
+/// mutably); keep one per worker for concurrent engines.
+#[derive(Debug)]
+pub struct QueryScratch {
+    /// The bounded best-k list (every algorithm).
+    pub(crate) best: KBestList,
+    /// Result staging: `*_in` entry points return a slice of this.
+    pub(crate) out: Vec<Neighbor>,
+    /// Primary incremental-MBM stream state (MBM, and SPM/MQM reuse its
+    /// bound buffer indirectly through their own scratches).
+    pub(crate) mbm: MbmScratch,
+    /// Depth-first sort buffers, one per recursion level.
+    pub(crate) df_pool: Vec<Vec<(f64, u32)>>,
+    /// Best-first point-NN scratches, one per MQM stream (SPM uses slot 0).
+    pub(crate) nn_pool: Vec<NnScratch>,
+    /// MQM's Hilbert-ordered visiting order.
+    pub(crate) order: Vec<usize>,
+    /// MQM's per-query-point thresholds `t_i`.
+    pub(crate) ts: Vec<f64>,
+    /// MQM's evaluated-point id set.
+    pub(crate) evaluated: HashSet<u64>,
+    /// F-MQM state (per-group streams, thresholds, candidate pool).
+    pub(crate) fmqm: FmqmScratch,
+    /// F-MBM state (traversal heap, leaf processing buffers).
+    pub(crate) fmbm: FmbmScratch,
+}
+
+impl QueryScratch {
+    /// A fresh scratch with modest pre-sized buffers.
+    pub fn new() -> Self {
+        QueryScratch {
+            best: KBestList::new(1),
+            out: Vec::with_capacity(16),
+            mbm: MbmScratch::with_capacity(256),
+            df_pool: Vec::new(),
+            nn_pool: Vec::new(),
+            order: Vec::new(),
+            ts: Vec::new(),
+            evaluated: HashSet::new(),
+            fmqm: FmqmScratch::default(),
+            fmbm: FmbmScratch::default(),
+        }
+    }
+
+    /// Stages an already-computed result in the scratch so the `*_in`
+    /// calling convention can be offered uniformly (used by the default
+    /// trait implementations).
+    pub(crate) fn stash(&mut self, result: GnnResult) -> (&[Neighbor], QueryStats) {
+        self.out.clear();
+        self.out.extend_from_slice(&result.neighbors);
+        (&self.out, result.stats)
+    }
+
+    /// The neighbors of the most recent `*_in` query (valid until the next
+    /// query through this scratch).
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.out
+    }
+
+    /// A snapshot of every internal buffer capacity, in a fixed order.
+    ///
+    /// In steady state (same workload shape) the profile must not change
+    /// between queries: any growth would mean the hot path still allocates.
+    /// The zero-allocation acceptance test asserts exactly that.
+    pub fn capacity_profile(&self) -> Vec<usize> {
+        let mut prof = vec![
+            self.best.capacity(),
+            self.out.capacity(),
+            self.df_pool.capacity(),
+            self.nn_pool.capacity(),
+            self.order.capacity(),
+            self.ts.capacity(),
+            self.evaluated.capacity(),
+        ];
+        prof.extend(self.mbm.capacity_profile());
+        prof.extend(self.df_pool.iter().map(Vec::capacity));
+        for nn in &self.nn_pool {
+            prof.push(nn.heap_capacity());
+            prof.push(nn.bounds_capacity());
+        }
+        prof.extend(self.fmqm.capacity_profile());
+        prof.extend(self.fmbm.capacity_profile());
+        prof
+    }
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        QueryScratch::new()
+    }
+}

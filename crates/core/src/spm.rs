@@ -18,9 +18,10 @@ use crate::centroid::{
 };
 use crate::query::QueryGroup;
 use crate::result::{GnnResult, Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
 use crate::{Aggregate, MemoryGnnAlgorithm, Traversal};
 use gnn_geom::Point;
-use gnn_rtree::{NearestNeighbors, Node, PageId, TreeCursor};
+use gnn_rtree::{NearestNeighbors, NnScratch, PageId, PageRef, TreeCursor};
 use std::time::Instant;
 
 /// How SPM computes its anchor point.
@@ -63,28 +64,47 @@ impl Spm {
     }
 
     fn anchor(&self, group: &QueryGroup) -> Point {
-        let weights: Option<Vec<f64>> = group
-            .is_weighted()
-            .then(|| (0..group.len()).map(|i| group.weight(i)).collect());
+        let weights = group.explicit_weights();
         let opts = CentroidOptions::default();
         match self.centroid {
             CentroidMethod::GradientDescent => {
-                gradient_descent_centroid(group.points(), weights.as_deref(), opts)
+                gradient_descent_centroid(group.points(), weights, opts)
             }
-            CentroidMethod::Weiszfeld => {
-                weiszfeld_centroid(group.points(), weights.as_deref(), opts)
-            }
-            CentroidMethod::Mean => arithmetic_mean(group.points(), weights.as_deref()),
+            CentroidMethod::Weiszfeld => weiszfeld_centroid(group.points(), weights, opts),
+            CentroidMethod::Mean => arithmetic_mean(group.points(), weights),
         }
     }
 
-    /// Retrieves the `k` group nearest neighbors.
+    /// Retrieves the `k` group nearest neighbors (convenience wrapper
+    /// allocating a fresh [`QueryScratch`]; see [`Spm::k_gnn_in`]).
     ///
     /// # Panics
     ///
     /// Panics for MAX/MIN aggregates (Lemma 1 does not apply); check
     /// [`MemoryGnnAlgorithm::supports`] first.
     pub fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
+        let mut scratch = QueryScratch::new();
+        let (neighbors, stats) = self.k_gnn_in(cursor, group, k, &mut scratch);
+        GnnResult {
+            neighbors: neighbors.to_vec(),
+            stats,
+        }
+    }
+
+    /// Retrieves the `k` group nearest neighbors using caller-provided
+    /// scratch storage (allocation-free once warmed up).
+    ///
+    /// # Panics
+    ///
+    /// Panics for MAX/MIN aggregates (Lemma 1 does not apply); check
+    /// [`MemoryGnnAlgorithm::supports`] first.
+    pub fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
         assert_eq!(
             group.aggregate(),
             Aggregate::Sum,
@@ -96,13 +116,23 @@ impl Spm {
         let dq = group.dist(q); // dist(q, Q)
         let w = group.total_weight();
         let mut dist_computations = group.len() as u64;
-        let mut best = KBestList::new(k);
+        let QueryScratch {
+            best,
+            out,
+            nn_pool,
+            df_pool,
+            ..
+        } = scratch;
+        best.reset(k);
 
         match self.traversal {
             Traversal::BestFirst => {
                 // Incremental NN around the anchor; Lemma 1 converts the
                 // ascending |pq| order into a stopping rule.
-                let mut nn = NearestNeighbors::new(cursor, q);
+                if nn_pool.is_empty() {
+                    nn_pool.push(NnScratch::default());
+                }
+                let mut nn = NearestNeighbors::new_in(cursor, q, &mut nn_pool[0]);
                 for pn in nn.by_ref() {
                     if w * pn.dist - dq >= best.bound() {
                         break;
@@ -117,7 +147,7 @@ impl Spm {
                 }
             }
             Traversal::DepthFirst => {
-                if !cursor.tree().is_empty() {
+                if !cursor.is_empty() {
                     self.df_visit(
                         cursor,
                         cursor.root(),
@@ -125,27 +155,28 @@ impl Spm {
                         dq,
                         w,
                         group,
-                        &mut best,
+                        best,
                         &mut dist_computations,
+                        df_pool,
+                        0,
                     );
                 }
             }
         }
 
-        GnnResult {
-            neighbors: best.into_sorted(),
-            stats: QueryStats {
-                data_tree: cursor.stats().since(before),
-                dist_computations,
-                elapsed: t0.elapsed(),
-                ..QueryStats::default()
-            },
-        }
+        let stats = QueryStats {
+            data_tree: cursor.stats().since(before),
+            dist_computations,
+            elapsed: t0.elapsed(),
+            ..QueryStats::default()
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 
     /// Figure 3.4: recurse into children in ascending `mindist(N, q)`,
     /// stopping at the first child failing heuristic 1 (the rest, being
-    /// sorted, fail too).
+    /// sorted, fail too). Sort buffers come from the per-level scratch pool.
     #[allow(clippy::too_many_arguments)]
     fn df_visit(
         &self,
@@ -157,36 +188,53 @@ impl Spm {
         group: &QueryGroup,
         best: &mut KBestList,
         dist_computations: &mut u64,
+        pool: &mut Vec<Vec<(f64, u32)>>,
+        depth: usize,
     ) {
+        if pool.len() <= depth {
+            pool.resize_with(depth + 1, Vec::new);
+        }
+        let mut order = std::mem::take(&mut pool[depth]);
+        order.clear();
         match cursor.read(id) {
-            Node::Internal(bs) => {
-                let mut order: Vec<(f64, PageId)> = bs
-                    .iter()
-                    .map(|b| (b.mbr.mindist_point(q), b.child))
-                    .collect();
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (mindist, child) in order {
+            PageRef::Internal(view) => {
+                // Sorted by mindist² — same order as mindist.
+                order.extend((0..view.len()).map(|i| (view.mbr(i).mindist_point_sq(q), i as u32)));
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for &(d2, i) in &order {
                     // Heuristic 1.
-                    if mindist >= (best.bound() + dq) / w {
+                    if d2.sqrt() >= (best.bound() + dq) / w {
                         break;
                     }
-                    self.df_visit(cursor, child, q, dq, w, group, best, dist_computations);
+                    self.df_visit(
+                        cursor,
+                        view.child(i as usize),
+                        q,
+                        dq,
+                        w,
+                        group,
+                        best,
+                        dist_computations,
+                        pool,
+                        depth + 1,
+                    );
                 }
             }
-            Node::Leaf(es) => {
-                let mut order: Vec<(f64, usize)> = es
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (e.point.dist(q), i))
-                    .collect();
+            PageRef::Leaf(es) => {
+                order.extend(
+                    es.entries()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| (e.point.dist_sq(q), i as u32)),
+                );
                 *dist_computations += es.len() as u64;
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (pq, i) in order {
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for &(d2, i) in &order {
                     // Heuristic 1 at the point level.
-                    if pq >= (best.bound() + dq) / w {
+                    if d2.sqrt() >= (best.bound() + dq) / w {
                         break;
                     }
-                    let e = es[i];
+                    let e = es.entries()[i as usize];
                     let dist = group.dist(e.point);
                     *dist_computations += group.len() as u64;
                     best.offer(Neighbor {
@@ -197,6 +245,7 @@ impl Spm {
                 }
             }
         }
+        pool[depth] = order;
     }
 }
 
@@ -211,6 +260,16 @@ impl MemoryGnnAlgorithm for Spm {
 
     fn k_gnn(&self, cursor: &TreeCursor<'_>, group: &QueryGroup, k: usize) -> GnnResult {
         Spm::k_gnn(self, cursor, group, k)
+    }
+
+    fn k_gnn_in<'s>(
+        &self,
+        cursor: &TreeCursor<'_>,
+        group: &QueryGroup,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Neighbor], QueryStats) {
+        Spm::k_gnn_in(self, cursor, group, k, scratch)
     }
 }
 

@@ -1,0 +1,437 @@
+//! Batched, branch-free distance kernels over coordinate slices.
+//!
+//! The packed R-tree snapshot ([`gnn-rtree`]'s `PackedRTree`) stores the
+//! rectangles of each internal page as four parallel `f64` arrays (SoA), and
+//! query groups cache their points the same way. These kernels consume such
+//! slices directly so a node scan is one linear pass the compiler can
+//! autovectorize: every per-element operation is expressed with `max`
+//! (`maxsd`/`maxpd`) instead of comparisons and branches.
+//!
+//! All kernels work in **squared** distance. Squared values order exactly
+//! like true distances, so callers compare in squared space where possible
+//! and pay the `sqrt` only for values that survive pruning. The aggregate
+//! kernels ([`rect_weighted_mindist_sum`], [`points_weighted_dist_sum_multi`]
+//! and the max/min folds) bridge back to the paper's metric space.
+//!
+//! Scalar oracles for every kernel live in [`crate::Rect`] /
+//! [`crate::Point`]; the property suite (`crates/geom/tests/batch_props.rs`)
+//! pins the two implementations together.
+
+use crate::{Point, Rect};
+
+/// Distance from `v` to the interval `[lo, hi]`, branch-free (0 inside).
+#[inline(always)]
+fn interval_excess(v: f64, lo: f64, hi: f64) -> f64 {
+    (lo - v).max(v - hi).max(0.0)
+}
+
+/// Gap between the intervals `[a_lo, a_hi]` and `[b_lo, b_hi]`, branch-free
+/// (0 when they overlap).
+#[inline(always)]
+fn interval_gap(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+    (b_lo - a_hi).max(a_lo - b_hi).max(0.0)
+}
+
+/// `out[i] = mindist²(rect_i, q)` for rectangles given as four parallel
+/// coordinate slices. `out` is cleared and refilled (capacity is reused).
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn rects_mindist_sq_point(
+    lo_x: &[f64],
+    lo_y: &[f64],
+    hi_x: &[f64],
+    hi_y: &[f64],
+    q: Point,
+    out: &mut Vec<f64>,
+) {
+    let n = lo_x.len();
+    assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let dx = interval_excess(q.x, lo_x[i], hi_x[i]);
+        let dy = interval_excess(q.y, lo_y[i], hi_y[i]);
+        out.push(dx * dx + dy * dy);
+    }
+}
+
+/// `out[i] = mindist²(rect_i, m)` for rectangles given as four parallel
+/// coordinate slices against one fixed rectangle `m`. `out` is cleared and
+/// refilled.
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn rects_mindist_sq_rect(
+    lo_x: &[f64],
+    lo_y: &[f64],
+    hi_x: &[f64],
+    hi_y: &[f64],
+    m: &Rect,
+    out: &mut Vec<f64>,
+) {
+    let n = lo_x.len();
+    assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let dx = interval_gap(lo_x[i], hi_x[i], m.lo.x, m.hi.x);
+        let dy = interval_gap(lo_y[i], hi_y[i], m.lo.y, m.hi.y);
+        out.push(dx * dx + dy * dy);
+    }
+}
+
+/// `out[i] = |p_i q|²` for points given as two parallel coordinate slices.
+/// `out` is cleared and refilled.
+///
+/// # Panics
+///
+/// Panics when `xs` and `ys` disagree in length.
+pub fn points_dist_sq(xs: &[f64], ys: &[f64], q: Point, out: &mut Vec<f64>) {
+    let n = xs.len();
+    assert_eq!(ys.len(), n);
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let dx = xs[i] - q.x;
+        let dy = ys[i] - q.y;
+        out.push(dx * dx + dy * dy);
+    }
+}
+
+/// `out[i] = mindist²(p_i, m)` for points given as two parallel coordinate
+/// slices against one rectangle. `out` is cleared and refilled.
+///
+/// # Panics
+///
+/// Panics when `xs` and `ys` disagree in length.
+pub fn points_mindist_sq_rect(xs: &[f64], ys: &[f64], m: &Rect, out: &mut Vec<f64>) {
+    let n = xs.len();
+    assert_eq!(ys.len(), n);
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let dx = interval_excess(xs[i], m.lo.x, m.hi.x);
+        let dy = interval_excess(ys[i], m.lo.y, m.hi.y);
+        out.push(dx * dx + dy * dy);
+    }
+}
+
+/// `Σ_i w_i · √(mindist²(m, q_i))` over query points in SoA form — the SUM
+/// aggregate's tight node bound (heuristic 3) in one fused branch-free
+/// pass.
+///
+/// The fold is deliberately **sequential**, making the result bit-identical
+/// to the scalar reference (`Σ w_i · Rect::mindist_point(q_i)` evaluated in
+/// order). Node keys computed through this kernel therefore match the
+/// reference engine's exactly, which is what lets the property suite pin
+/// packed-vs-arena node accesses with strict equality.
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn rect_weighted_mindist_sum(m: &Rect, qx: &[f64], qy: &[f64], w: &[f64]) -> f64 {
+    let n = qx.len();
+    assert!(qy.len() == n && w.len() == n);
+    let mut acc = 0.0f64;
+    for j in 0..n {
+        let dx = interval_excess(qx[j], m.lo.x, m.hi.x);
+        let dy = interval_excess(qy[j], m.lo.y, m.hi.y);
+        acc += w[j] * (dx * dx + dy * dy).sqrt();
+    }
+    acc
+}
+
+/// Multi-point weighted distance sums: `out[j] = Σ_i w_i · |p_j q_i|` for a
+/// batch of points `p_j` (SoA) against query points `q_i` (SoA).
+///
+/// The accumulation runs query-point-major, so each `out[j]` is the plain
+/// sequential fold over `i` — **bit-identical** to evaluating the points
+/// one at a time with the same sequential fold — while the inner loop
+/// vectorizes over the point batch `j`. This is the conversion kernel of
+/// the packed query engine (a leaf run's pending points are evaluated 16 at
+/// a time instead of one by one).
+///
+/// # Panics
+///
+/// Panics when the paired slices disagree in length.
+pub fn points_weighted_dist_sum_multi(
+    xs: &[f64],
+    ys: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    w: &[f64],
+    out: &mut Vec<f64>,
+) {
+    let m = xs.len();
+    assert_eq!(ys.len(), m);
+    let n = qx.len();
+    assert!(qy.len() == n && w.len() == n);
+    out.clear();
+    out.resize(m, 0.0);
+    for i in 0..n {
+        let (qxi, qyi, wi) = (qx[i], qy[i], w[i]);
+        for (j, o) in out.iter_mut().enumerate() {
+            let dx = xs[j] - qxi;
+            let dy = ys[j] - qyi;
+            *o += wi * (dx * dx + dy * dy).sqrt();
+        }
+    }
+}
+
+/// Multi-point MAX fold: `out[j] = max_i |p_j q_i|²` (sequential fold over
+/// `i`, vectorized over `j`; see [`points_weighted_dist_sum_multi`]).
+pub fn points_dist_sq_max_multi(
+    xs: &[f64],
+    ys: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    out: &mut Vec<f64>,
+) {
+    points_dist_sq_fold_multi(xs, ys, qx, qy, f64::NEG_INFINITY, f64::max, out)
+}
+
+/// Multi-point MIN fold: `out[j] = min_i |p_j q_i|²`.
+pub fn points_dist_sq_min_multi(
+    xs: &[f64],
+    ys: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    out: &mut Vec<f64>,
+) {
+    points_dist_sq_fold_multi(xs, ys, qx, qy, f64::INFINITY, f64::min, out)
+}
+
+#[inline(always)]
+fn points_dist_sq_fold_multi(
+    xs: &[f64],
+    ys: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    identity: f64,
+    fold: impl Fn(f64, f64) -> f64,
+    out: &mut Vec<f64>,
+) {
+    let m = xs.len();
+    assert_eq!(ys.len(), m);
+    let n = qx.len();
+    assert_eq!(qy.len(), n);
+    out.clear();
+    out.resize(m, identity);
+    for i in 0..n {
+        let (qxi, qyi) = (qx[i], qy[i]);
+        for (j, o) in out.iter_mut().enumerate() {
+            let dx = xs[j] - qxi;
+            let dy = ys[j] - qyi;
+            *o = fold(*o, dx * dx + dy * dy);
+        }
+    }
+}
+
+/// Maximum of `mindist²(m, q_i)` over query points in SoA form. Combined
+/// with one final `sqrt` this is the MAX aggregate's tight node bound
+/// (`max √x = √(max x)`).
+pub fn rect_mindist_sq_max(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+    fold_rect_mindist_sq(m, qx, qy, f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum of `mindist²(m, q_i)` over query points in SoA form (the MIN
+/// aggregate's tight node bound before the final `sqrt`).
+pub fn rect_mindist_sq_min(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+    fold_rect_mindist_sq(m, qx, qy, f64::INFINITY, f64::min)
+}
+
+/// Maximum of `|p q_i|²` over query points in SoA form.
+pub fn point_dist_sq_max(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+    fold_point_dist_sq(p, qx, qy, f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum of `|p q_i|²` over query points in SoA form.
+pub fn point_dist_sq_min(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+    fold_point_dist_sq(p, qx, qy, f64::INFINITY, f64::min)
+}
+
+#[inline(always)]
+fn fold_rect_mindist_sq(
+    m: &Rect,
+    qx: &[f64],
+    qy: &[f64],
+    identity: f64,
+    fold: impl Fn(f64, f64) -> f64,
+) -> f64 {
+    let n = qx.len();
+    assert_eq!(qy.len(), n);
+    let mut acc = identity;
+    for i in 0..n {
+        let dx = interval_excess(qx[i], m.lo.x, m.hi.x);
+        let dy = interval_excess(qy[i], m.lo.y, m.hi.y);
+        acc = fold(acc, dx * dx + dy * dy);
+    }
+    acc
+}
+
+#[inline(always)]
+fn fold_point_dist_sq(
+    p: Point,
+    qx: &[f64],
+    qy: &[f64],
+    identity: f64,
+    fold: impl Fn(f64, f64) -> f64,
+) -> f64 {
+    let n = qx.len();
+    assert_eq!(qy.len(), n);
+    let mut acc = identity;
+    for i in 0..n {
+        let dx = qx[i] - p.x;
+        let dy = qy[i] - p.y;
+        acc = fold(acc, dx * dx + dy * dy);
+    }
+    acc
+}
+
+impl Rect {
+    /// Batched [`Rect::mindist_point_sq`]: `out[i] = mindist²(rect_i, q)`
+    /// for rectangles in SoA form. See [`rects_mindist_sq_point`].
+    #[inline]
+    pub fn mindist_sq_batch(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        rects_mindist_sq_point(lo_x, lo_y, hi_x, hi_y, q, out);
+    }
+
+    /// Batched [`Rect::mindist_rect_sq`]: `out[i] = mindist²(rect_i, m)`
+    /// for rectangles in SoA form. See [`rects_mindist_sq_rect`].
+    #[inline]
+    pub fn mindist_sq_batch_rect(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        rects_mindist_sq_rect(lo_x, lo_y, hi_x, hi_y, m, out);
+    }
+}
+
+impl Point {
+    /// Batched [`Point::dist_sq`]: `out[i] = |p_i q|²` for points in SoA
+    /// form. See [`points_dist_sq`].
+    #[inline]
+    pub fn dist_sq_batch(xs: &[f64], ys: &[f64], q: Point, out: &mut Vec<f64>) {
+        points_dist_sq(xs, ys, q, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soa(rects: &[Rect]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            rects.iter().map(|r| r.lo.x).collect(),
+            rects.iter().map(|r| r.lo.y).collect(),
+            rects.iter().map(|r| r.hi.x).collect(),
+            rects.iter().map(|r| r.hi.y).collect(),
+        )
+    }
+
+    #[test]
+    fn rect_point_batch_matches_scalar() {
+        let rects = [
+            Rect::from_corners(0.0, 0.0, 1.0, 1.0),
+            Rect::from_corners(-3.0, 2.0, -1.0, 5.0),
+            Rect::from_corners(4.0, -2.0, 9.0, 0.0),
+        ];
+        let (lx, ly, hx, hy) = soa(&rects);
+        let q = Point::new(2.0, 3.0);
+        let mut out = Vec::new();
+        rects_mindist_sq_point(&lx, &ly, &hx, &hy, q, &mut out);
+        for (r, got) in rects.iter().zip(&out) {
+            assert_eq!(*got, r.mindist_point_sq(q));
+        }
+    }
+
+    #[test]
+    fn rect_rect_batch_matches_scalar() {
+        let rects = [
+            Rect::from_corners(0.0, 0.0, 1.0, 1.0),
+            Rect::from_corners(5.0, 5.0, 6.0, 8.0),
+        ];
+        let (lx, ly, hx, hy) = soa(&rects);
+        let m = Rect::from_corners(2.0, 2.0, 3.0, 3.0);
+        let mut out = Vec::new();
+        rects_mindist_sq_rect(&lx, &ly, &hx, &hy, &m, &mut out);
+        for (r, got) in rects.iter().zip(&out) {
+            assert_eq!(*got, r.mindist_rect_sq(&m));
+        }
+    }
+
+    #[test]
+    fn point_batches_match_scalar() {
+        let pts = [Point::new(1.0, 2.0), Point::new(-4.0, 0.5)];
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        let q = Point::new(0.25, -1.0);
+        let mut out = Vec::new();
+        points_dist_sq(&xs, &ys, q, &mut out);
+        for (p, got) in pts.iter().zip(&out) {
+            assert_eq!(*got, p.dist_sq(q));
+        }
+        let m = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        points_mindist_sq_rect(&xs, &ys, &m, &mut out);
+        for (p, got) in pts.iter().zip(&out) {
+            assert_eq!(*got, m.mindist_point_sq(*p));
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_sequential_exactly() {
+        let qx: Vec<f64> = (0..13).map(|i| i as f64 * 0.7).collect();
+        let qy: Vec<f64> = (0..13).map(|i| 9.0 - i as f64).collect();
+        let w: Vec<f64> = (0..13).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let m = Rect::from_corners(2.0, 2.0, 4.0, 4.0);
+        let want: f64 = (0..13)
+            .map(|i| w[i] * m.mindist_point(Point::new(qx[i], qy[i])))
+            .sum();
+        let got = rect_weighted_mindist_sum(&m, &qx, &qy, &w);
+        assert_eq!(got, want, "sequential fold must be bit-identical");
+    }
+
+    #[test]
+    fn max_min_folds_match_scalar() {
+        let qx = [0.0, 5.0, -2.0];
+        let qy = [0.0, 1.0, 7.0];
+        let m = Rect::from_corners(1.0, 1.0, 2.0, 2.0);
+        let d2: Vec<f64> = (0..3)
+            .map(|i| m.mindist_point_sq(Point::new(qx[i], qy[i])))
+            .collect();
+        assert_eq!(
+            rect_mindist_sq_max(&m, &qx, &qy),
+            d2.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        assert_eq!(
+            rect_mindist_sq_min(&m, &qx, &qy),
+            d2.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        let p = Point::new(3.0, 3.0);
+        let e2: Vec<f64> = (0..3)
+            .map(|i| p.dist_sq(Point::new(qx[i], qy[i])))
+            .collect();
+        assert_eq!(
+            point_dist_sq_max(p, &qx, &qy),
+            e2.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        assert_eq!(
+            point_dist_sq_min(p, &qx, &qy),
+            e2.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+    }
+}

@@ -8,6 +8,8 @@
 //!   `minmaxdist` metrics used by every R-tree pruning bound,
 //! * [`OrderedF64`] — a totally-ordered `f64` wrapper so distances can key
 //!   binary heaps,
+//! * [`batch`] — branch-free batched distance kernels over SoA coordinate
+//!   slices (the packed R-tree's scan primitives),
 //! * [`hilbert`] — the 2-D Hilbert space-filling curve used to sort query
 //!   points for access locality (paper §3.1, §4.2, §4.3).
 //!
@@ -17,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod hilbert;
 mod ordered;
 mod point;

@@ -1,0 +1,168 @@
+//! Property tests pinning the batched SoA kernels to their scalar oracles.
+//!
+//! The scalar methods on [`Rect`] / [`Point`] are the reference semantics;
+//! every batched kernel must agree **exactly** where it performs the same
+//! operations (mindist², dist², folds, sequential weighted sums) —
+//! bit-identical agreement is the contract that lets the two query engines
+//! compute the same keys.
+
+use gnn_geom::{batch, Point, Rect};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![-100.0..100.0f64, -1.0..1.0f64, 0.0..10_000.0f64,]
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), point()).prop_map(|(a, b)| Rect::from_corners(a.x, a.y, b.x, b.y))
+}
+
+fn rects(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(rect(), 1..max)
+}
+
+fn points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point(), 1..max)
+}
+
+fn soa(rs: &[Rect]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        rs.iter().map(|r| r.lo.x).collect(),
+        rs.iter().map(|r| r.lo.y).collect(),
+        rs.iter().map(|r| r.hi.x).collect(),
+        rs.iter().map(|r| r.hi.y).collect(),
+    )
+}
+
+fn xy(ps: &[Point]) -> (Vec<f64>, Vec<f64>) {
+    (
+        ps.iter().map(|p| p.x).collect(),
+        ps.iter().map(|p| p.y).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rects_mindist_sq_point_matches_scalar(rs in rects(80), q in point()) {
+        let (lx, ly, hx, hy) = soa(&rs);
+        let mut out = Vec::new();
+        batch::rects_mindist_sq_point(&lx, &ly, &hx, &hy, q, &mut out);
+        prop_assert_eq!(out.len(), rs.len());
+        for (r, got) in rs.iter().zip(&out) {
+            prop_assert_eq!(*got, r.mindist_point_sq(q), "rect {} q {}", r, q);
+        }
+    }
+
+    #[test]
+    fn rects_mindist_sq_rect_matches_scalar(rs in rects(80), m in rect()) {
+        let (lx, ly, hx, hy) = soa(&rs);
+        let mut out = Vec::new();
+        batch::rects_mindist_sq_rect(&lx, &ly, &hx, &hy, &m, &mut out);
+        for (r, got) in rs.iter().zip(&out) {
+            prop_assert_eq!(*got, r.mindist_rect_sq(&m), "rect {} m {}", r, m);
+        }
+    }
+
+    #[test]
+    fn points_dist_sq_matches_scalar(ps in points(120), q in point()) {
+        let (xs, ys) = xy(&ps);
+        let mut out = Vec::new();
+        batch::points_dist_sq(&xs, &ys, q, &mut out);
+        for (p, got) in ps.iter().zip(&out) {
+            prop_assert_eq!(*got, p.dist_sq(q));
+        }
+    }
+
+    #[test]
+    fn points_mindist_sq_rect_matches_scalar(ps in points(120), m in rect()) {
+        let (xs, ys) = xy(&ps);
+        let mut out = Vec::new();
+        batch::points_mindist_sq_rect(&xs, &ys, &m, &mut out);
+        for (p, got) in ps.iter().zip(&out) {
+            prop_assert_eq!(*got, m.mindist_point_sq(*p));
+        }
+    }
+
+    #[test]
+    fn weighted_mindist_sum_is_bit_identical_to_sequential(qs in points(70), m in rect()) {
+        let (qx, qy) = xy(&qs);
+        let w: Vec<f64> = (0..qs.len()).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+        let want: f64 = qs
+            .iter()
+            .zip(&w)
+            .map(|(q, wi)| wi * m.mindist_point(*q))
+            .sum();
+        let got = batch::rect_weighted_mindist_sum(&m, &qx, &qy, &w);
+        prop_assert_eq!(got, want, "sequential fold must be bit-identical");
+    }
+
+    #[test]
+    fn fold_kernels_match_scalar_folds(qs in points(70), m in rect(), p in point()) {
+        let (qx, qy) = xy(&qs);
+        let rect_d2: Vec<f64> = qs.iter().map(|q| m.mindist_point_sq(*q)).collect();
+        let pt_d2: Vec<f64> = qs.iter().map(|q| p.dist_sq(*q)).collect();
+        prop_assert_eq!(
+            batch::rect_mindist_sq_max(&m, &qx, &qy),
+            rect_d2.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        prop_assert_eq!(
+            batch::rect_mindist_sq_min(&m, &qx, &qy),
+            rect_d2.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        prop_assert_eq!(
+            batch::point_dist_sq_max(p, &qx, &qy),
+            pt_d2.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        prop_assert_eq!(
+            batch::point_dist_sq_min(p, &qx, &qy),
+            pt_d2.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+    }
+
+    #[test]
+    fn multi_point_kernels_are_bit_identical_to_sequential(
+        ps in points(40),
+        qs in points(40),
+    ) {
+        // The conversion kernels must match the one-point-at-a-time
+        // sequential fold EXACTLY (not just within tolerance): the packed
+        // engine's results must be indistinguishable from the reference
+        // engine's.
+        let (xs, ys) = xy(&ps);
+        let (qx, qy) = xy(&qs);
+        let w: Vec<f64> = (0..qs.len()).map(|i| 0.5 + (i % 5) as f64).collect();
+        let mut out = Vec::new();
+        batch::points_weighted_dist_sum_multi(&xs, &ys, &qx, &qy, &w, &mut out);
+        for (j, p) in ps.iter().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..qs.len() {
+                let dx = qx[i] - p.x;
+                let dy = qy[i] - p.y;
+                acc += w[i] * (dx * dx + dy * dy).sqrt();
+            }
+            prop_assert_eq!(out[j], acc, "sum j={}", j);
+        }
+        batch::points_dist_sq_max_multi(&xs, &ys, &qx, &qy, &mut out);
+        for (j, p) in ps.iter().enumerate() {
+            let want = qs
+                .iter()
+                .map(|q| p.dist_sq(*q))
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(out[j], want, "max j={}", j);
+        }
+        batch::points_dist_sq_min_multi(&xs, &ys, &qx, &qy, &mut out);
+        for (j, p) in ps.iter().enumerate() {
+            let want = qs
+                .iter()
+                .map(|q| p.dist_sq(*q))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(out[j], want, "min j={}", j);
+        }
+    }
+}

@@ -253,12 +253,21 @@ impl GroupedQueryFile {
     /// Loads group `gi` into memory through `cursor`, paying one page read
     /// per page of the group.
     pub fn load_group(&self, cursor: &FileCursor<'_>, gi: usize) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.load_group_into(cursor, gi, &mut out);
+        out
+    }
+
+    /// Like [`GroupedQueryFile::load_group`] but reuses `out` (cleared
+    /// first), so repeated group loads do not allocate once the buffer has
+    /// reached the largest group size.
+    pub fn load_group_into(&self, cursor: &FileCursor<'_>, gi: usize, out: &mut Vec<Point>) {
         let spec = &self.groups[gi];
-        let mut out = Vec::with_capacity(spec.count);
+        out.clear();
+        out.reserve(spec.count);
         for p in spec.pages.clone() {
             out.extend_from_slice(cursor.read_page(p));
         }
-        out
     }
 }
 

@@ -13,7 +13,7 @@
 //! watermark is always tracked so experiments can report heap pressure.
 
 use crate::cursor::TreeCursor;
-use crate::node::{LeafEntry, Node, PageId};
+use crate::node::{LeafEntry, PageId, PageRef};
 use gnn_geom::{OrderedF64, Rect};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -101,7 +101,7 @@ impl<'p, 'q> ClosestPairs<'p, 'q> {
     /// (the paper's "GCP does not terminate" regime).
     pub fn with_heap_limit(p: &'p TreeCursor<'p>, q: &'q TreeCursor<'q>, limit: usize) -> Self {
         let mut heap = BinaryHeap::new();
-        if !p.tree().is_empty() && !q.tree().is_empty() {
+        if !p.is_empty() && !q.is_empty() {
             let a = Side::Node {
                 id: p.root(),
                 mbr: p.root_mbr(),
@@ -208,13 +208,10 @@ impl<'p, 'q> ClosestPairs<'p, 'q> {
 
     fn children(&self, cursor: &TreeCursor<'_>, id: PageId) -> Vec<Side> {
         match cursor.read(id) {
-            Node::Leaf(es) => es.iter().map(|&e| Side::Point(e)).collect(),
-            Node::Internal(bs) => bs
+            PageRef::Leaf(es) => es.entries().iter().map(|&e| Side::Point(e)).collect(),
+            PageRef::Internal(view) => view
                 .iter()
-                .map(|b| Side::Node {
-                    id: b.child,
-                    mbr: b.mbr,
-                })
+                .map(|(mbr, child)| Side::Node { id: child, mbr })
                 .collect(),
         }
     }

@@ -1,18 +1,23 @@
 //! Disk simulation: page-access accounting and an LRU buffer pool.
 //!
 //! The paper's primary cost metric is the number of *node accesses* (NA).
-//! Algorithms never touch [`crate::RTree`] pages directly; they read them
-//! through a [`TreeCursor`], which counts every logical access and — when a
-//! buffer pool is attached — every buffer miss (the simulated I/O). The
-//! paper notes that MQM "benefits from the existence of an LRU buffer"
-//! (§5.1); giving every algorithm the same buffered cursor keeps the
-//! comparison fair.
+//! Algorithms never touch [`crate::RTree`] or [`crate::PackedRTree`] pages
+//! directly; they read them through a [`TreeCursor`], which counts every
+//! logical access and — when a buffer pool is attached — every buffer miss
+//! (the simulated I/O). The paper notes that MQM "benefits from the
+//! existence of an LRU buffer" (§5.1); giving every algorithm the same
+//! buffered cursor keeps the comparison fair.
+//!
+//! The cursor abstracts over both storage backends: queries written against
+//! [`TreeCursor::read`]'s [`PageRef`] view run unchanged on the mutable
+//! arena tree and on the packed read-optimized snapshot, with identical
+//! accounting.
 
-use crate::node::{Node, PageId};
+use crate::node::{LeafRef, Node, PageId, PageRef};
+use crate::packed::PackedRTree;
 use crate::tree::RTree;
 use gnn_geom::Rect;
 use std::cell::RefCell;
-use std::collections::HashMap;
 
 /// Counters accumulated by a [`TreeCursor`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,15 +48,23 @@ impl AccessStats {
     }
 }
 
-/// A fixed-capacity LRU set of page ids with O(1) touch/insert/evict,
-/// implemented as a hash map into an intrusive doubly-linked list kept in a
-/// slab.
+/// A fixed-capacity LRU set of page ids with O(1) touch/insert/evict: an
+/// intrusive doubly-linked list kept in a slab, reached through a
+/// **direct-mapped slot table** indexed by page id.
+///
+/// Page ids are dense in both backends (arena indices, or BFS positions in
+/// a packed snapshot), so the table stays proportional to the tree size and
+/// the simulated-I/O path performs no hashing at all — `access` is two
+/// array reads plus list splicing.
 #[derive(Debug)]
 pub struct LruBuffer {
     capacity: usize,
-    map: HashMap<u32, usize>,
+    /// `slot_of[page] = slab index`, `NIL` when the page is not resident.
+    /// Grown lazily to the highest page id seen.
+    slot_of: Vec<usize>,
     slots: Vec<LruSlot>,
-    head: usize, // most recently used; usize::MAX when empty
+    len: usize,
+    head: usize, // most recently used; NIL when empty
     tail: usize, // least recently used
     free: Vec<usize>,
 }
@@ -75,8 +88,9 @@ impl LruBuffer {
         assert!(capacity > 0, "LRU buffer capacity must be positive");
         LruBuffer {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            slot_of: Vec::new(),
             slots: Vec::with_capacity(capacity),
+            len: 0,
             head: NIL,
             tail: NIL,
             free: Vec::new(),
@@ -85,28 +99,34 @@ impl LruBuffer {
 
     /// Number of pages currently cached.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the buffer holds no pages.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Records an access to `page`. Returns `true` on a buffer hit; on a
     /// miss the page is admitted, evicting the least-recently-used page if
     /// the buffer is full.
     pub fn access(&mut self, page: u32) -> bool {
-        if let Some(&slot) = self.map.get(&page) {
+        let idx = page as usize;
+        if idx >= self.slot_of.len() {
+            self.slot_of.resize(idx + 1, NIL);
+        }
+        let slot = self.slot_of[idx];
+        if slot != NIL {
             self.unlink(slot);
             self.push_front(slot);
             return true;
         }
-        if self.map.len() == self.capacity {
+        if self.len == self.capacity {
             let lru = self.tail;
             let evicted = self.slots[lru].page;
             self.unlink(lru);
-            self.map.remove(&evicted);
+            self.slot_of[evicted as usize] = NIL;
+            self.len -= 1;
             self.free.push(lru);
         }
         let slot = if let Some(s) = self.free.pop() {
@@ -121,16 +141,26 @@ impl LruBuffer {
             self.slots.len() - 1
         };
         self.push_front(slot);
-        self.map.insert(page, slot);
+        self.slot_of[idx] = slot;
+        self.len += 1;
         false
     }
 
     /// Forgets every cached page (e.g. between workload queries when cold
-    /// caches are wanted).
+    /// caches are wanted). Keeps the slot table's capacity.
+    ///
+    /// Costs O(resident pages), not O(slot table): only the live entries of
+    /// the direct-mapped table are un-mapped (walking the LRU list), so
+    /// clearing a small buffer over a huge tree stays cheap.
     pub fn clear(&mut self) {
-        self.map.clear();
+        let mut cur = self.head;
+        while cur != NIL {
+            self.slot_of[self.slots[cur].page as usize] = NIL;
+            cur = self.slots[cur].next;
+        }
         self.slots.clear();
         self.free.clear();
+        self.len = 0;
         self.head = NIL;
         self.tail = NIL;
     }
@@ -164,12 +194,19 @@ impl LruBuffer {
     }
 }
 
-/// A read handle over an [`RTree`] that meters page accesses.
+/// The storage a cursor reads from.
+#[derive(Clone, Copy)]
+enum Backend<'t> {
+    Arena(&'t RTree),
+    Packed(&'t PackedRTree),
+}
+
+/// A metered read handle over an R-tree — arena or packed snapshot.
 ///
 /// Cheap to create; hold one per experiment (or per algorithm run) and call
 /// [`TreeCursor::take_stats`] between queries.
 pub struct TreeCursor<'t> {
-    tree: &'t RTree,
+    backend: Backend<'t>,
     state: RefCell<CursorState>,
 }
 
@@ -180,59 +217,115 @@ struct CursorState {
 }
 
 impl<'t> TreeCursor<'t> {
-    /// A cursor where every logical access is an I/O (no buffer pool).
-    pub fn unbuffered(tree: &'t RTree) -> Self {
+    fn with_backend(backend: Backend<'t>, buffer: Option<LruBuffer>) -> Self {
         TreeCursor {
-            tree,
+            backend,
             state: RefCell::new(CursorState {
                 stats: AccessStats::default(),
-                buffer: None,
+                buffer,
             }),
         }
+    }
+
+    /// A cursor where every logical access is an I/O (no buffer pool).
+    pub fn unbuffered(tree: &'t RTree) -> Self {
+        Self::with_backend(Backend::Arena(tree), None)
     }
 
     /// A cursor backed by an LRU buffer pool of `capacity` pages.
     pub fn with_buffer(tree: &'t RTree, capacity: usize) -> Self {
-        TreeCursor {
-            tree,
-            state: RefCell::new(CursorState {
-                stats: AccessStats::default(),
-                buffer: Some(LruBuffer::new(capacity)),
-            }),
-        }
+        Self::with_backend(Backend::Arena(tree), Some(LruBuffer::new(capacity)))
     }
 
-    /// The underlying tree.
+    /// An unbuffered cursor over a packed snapshot.
+    pub fn packed(tree: &'t PackedRTree) -> Self {
+        Self::with_backend(Backend::Packed(tree), None)
+    }
+
+    /// A buffered cursor over a packed snapshot.
+    pub fn packed_with_buffer(tree: &'t PackedRTree, capacity: usize) -> Self {
+        Self::with_backend(Backend::Packed(tree), Some(LruBuffer::new(capacity)))
+    }
+
+    /// Whether the cursor reads a packed snapshot (the read-optimized
+    /// backend; query engines may enable batched fast paths on it).
     #[inline]
-    pub fn tree(&self) -> &'t RTree {
-        self.tree
+    pub fn is_packed(&self) -> bool {
+        matches!(self.backend, Backend::Packed(_))
     }
 
     /// Reads a page, recording the access.
     #[inline]
-    pub fn read(&self, id: PageId) -> &'t Node {
-        let mut state = self.state.borrow_mut();
-        state.stats.logical += 1;
-        let hit = match state.buffer.as_mut() {
-            Some(buf) => buf.access(id.raw()),
-            None => false,
-        };
-        if !hit {
-            state.stats.io += 1;
+    pub fn read(&self, id: PageId) -> PageRef<'t> {
+        {
+            let mut state = self.state.borrow_mut();
+            state.stats.logical += 1;
+            let hit = match state.buffer.as_mut() {
+                Some(buf) => buf.access(id.raw()),
+                None => false,
+            };
+            if !hit {
+                state.stats.io += 1;
+            }
         }
-        self.tree.node(id)
+        match self.backend {
+            Backend::Arena(tree) => match tree.node(id) {
+                Node::Leaf(es) => PageRef::Leaf(LeafRef::aos(es)),
+                Node::Internal(bs) => PageRef::Internal(crate::node::BranchesRef::Aos(bs)),
+            },
+            Backend::Packed(tree) => tree.page(id),
+        }
     }
 
     /// Root page id (reading the root later still counts as an access).
     #[inline]
     pub fn root(&self) -> PageId {
-        self.tree.root()
+        match self.backend {
+            Backend::Arena(tree) => tree.root(),
+            Backend::Packed(tree) => tree.root(),
+        }
     }
 
     /// Dataset MBR; metadata, not a counted page access.
     #[inline]
     pub fn root_mbr(&self) -> Rect {
-        self.tree.root_mbr()
+        match self.backend {
+            Backend::Arena(tree) => tree.root_mbr(),
+            Backend::Packed(tree) => tree.root_mbr(),
+        }
+    }
+
+    /// Number of data points in the tree behind the cursor.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.backend {
+            Backend::Arena(tree) => tree.len(),
+            Backend::Packed(tree) => tree.len(),
+        }
+    }
+
+    /// Whether the tree behind the cursor stores no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> usize {
+        match self.backend {
+            Backend::Arena(tree) => tree.height(),
+            Backend::Packed(tree) => tree.height(),
+        }
+    }
+
+    /// Number of live pages in the tree behind the cursor.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        match self.backend {
+            Backend::Arena(tree) => tree.node_count(),
+            Backend::Packed(tree) => tree.node_count(),
+        }
     }
 
     /// Counters accumulated so far.
@@ -327,6 +420,19 @@ mod tests {
     }
 
     #[test]
+    fn lru_sparse_page_ids() {
+        // The slot table grows to the largest id; correctness must not
+        // depend on density.
+        let mut lru = LruBuffer::new(2);
+        assert!(!lru.access(1_000_000));
+        assert!(!lru.access(3));
+        assert!(lru.access(1_000_000));
+        assert!(!lru.access(70_000)); // evicts 3
+        assert!(!lru.access(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
     fn cursor_counts_accesses() {
         let mut tree = RTree::new(RTreeParams::with_capacity(4));
         for i in 0..20 {
@@ -357,6 +463,25 @@ mod tests {
         cursor.reset();
         cursor.read(tree.root());
         assert_eq!(cursor.stats().io, 1, "reset cleared the buffer");
+    }
+
+    #[test]
+    fn packed_cursor_reads_and_meters() {
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..50 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(i as f64, 1.0)));
+        }
+        let packed = tree.freeze();
+        let cursor = TreeCursor::packed_with_buffer(&packed, 8);
+        assert_eq!(cursor.len(), 50);
+        assert_eq!(cursor.height(), packed.height());
+        assert_eq!(cursor.root_mbr(), tree.root_mbr());
+        for _ in 0..3 {
+            cursor.read(cursor.root());
+        }
+        let s = cursor.stats();
+        assert_eq!(s.logical, 3);
+        assert_eq!(s.io, 1);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * [`RTree`] — paged R\*-tree with `ChooseSubtree`, forced reinsertion and
 //!   the topological split; deletion with tree condensation; STR and Hilbert
 //!   bulk loading;
+//! * [`PackedRTree`] — a read-optimized snapshot ([`RTree::freeze`]):
+//!   contiguous page arenas, SoA rectangle coordinates and dense BFS page
+//!   ids, so query scans are linear passes over packed memory;
 //! * [`TreeCursor`] / [`AccessStats`] / [`LruBuffer`] — the disk simulation:
 //!   every page read is metered, optionally through an LRU buffer pool, and
 //!   reported as the paper's *node accesses* (NA) metric;
@@ -42,7 +45,9 @@ mod closest_pairs;
 mod cursor;
 mod nn;
 mod node;
+mod packed;
 mod params;
+mod scratch_ref;
 mod split;
 mod tree;
 pub mod validate;
@@ -50,7 +55,9 @@ pub mod validate;
 pub use bulk::DEFAULT_BULK_FILL;
 pub use closest_pairs::{ClosestPairs, PairResult};
 pub use cursor::{AccessStats, LruBuffer, TreeCursor};
-pub use nn::{bf_k_nearest, df_k_nearest, range_query, NearestNeighbors, PointNeighbor};
-pub use node::{Branch, LeafEntry, Node, PageId};
+pub use nn::{bf_k_nearest, df_k_nearest, range_query, NearestNeighbors, NnScratch, PointNeighbor};
+pub use node::{Branch, BranchesRef, LeafEntry, LeafRef, Node, PageId, PageRef, SoaBranches};
+pub use packed::PackedRTree;
 pub use params::RTreeParams;
+pub use scratch_ref::ScratchRef;
 pub use tree::RTree;

@@ -9,9 +9,17 @@
 //! * [`df_k_nearest`] — the depth-first (DF) branch-and-bound algorithm of
 //!   Roussopoulos et al. \[RKV95\]; sub-optimal in node accesses, provided
 //!   for completeness and ablations.
+//!
+//! The best-first heap is keyed by **squared** distance — squared values
+//! order identically, so the `sqrt` is paid only when an item is actually
+//! yielded — and node/leaf expansions run through the batched `mindist²`
+//! kernels (vectorized on packed snapshots). A [`NnScratch`] can be
+//! supplied via [`NearestNeighbors::new_in`] to reuse the heap and bound
+//! buffer across queries, making steady-state searches allocation-free.
 
 use crate::cursor::TreeCursor;
-use crate::node::{LeafEntry, Node, PageId};
+use crate::node::{LeafEntry, PageId, PageRef};
+use crate::scratch_ref::ScratchRef;
 use gnn_geom::{OrderedF64, Point, Rect};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -27,10 +35,10 @@ pub struct PointNeighbor {
 }
 
 /// Heap element of the best-first search: a pending node or data point keyed
-/// by its minimum possible distance.
+/// by its minimum possible **squared** distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct BfItem {
-    dist: OrderedF64,
+    dist_sq: OrderedF64,
     /// Points (rank 0) pop before nodes (rank 1) at equal distance so that
     /// results are emitted as early as possible.
     rank: u8,
@@ -63,6 +71,41 @@ impl Ord for BfKind {
     }
 }
 
+/// Reusable storage of one best-first NN search: the priority queue and the
+/// batched-kernel output buffer. Hold one per concurrent stream (MQM keeps a
+/// pool, one per query point) and the warmed-up capacities make steady-state
+/// searches allocation-free.
+#[derive(Debug, Default)]
+pub struct NnScratch {
+    heap: BinaryHeap<Reverse<BfItem>>,
+    bounds: Vec<f64>,
+}
+
+impl NnScratch {
+    /// Scratch pre-sized for a heap of `capacity` pending items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NnScratch {
+            heap: BinaryHeap::with_capacity(capacity),
+            bounds: Vec::with_capacity(64),
+        }
+    }
+
+    /// Current heap capacity (diagnostics for the no-regrowth tests).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Capacity of the batched-kernel bound buffer (same purpose).
+    pub fn bounds_capacity(&self) -> usize {
+        self.bounds.capacity()
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.bounds.clear();
+    }
+}
+
 /// Incremental best-first nearest-neighbor iterator \[HS99\].
 ///
 /// Yields data points in ascending distance from `query`; pull as many as
@@ -85,19 +128,60 @@ impl Ord for BfKind {
 /// assert_eq!(nn.next().unwrap().entry.id, PointId(1));
 /// assert!(nn.next().is_none());
 /// ```
-pub struct NearestNeighbors<'t, 'c> {
+pub struct NearestNeighbors<'t, 'c, 's> {
     cursor: &'c TreeCursor<'t>,
     query: Point,
-    heap: BinaryHeap<Reverse<BfItem>>,
+    scratch: ScratchRef<'s, NnScratch>,
 }
 
-impl<'t, 'c> NearestNeighbors<'t, 'c> {
-    /// Starts an incremental NN search at `query`.
-    pub fn new(cursor: &'c TreeCursor<'t>, query: Point) -> Self {
-        let mut heap = BinaryHeap::new();
-        if !cursor.tree().is_empty() {
-            heap.push(Reverse(BfItem {
-                dist: OrderedF64(cursor.root_mbr().mindist_point(query)),
+impl<'t, 'c, 's> NearestNeighbors<'t, 'c, 's> {
+    /// Starts an incremental NN search at `query` with its own storage.
+    pub fn new(cursor: &'c TreeCursor<'t>, query: Point) -> NearestNeighbors<'t, 'c, 'static> {
+        NearestNeighbors::<'t, 'c, 'static>::start(
+            cursor,
+            query,
+            ScratchRef::Owned(Box::new(NnScratch::with_capacity(64))),
+        )
+    }
+
+    /// Starts an incremental NN search reusing `scratch` (cleared first).
+    /// Steady-state searches through a warmed-up scratch do not allocate.
+    pub fn new_in(
+        cursor: &'c TreeCursor<'t>,
+        query: Point,
+        scratch: &'s mut NnScratch,
+    ) -> NearestNeighbors<'t, 'c, 's> {
+        Self::start(cursor, query, ScratchRef::Borrowed(scratch))
+    }
+
+    /// Re-attaches to a suspended search whose state lives in `scratch`
+    /// (seeded earlier by [`NearestNeighbors::new_in`] with the same cursor
+    /// and query): nothing is cleared, the search continues where it
+    /// stopped. MQM's round-robin turns are served this way — the borrow
+    /// lives only for one pull, so a pool of scratches can back any number
+    /// of interleaved streams.
+    pub fn resume_in(
+        cursor: &'c TreeCursor<'t>,
+        query: Point,
+        scratch: &'s mut NnScratch,
+    ) -> NearestNeighbors<'t, 'c, 's> {
+        NearestNeighbors {
+            cursor,
+            query,
+            scratch: ScratchRef::Borrowed(scratch),
+        }
+    }
+
+    fn start(
+        cursor: &'c TreeCursor<'t>,
+        query: Point,
+        mut scratch: ScratchRef<'s, NnScratch>,
+    ) -> NearestNeighbors<'t, 'c, 's> {
+        let s = scratch.get();
+        s.reset();
+        if !cursor.is_empty() {
+            s.heap.push(Reverse(BfItem {
+                dist_sq: OrderedF64(cursor.root_mbr().mindist_point_sq(query)),
                 rank: 1,
                 kind: BfKind::Node(cursor.root()),
             }));
@@ -105,7 +189,7 @@ impl<'t, 'c> NearestNeighbors<'t, 'c> {
         NearestNeighbors {
             cursor,
             query,
-            heap,
+            scratch,
         }
     }
 
@@ -117,38 +201,47 @@ impl<'t, 'c> NearestNeighbors<'t, 'c> {
     /// Lower bound on the distance of every not-yet-returned point:
     /// the key at the top of the heap (`None` when exhausted).
     pub fn peek_bound(&self) -> Option<f64> {
-        self.heap.peek().map(|Reverse(item)| item.dist.get())
+        self.scratch
+            .peek()
+            .heap
+            .peek()
+            .map(|Reverse(item)| item.dist_sq.get().sqrt())
     }
 }
 
-impl Iterator for NearestNeighbors<'_, '_> {
+impl Iterator for NearestNeighbors<'_, '_, '_> {
     type Item = PointNeighbor;
 
     fn next(&mut self) -> Option<PointNeighbor> {
-        while let Some(Reverse(item)) = self.heap.pop() {
+        let query = self.query;
+        let cursor = self.cursor;
+        let scratch = self.scratch.get();
+        while let Some(Reverse(item)) = scratch.heap.pop() {
             match item.kind {
                 BfKind::Point(entry) => {
                     return Some(PointNeighbor {
                         entry,
-                        dist: item.dist.get(),
+                        dist: item.dist_sq.get().sqrt(),
                     });
                 }
-                BfKind::Node(id) => match self.cursor.read(id) {
-                    Node::Leaf(es) => {
-                        for &e in es {
-                            self.heap.push(Reverse(BfItem {
-                                dist: OrderedF64(e.point.dist(self.query)),
+                BfKind::Node(id) => match cursor.read(id) {
+                    PageRef::Leaf(leaf) => {
+                        leaf.dist_sq_into(query, &mut scratch.bounds);
+                        for (&e, &d2) in leaf.entries().iter().zip(&scratch.bounds) {
+                            scratch.heap.push(Reverse(BfItem {
+                                dist_sq: OrderedF64(d2),
                                 rank: 0,
                                 kind: BfKind::Point(e),
                             }));
                         }
                     }
-                    Node::Internal(bs) => {
-                        for b in bs {
-                            self.heap.push(Reverse(BfItem {
-                                dist: OrderedF64(b.mbr.mindist_point(self.query)),
+                    PageRef::Internal(view) => {
+                        view.mindist_sq_point_into(query, &mut scratch.bounds);
+                        for (i, &d2) in scratch.bounds.iter().enumerate() {
+                            scratch.heap.push(Reverse(BfItem {
+                                dist_sq: OrderedF64(d2),
                                 rank: 1,
-                                kind: BfKind::Node(b.child),
+                                kind: BfKind::Node(view.child(i)),
                             }));
                         }
                     }
@@ -169,11 +262,11 @@ pub fn bf_k_nearest(cursor: &TreeCursor<'_>, query: Point, k: usize) -> Vec<Poin
 /// `mindist` order and prunes subtrees farther than the current k-th
 /// neighbor. Sub-optimal in node accesses compared to [`bf_k_nearest`].
 pub fn df_k_nearest(cursor: &TreeCursor<'_>, query: Point, k: usize) -> Vec<PointNeighbor> {
-    if k == 0 || cursor.tree().is_empty() {
+    if k == 0 || cursor.is_empty() {
         return Vec::new();
     }
-    // Max-heap of the best k found so far, keyed by distance.
-    let mut best: BinaryHeap<(OrderedF64, u64)> = BinaryHeap::new();
+    // Max-heap of the best k found so far, keyed by squared distance.
+    let mut best: BinaryHeap<(OrderedF64, u64)> = BinaryHeap::with_capacity(k + 1);
     let mut found: Vec<PointNeighbor> = Vec::new();
     df_visit(cursor, cursor.root(), query, k, &mut best, &mut found);
     found.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.entry.id.cmp(&b.entry.id)));
@@ -189,6 +282,7 @@ fn df_visit(
     best: &mut BinaryHeap<(OrderedF64, u64)>,
     found: &mut Vec<PointNeighbor>,
 ) {
+    // Pruning bound in squared space (∞ while fewer than k found).
     let prune_bound = |best: &BinaryHeap<(OrderedF64, u64)>| -> f64 {
         if best.len() < k {
             f64::INFINITY
@@ -197,27 +291,30 @@ fn df_visit(
         }
     };
     match cursor.read(id) {
-        Node::Leaf(es) => {
-            for &e in es {
-                let d = e.point.dist(query);
-                if d < prune_bound(best) {
-                    best.push((OrderedF64(d), e.id.0));
+        PageRef::Leaf(es) => {
+            for &e in es.entries() {
+                let d2 = e.point.dist_sq(query);
+                if d2 < prune_bound(best) {
+                    best.push((OrderedF64(d2), e.id.0));
                     if best.len() > k {
                         best.pop();
                     }
-                    found.push(PointNeighbor { entry: e, dist: d });
+                    found.push(PointNeighbor {
+                        entry: e,
+                        dist: d2.sqrt(),
+                    });
                 }
             }
         }
-        Node::Internal(bs) => {
-            // Active branch list: children sorted by mindist.
-            let mut order: Vec<(f64, PageId)> = bs
+        PageRef::Internal(view) => {
+            // Active branch list: children sorted by mindist².
+            let mut order: Vec<(f64, PageId)> = view
                 .iter()
-                .map(|b| (b.mbr.mindist_point(query), b.child))
+                .map(|(mbr, child)| (mbr.mindist_point_sq(query), child))
                 .collect();
             order.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for (mindist, child) in order {
-                if mindist >= prune_bound(best) {
+            for (mindist_sq, child) in order {
+                if mindist_sq >= prune_bound(best) {
                     break; // all subsequent children are at least this far
                 }
                 df_visit(cursor, child, query, k, best, found);
@@ -229,20 +326,23 @@ fn df_visit(
 /// Reports every data point inside `range` (window query).
 pub fn range_query(cursor: &TreeCursor<'_>, range: &Rect) -> Vec<LeafEntry> {
     let mut out = Vec::new();
-    if cursor.tree().is_empty() {
+    if cursor.is_empty() {
         return out;
     }
     let mut stack = vec![cursor.root()];
     while let Some(id) = stack.pop() {
         match cursor.read(id) {
-            Node::Leaf(es) => {
-                out.extend(es.iter().copied().filter(|e| range.contains_point(e.point)))
-            }
-            Node::Internal(bs) => {
+            PageRef::Leaf(es) => out.extend(
+                es.entries()
+                    .iter()
+                    .copied()
+                    .filter(|e| range.contains_point(e.point)),
+            ),
+            PageRef::Internal(view) => {
                 stack.extend(
-                    bs.iter()
-                        .filter(|b| b.mbr.intersects(range))
-                        .map(|b| b.child),
+                    view.iter()
+                        .filter(|(mbr, _)| mbr.intersects(range))
+                        .map(|(_, child)| child),
                 );
             }
         }
@@ -291,9 +391,10 @@ mod tests {
         for w in results.windows(2) {
             assert!(w[0].dist <= w[1].dist);
         }
-        // Distances must match a direct computation.
+        // Distances must match a direct computation (up to the sqrt of the
+        // squared-key representation, which is exact for exact squares).
         for r in &results {
-            assert_eq!(r.dist, r.entry.point.dist(q));
+            assert!((r.dist - r.entry.point.dist(q)).abs() < 1e-12);
         }
     }
 
@@ -310,7 +411,10 @@ mod tests {
                     .iter()
                     .map(|&(_, d)| d)
                     .collect();
-                assert_eq!(got, want, "k={k} seed={seed}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-12, "k={k} seed={seed}");
+                }
+                assert_eq!(got.len(), want.len());
             }
         }
     }
@@ -353,6 +457,65 @@ mod tests {
                 df_cursor.stats().logical
             );
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_owned_and_does_not_regrow() {
+        let (tree, entries) = random_tree(800, 11);
+        let cursor = TreeCursor::unbuffered(&tree);
+        let mut scratch = NnScratch::default();
+        let mut rng = StdRng::seed_from_u64(77);
+        let queries: Vec<Point> = (0..20)
+            .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+            .collect();
+        // Warm-up pass.
+        for &q in &queries {
+            let _ = NearestNeighbors::new_in(&cursor, q, &mut scratch)
+                .take(5)
+                .count();
+        }
+        let cap = scratch.heap_capacity();
+        // Steady state: capacities must not regrow, answers must match.
+        for &q in &queries {
+            let got: Vec<f64> = NearestNeighbors::new_in(&cursor, q, &mut scratch)
+                .take(5)
+                .map(|r| r.dist)
+                .collect();
+            let want: Vec<f64> = brute_force_knn(&entries, q, 5)
+                .iter()
+                .map(|&(_, d)| d)
+                .collect();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12);
+            }
+            assert_eq!(scratch.heap_capacity(), cap, "heap regrew");
+        }
+    }
+
+    #[test]
+    fn packed_backend_gives_identical_results() {
+        let (tree, _) = random_tree(900, 12);
+        let packed = tree.freeze();
+        let arena_cursor = TreeCursor::unbuffered(&tree);
+        let packed_cursor = TreeCursor::packed(&packed);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let q = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let a: Vec<(u64, f64)> = bf_k_nearest(&arena_cursor, q, 7)
+                .iter()
+                .map(|r| (r.entry.id.0, r.dist))
+                .collect();
+            let p: Vec<(u64, f64)> = bf_k_nearest(&packed_cursor, q, 7)
+                .iter()
+                .map(|r| (r.entry.id.0, r.dist))
+                .collect();
+            assert_eq!(a, p);
+        }
+        assert_eq!(
+            arena_cursor.stats().logical,
+            packed_cursor.stats().logical,
+            "node accesses must match across backends"
+        );
     }
 
     #[test]

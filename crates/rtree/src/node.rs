@@ -119,6 +119,223 @@ impl Node {
     }
 }
 
+/// A borrowed view of one page, as produced by [`crate::TreeCursor::read`].
+///
+/// Both storage backends — the mutable arena [`crate::RTree`] and the
+/// read-optimized [`crate::PackedRTree`] snapshot — surface their pages
+/// through this type, so query algorithms are written once and run on
+/// either.
+#[derive(Debug, Clone, Copy)]
+pub enum PageRef<'t> {
+    /// A leaf page of data entries.
+    Leaf(LeafRef<'t>),
+    /// An internal page of child branches.
+    Internal(BranchesRef<'t>),
+}
+
+impl<'t> PageRef<'t> {
+    /// Whether this is a leaf page.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, PageRef::Leaf(_))
+    }
+
+    /// Number of entries stored in the page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            PageRef::Leaf(l) => l.entries.len(),
+            PageRef::Internal(b) => b.len(),
+        }
+    }
+
+    /// Whether the page holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A borrowed leaf page: the entry slice, plus SoA coordinate mirrors when
+/// the page comes from a packed snapshot (enabling the batched point
+/// kernels). Dereferences to `[LeafEntry]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafRef<'t> {
+    entries: &'t [LeafEntry],
+    /// `Some` on packed snapshots: x/y coordinates of `entries`, parallel.
+    xs: Option<&'t [f64]>,
+    ys: Option<&'t [f64]>,
+}
+
+impl<'t> LeafRef<'t> {
+    /// A view over an arena leaf (no SoA mirror).
+    #[inline]
+    pub(crate) fn aos(entries: &'t [LeafEntry]) -> Self {
+        LeafRef {
+            entries,
+            xs: None,
+            ys: None,
+        }
+    }
+
+    /// A view over a packed leaf with its SoA coordinate mirror.
+    #[inline]
+    pub(crate) fn soa(entries: &'t [LeafEntry], xs: &'t [f64], ys: &'t [f64]) -> Self {
+        debug_assert!(xs.len() == entries.len() && ys.len() == entries.len());
+        LeafRef {
+            entries,
+            xs: Some(xs),
+            ys: Some(ys),
+        }
+    }
+
+    /// The entries of the page.
+    #[inline]
+    pub fn entries(&self) -> &'t [LeafEntry] {
+        self.entries
+    }
+
+    /// `out[i] = |entries[i].point, q|²`, batched over the SoA mirror when
+    /// present. `out` is cleared and refilled (capacity reused).
+    pub fn dist_sq_into(&self, q: Point, out: &mut Vec<f64>) {
+        match (self.xs, self.ys) {
+            (Some(xs), Some(ys)) => gnn_geom::batch::points_dist_sq(xs, ys, q, out),
+            _ => {
+                out.clear();
+                out.extend(self.entries.iter().map(|e| e.point.dist_sq(q)));
+            }
+        }
+    }
+
+    /// `out[i] = mindist²(entries[i].point, m)` — the leaf-level query-MBR
+    /// filter of MBM, batched over the SoA mirror when present. `out` is
+    /// cleared and refilled.
+    pub fn mindist_sq_rect_into(&self, m: &Rect, out: &mut Vec<f64>) {
+        match (self.xs, self.ys) {
+            (Some(xs), Some(ys)) => gnn_geom::batch::points_mindist_sq_rect(xs, ys, m, out),
+            _ => {
+                out.clear();
+                out.extend(self.entries.iter().map(|e| m.mindist_point_sq(e.point)));
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for LeafRef<'_> {
+    type Target = [LeafEntry];
+
+    #[inline]
+    fn deref(&self) -> &[LeafEntry] {
+        self.entries
+    }
+}
+
+impl<'a, 't> IntoIterator for &'a LeafRef<'t> {
+    type Item = &'a LeafEntry;
+    type IntoIter = std::slice::Iter<'a, LeafEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// A borrowed internal page: either the arena's `[Branch]` slice (AoS) or
+/// the packed snapshot's parallel coordinate slices (SoA). The SoA form is
+/// what lets a node scan run through the branch-free batched kernels.
+#[derive(Debug, Clone, Copy)]
+pub enum BranchesRef<'t> {
+    /// Arena storage: array of [`Branch`] structs.
+    Aos(&'t [Branch]),
+    /// Packed storage: four rectangle coordinate slices plus child ids.
+    Soa(SoaBranches<'t>),
+}
+
+/// The SoA form of an internal page's branches (packed snapshots).
+#[derive(Debug, Clone, Copy)]
+pub struct SoaBranches<'t> {
+    /// `lo.x` of every child MBR.
+    pub lo_x: &'t [f64],
+    /// `lo.y` of every child MBR.
+    pub lo_y: &'t [f64],
+    /// `hi.x` of every child MBR.
+    pub hi_x: &'t [f64],
+    /// `hi.y` of every child MBR.
+    pub hi_y: &'t [f64],
+    /// Child page ids, parallel to the coordinate slices.
+    pub children: &'t [PageId],
+}
+
+impl<'t> BranchesRef<'t> {
+    /// Number of branches in the page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            BranchesRef::Aos(bs) => bs.len(),
+            BranchesRef::Soa(s) => s.children.len(),
+        }
+    }
+
+    /// Whether the page holds no branches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Child page id of branch `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> PageId {
+        match self {
+            BranchesRef::Aos(bs) => bs[i].child,
+            BranchesRef::Soa(s) => s.children[i],
+        }
+    }
+
+    /// MBR of branch `i`.
+    #[inline]
+    pub fn mbr(&self, i: usize) -> Rect {
+        match self {
+            BranchesRef::Aos(bs) => bs[i].mbr,
+            BranchesRef::Soa(s) => Rect::new(
+                Point::new(s.lo_x[i], s.lo_y[i]),
+                Point::new(s.hi_x[i], s.hi_y[i]),
+            ),
+        }
+    }
+
+    /// `out[i] = mindist²(branch_i.mbr, q)`, batched over the SoA slices
+    /// when available. `out` is cleared and refilled (capacity reused).
+    pub fn mindist_sq_point_into(&self, q: Point, out: &mut Vec<f64>) {
+        match self {
+            BranchesRef::Aos(bs) => {
+                out.clear();
+                out.extend(bs.iter().map(|b| b.mbr.mindist_point_sq(q)));
+            }
+            BranchesRef::Soa(s) => {
+                gnn_geom::batch::rects_mindist_sq_point(s.lo_x, s.lo_y, s.hi_x, s.hi_y, q, out);
+            }
+        }
+    }
+
+    /// `out[i] = mindist²(branch_i.mbr, m)`, batched over the SoA slices
+    /// when available. `out` is cleared and refilled.
+    pub fn mindist_sq_rect_into(&self, m: &Rect, out: &mut Vec<f64>) {
+        match self {
+            BranchesRef::Aos(bs) => {
+                out.clear();
+                out.extend(bs.iter().map(|b| b.mbr.mindist_rect_sq(m)));
+            }
+            BranchesRef::Soa(s) => {
+                gnn_geom::batch::rects_mindist_sq_rect(s.lo_x, s.lo_y, s.hi_x, s.hi_y, m, out);
+            }
+        }
+    }
+
+    /// Iterates the branches as `(mbr, child)` pairs, in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rect, PageId)> + '_ {
+        (0..self.len()).map(move |i| (self.mbr(i), self.child(i)))
+    }
+}
+
 /// Either kind of entry; used by insertion/reinsertion code paths that treat
 /// leaf entries and branches uniformly.
 #[derive(Debug, Clone, Copy)]

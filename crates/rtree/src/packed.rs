@@ -1,0 +1,293 @@
+//! A read-optimized, packed snapshot of an [`RTree`].
+//!
+//! [`RTree::freeze`] lays every page of the arena tree out in two
+//! contiguous arenas:
+//!
+//! * internal pages become spans over four parallel rectangle-coordinate
+//!   arrays plus a child-id array (SoA), so a node scan is one linear,
+//!   branch-predictable pass the batched `gnn_geom::batch` kernels can
+//!   autovectorize;
+//! * leaf pages become spans over one contiguous [`LeafEntry`] array with an
+//!   SoA coordinate mirror for the batched point kernels.
+//!
+//! Page ids are renumbered densely in BFS order (the root is page 0), which
+//! keeps sibling pages adjacent in memory and lets the LRU buffer use a
+//! direct-mapped slot table instead of a hash map.
+//!
+//! The snapshot preserves the page *structure* of the source tree exactly —
+//! same pages, same entries per page, same branch order within a page — so
+//! every query algorithm performs the identical node accesses on either
+//! backend (the property suite pins this). What changes is purely the memory
+//! layout: no `Option<Node>` indirection, no per-page heap allocations, no
+//! pointer chasing.
+
+use crate::node::{BranchesRef, LeafEntry, LeafRef, Node, PageId, PageRef, SoaBranches};
+use crate::tree::RTree;
+use crate::RTreeParams;
+use gnn_geom::Rect;
+
+/// Location of one page inside the packed arenas.
+#[derive(Debug, Clone, Copy)]
+struct PageSpan {
+    /// Offset into the branch arenas (internal) or the leaf arena (leaf).
+    offset: u32,
+    /// Number of entries in the page.
+    len: u32,
+    /// Whether the span indexes the leaf arena.
+    leaf: bool,
+}
+
+/// A read-only, contiguously packed R*-tree snapshot.
+///
+/// Built with [`RTree::freeze`]; queried through
+/// [`crate::TreeCursor::packed`] exactly like the arena tree. Mutations go
+/// to the source [`RTree`]; re-freeze to refresh the snapshot.
+#[derive(Debug, Clone)]
+pub struct PackedRTree {
+    params: RTreeParams,
+    spans: Vec<PageSpan>,
+    // Internal-page arena, SoA: child MBR coordinates and child ids.
+    br_lo_x: Vec<f64>,
+    br_lo_y: Vec<f64>,
+    br_hi_x: Vec<f64>,
+    br_hi_y: Vec<f64>,
+    br_child: Vec<PageId>,
+    // Leaf-page arena: entries plus an SoA coordinate mirror.
+    leaves: Vec<LeafEntry>,
+    leaf_xs: Vec<f64>,
+    leaf_ys: Vec<f64>,
+    root_mbr: Rect,
+    height: usize,
+    len: usize,
+}
+
+impl PackedRTree {
+    /// Packs `tree` (see [`RTree::freeze`]).
+    pub(crate) fn freeze(tree: &RTree) -> Self {
+        // BFS pass 1: dense renumbering. `order[new_id] = old_id`.
+        let mut order: Vec<PageId> = Vec::with_capacity(tree.node_count());
+        order.push(tree.root());
+        let mut head = 0;
+        while head < order.len() {
+            let node = tree.node(order[head]);
+            if let Node::Internal(bs) = node {
+                order.extend(bs.iter().map(|b| b.child));
+            }
+            head += 1;
+        }
+        let mut new_of = vec![u32::MAX; tree.arena_len()];
+        for (new_id, old_id) in order.iter().enumerate() {
+            new_of[old_id.index()] = u32::try_from(new_id).expect("page arena overflow");
+        }
+
+        // Pass 2: write spans and arenas in new-id order.
+        let mut packed = PackedRTree {
+            params: *tree.params(),
+            spans: Vec::with_capacity(order.len()),
+            br_lo_x: Vec::new(),
+            br_lo_y: Vec::new(),
+            br_hi_x: Vec::new(),
+            br_hi_y: Vec::new(),
+            br_child: Vec::new(),
+            leaves: Vec::with_capacity(tree.len()),
+            leaf_xs: Vec::with_capacity(tree.len()),
+            leaf_ys: Vec::with_capacity(tree.len()),
+            root_mbr: tree.root_mbr(),
+            height: tree.height(),
+            len: tree.len(),
+        };
+        for old_id in &order {
+            match tree.node(*old_id) {
+                Node::Leaf(es) => {
+                    packed.spans.push(PageSpan {
+                        offset: u32::try_from(packed.leaves.len()).expect("leaf arena overflow"),
+                        len: u32::try_from(es.len()).expect("page overflow"),
+                        leaf: true,
+                    });
+                    for e in es {
+                        packed.leaves.push(*e);
+                        packed.leaf_xs.push(e.point.x);
+                        packed.leaf_ys.push(e.point.y);
+                    }
+                }
+                Node::Internal(bs) => {
+                    packed.spans.push(PageSpan {
+                        offset: u32::try_from(packed.br_child.len())
+                            .expect("branch arena overflow"),
+                        len: u32::try_from(bs.len()).expect("page overflow"),
+                        leaf: false,
+                    });
+                    for b in bs {
+                        packed.br_lo_x.push(b.mbr.lo.x);
+                        packed.br_lo_y.push(b.mbr.lo.y);
+                        packed.br_hi_x.push(b.mbr.hi.x);
+                        packed.br_hi_y.push(b.mbr.hi.y);
+                        packed.br_child.push(PageId(new_of[b.child.index()]));
+                    }
+                }
+            }
+        }
+        packed
+    }
+
+    /// The tree parameters of the source tree.
+    #[inline]
+    pub fn params(&self) -> &RTreeParams {
+        &self.params
+    }
+
+    /// Number of data points stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshot stores no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Root page id — always page 0 after BFS renumbering.
+    #[inline]
+    pub fn root(&self) -> PageId {
+        PageId(0)
+    }
+
+    /// MBR of the whole dataset (captured at freeze time).
+    #[inline]
+    pub fn root_mbr(&self) -> Rect {
+        self.root_mbr
+    }
+
+    /// Number of pages. Ids `0..node_count()` are all valid — the packed id
+    /// space is dense, which is what makes the direct-mapped buffer-pool
+    /// slot table compact.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Borrows a page as the backend-neutral [`PageRef`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn page(&self, id: PageId) -> PageRef<'_> {
+        let span = self.spans[id.index()];
+        let lo = span.offset as usize;
+        let hi = lo + span.len as usize;
+        if span.leaf {
+            PageRef::Leaf(LeafRef::soa(
+                &self.leaves[lo..hi],
+                &self.leaf_xs[lo..hi],
+                &self.leaf_ys[lo..hi],
+            ))
+        } else {
+            PageRef::Internal(BranchesRef::Soa(SoaBranches {
+                lo_x: &self.br_lo_x[lo..hi],
+                lo_y: &self.br_lo_y[lo..hi],
+                hi_x: &self.br_hi_x[lo..hi],
+                hi_y: &self.br_hi_y[lo..hi],
+                children: &self.br_child[lo..hi],
+            }))
+        }
+    }
+
+    /// Iterates over every stored point (arbitrary order, no accounting).
+    pub fn iter(&self) -> impl Iterator<Item = LeafEntry> + '_ {
+        self.leaves.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PageRef;
+    use gnn_geom::{Point, PointId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tree(n: usize, seed: u64) -> RTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = RTree::new(RTreeParams::with_capacity(8));
+        for i in 0..n {
+            t.insert(LeafEntry::new(
+                PointId(i as u64),
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn freeze_preserves_shape_and_contents() {
+        let tree = random_tree(777, 1);
+        let packed = tree.freeze();
+        assert_eq!(packed.len(), tree.len());
+        assert_eq!(packed.height(), tree.height());
+        assert_eq!(packed.node_count(), tree.node_count());
+        assert_eq!(packed.root_mbr(), tree.root_mbr());
+        let mut got: Vec<u64> = packed.iter().map(|e| e.id.0).collect();
+        let mut want: Vec<u64> = tree.iter().map(|e| e.id.0).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn packed_pages_mirror_arena_pages() {
+        // Walk both trees in lockstep from the root: every page must hold
+        // the same entries (and branch MBRs) in the same order.
+        let tree = random_tree(500, 2);
+        let packed = tree.freeze();
+        let mut stack = vec![(tree.root(), packed.root())];
+        while let Some((old_id, new_id)) = stack.pop() {
+            match (tree.node(old_id), packed.page(new_id)) {
+                (Node::Leaf(es), PageRef::Leaf(l)) => {
+                    assert_eq!(es.as_slice(), l.entries());
+                }
+                (Node::Internal(bs), PageRef::Internal(v)) => {
+                    assert_eq!(bs.len(), v.len());
+                    for (i, b) in bs.iter().enumerate() {
+                        assert_eq!(b.mbr, v.mbr(i));
+                        stack.push((b.child, v.child(i)));
+                    }
+                }
+                _ => panic!("page kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn page_ids_are_dense_bfs() {
+        let tree = random_tree(300, 3);
+        let packed = tree.freeze();
+        assert_eq!(packed.root(), PageId(0));
+        // Every id in 0..node_count is readable, and children of page i all
+        // have ids greater than i (BFS order).
+        for id in 0..packed.node_count() {
+            if let PageRef::Internal(v) = packed.page(PageId(id as u32)) {
+                for i in 0..v.len() {
+                    assert!(v.child(i).index() > id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_freezes() {
+        let tree = RTree::new(RTreeParams::default());
+        let packed = tree.freeze();
+        assert!(packed.is_empty());
+        assert_eq!(packed.node_count(), 1);
+        assert!(matches!(packed.page(packed.root()), PageRef::Leaf(_)));
+    }
+}

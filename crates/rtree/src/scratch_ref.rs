@@ -1,0 +1,37 @@
+//! Owned-or-borrowed scratch storage behind suspendable searches.
+
+/// Storage of a suspendable stream/search: either owned by the stream (the
+/// convenience constructors) or borrowed from a caller's scratch pool (the
+/// zero-allocation path, which also enables suspend/resume — all state
+/// lives in the scratch, so a new stream object can pick it up later).
+///
+/// Owned state is boxed so stream objects stay small regardless of the
+/// scratch type. Shared by the point-NN search here and the MBM stream in
+/// `gnn-core`.
+#[derive(Debug)]
+pub enum ScratchRef<'s, T> {
+    /// The stream owns its storage.
+    Owned(Box<T>),
+    /// The storage lives in a caller's scratch pool.
+    Borrowed(&'s mut T),
+}
+
+impl<T> ScratchRef<'_, T> {
+    /// Mutable access to the scratch.
+    #[inline]
+    pub fn get(&mut self) -> &mut T {
+        match self {
+            ScratchRef::Owned(s) => s,
+            ScratchRef::Borrowed(s) => s,
+        }
+    }
+
+    /// Shared access to the scratch.
+    #[inline]
+    pub fn peek(&self) -> &T {
+        match self {
+            ScratchRef::Owned(s) => s,
+            ScratchRef::Borrowed(s) => s,
+        }
+    }
+}

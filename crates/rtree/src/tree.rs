@@ -462,6 +462,25 @@ impl RTree {
         }
     }
 
+    /// Size of the page arena including freed slots (an upper bound on
+    /// every live page id; used by the packing pass).
+    #[inline]
+    pub(crate) fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Packs the tree into a read-optimized [`crate::PackedRTree`] snapshot:
+    /// contiguous arenas, SoA rectangle coordinates, dense BFS page ids.
+    ///
+    /// The snapshot preserves the page structure exactly, so queries perform
+    /// the same node accesses — only faster, because a node scan walks
+    /// contiguous memory instead of chasing `Option<Node>` pointers. Freeze
+    /// once after loading (or after a batch of updates) and point the query
+    /// cursors at the snapshot.
+    pub fn freeze(&self) -> crate::PackedRTree {
+        crate::PackedRTree::freeze(self)
+    }
+
     /// Iterates over every stored point (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = LeafEntry> + '_ {
         let mut stack = vec![self.root];

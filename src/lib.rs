@@ -61,10 +61,11 @@ pub use gnn_rtree as rtree;
 /// One-stop imports for typical GNN usage.
 pub mod prelude {
     pub use gnn_core::{
-        Aggregate, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
-        MemoryGnnAlgorithm, Mqm, Neighbor, QueryGroup, QueryStats, Spm, Traversal,
+        Aggregate, Choice, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
+        MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup, QueryScratch, QueryStats, Spm,
+        Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
-    pub use gnn_rtree::{LeafEntry, RTree, RTreeParams, TreeCursor};
+    pub use gnn_rtree::{LeafEntry, PackedRTree, RTree, RTreeParams, TreeCursor};
 }

@@ -1,0 +1,173 @@
+//! Zero-allocation steady state: once a [`QueryScratch`] has served a
+//! warm-up pass over a workload, running the same workload again must not
+//! grow any internal buffer — [`QueryScratch::capacity_profile`] has to be
+//! byte-for-byte stable. Since every per-query allocation in the hot path
+//! lives in the scratch (heaps, best lists, bound buffers, leaf runs, sort
+//! pools), a stable profile means steady-state queries perform no heap
+//! allocations at all.
+
+use gnn::core::{Planner, QueryScratch};
+use gnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                lo + rng.gen::<f64>() * (hi - lo),
+                lo + rng.gen::<f64>() * (hi - lo),
+            )
+        })
+        .collect()
+}
+
+fn tree_of(pts: &[Point]) -> RTree {
+    RTree::bulk_load(
+        RTreeParams::default(),
+        pts.iter()
+            .enumerate()
+            .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+    )
+}
+
+fn groups(count: usize, n: usize, seed: u64) -> Vec<QueryGroup> {
+    (0..count)
+        .map(|i| QueryGroup::sum(random_points(n, seed + i as u64, 20.0, 80.0)).unwrap())
+        .collect()
+}
+
+/// Runs `work` once to warm the scratch, snapshots the capacity profile,
+/// then re-runs the same workload asserting the profile never changes.
+fn assert_steady_state(
+    scratch: &mut QueryScratch,
+    mut work: impl FnMut(&mut QueryScratch),
+    what: &str,
+) {
+    // Two warm-up passes: the first sizes the buffers, the second settles
+    // amortised growth (hash-set capacities round up on the way).
+    work(scratch);
+    work(scratch);
+    let profile = scratch.capacity_profile();
+    for round in 0..3 {
+        work(scratch);
+        assert_eq!(
+            profile,
+            scratch.capacity_profile(),
+            "{what}: a scratch buffer regrew in steady state (round {round})"
+        );
+    }
+}
+
+#[test]
+fn memory_algorithms_are_allocation_free_in_steady_state() {
+    let data = random_points(4000, 1, 0.0, 100.0);
+    let tree = tree_of(&data);
+    let packed = tree.freeze();
+    let workload = groups(24, 16, 500);
+
+    for (backend, cursor) in [
+        ("arena", TreeCursor::unbuffered(&tree)),
+        ("packed", TreeCursor::packed(&packed)),
+    ] {
+        let algos: Vec<(&str, Box<dyn MemoryGnnAlgorithm>)> = vec![
+            ("MQM", Box::new(Mqm::new())),
+            ("SPM", Box::new(Spm::best_first())),
+            ("MBM", Box::new(Mbm::best_first())),
+            ("MBM-df", Box::new(Mbm::depth_first())),
+        ];
+        for (name, algo) in algos {
+            let mut scratch = QueryScratch::new();
+            assert_steady_state(
+                &mut scratch,
+                |s| {
+                    for g in &workload {
+                        let (neighbors, _) = algo.k_gnn_in(&cursor, g, 8, s);
+                        assert_eq!(neighbors.len(), 8);
+                    }
+                },
+                &format!("{name} on {backend}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn planner_run_many_is_allocation_free_in_steady_state() {
+    let data = random_points(3000, 2, 0.0, 100.0);
+    let tree = tree_of(&data);
+    let packed = tree.freeze();
+    let cursor = TreeCursor::packed(&packed);
+    let workload = groups(16, 8, 900);
+    let planner = Planner::new();
+    let mut scratch = QueryScratch::new();
+    let mut answered = 0usize;
+    assert_steady_state(
+        &mut scratch,
+        |s| {
+            planner.run_many(&cursor, &workload, 4, s, |_, _, neighbors, stats| {
+                assert_eq!(neighbors.len(), 4);
+                assert!(stats.data_tree.logical > 0);
+                answered += 1;
+            });
+        },
+        "Planner::run_many",
+    );
+    assert_eq!(answered, 16 * 5);
+}
+
+#[test]
+fn file_algorithms_scratch_capacities_stabilize() {
+    // The file algorithms still allocate their per-query `QueryGroup`
+    // materialisations (charged to the metered group loads), but all search
+    // state — stream heaps, thresholds, candidate masks, leaf matrices —
+    // lives in the scratch and must stop growing once warmed up.
+    let data = random_points(2000, 3, 0.0, 100.0);
+    let tree = tree_of(&data);
+    let packed = tree.freeze();
+    let cursor = TreeCursor::packed(&packed);
+    let qpts = random_points(96, 4, 10.0, 90.0);
+    let qf = GroupedQueryFile::build_with(qpts, 16, 24);
+
+    let algos: Vec<(&str, Box<dyn FileGnnAlgorithm>)> = vec![
+        ("F-MQM", Box::new(Fmqm::new())),
+        ("F-MBM", Box::new(Fmbm::best_first())),
+    ];
+    for (name, algo) in algos {
+        let mut scratch = QueryScratch::new();
+        assert_steady_state(
+            &mut scratch,
+            |s| {
+                let fc = FileCursor::new(qf.file());
+                let (neighbors, _) = algo.k_gnn_in(&cursor, &qf, &fc, 3, Aggregate::Sum, s);
+                assert_eq!(neighbors.len(), 3);
+            },
+            name,
+        );
+    }
+}
+
+#[test]
+fn scratch_shrinks_nothing_when_k_varies() {
+    // Alternating k must reuse the same buffers (KBestList keeps its
+    // capacity across resets).
+    let data = random_points(2000, 5, 0.0, 100.0);
+    let tree = tree_of(&data);
+    let packed = tree.freeze();
+    let cursor = TreeCursor::packed(&packed);
+    let workload = groups(8, 8, 700);
+    let mbm = Mbm::best_first();
+    let mut scratch = QueryScratch::new();
+    assert_steady_state(
+        &mut scratch,
+        |s| {
+            for (i, g) in workload.iter().enumerate() {
+                let k = 1 + (i % 16);
+                let (neighbors, _) = mbm.k_gnn_in(&cursor, g, k, s);
+                assert_eq!(neighbors.len(), k);
+            }
+        },
+        "MBM with varying k",
+    );
+}
