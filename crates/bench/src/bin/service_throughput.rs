@@ -1,0 +1,95 @@
+//! The service-throughput experiment: sequential packed baseline vs the
+//! `gnn-service` worker pool at 1/2/4/8 workers, with latency percentiles.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin service_throughput
+//! cargo run -p gnn-bench --release --bin service_throughput -- --quick --json BENCH_service.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller timed batch (smoke / CI run)
+//! * `--json PATH`  write the `gnn-service-bench/1` report (the committed
+//!   `BENCH_service.json` at the repo root is a `--quick --json` run)
+//!
+//! Every configuration is checked against the sequential reference for
+//! bit-identical neighbors and node accesses before its row is printed; a
+//! mismatch aborts with a non-zero exit so CI catches determinism drift.
+//! Interpret speedups against `host_parallelism`: a 1-core container
+//! cannot scale no matter how many workers are configured.
+
+use gnn_bench::run_service_throughput;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_service.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[service_throughput] building PP snapshot + running (quick={quick})...");
+    let report = run_service_throughput(quick);
+
+    println!(
+        "== service throughput ({} queries, n={}, M={}%, k={}, host cores: {}) ==",
+        report.queries,
+        report.n,
+        (report.area * 100.0) as u32,
+        report.k,
+        report.host_parallelism
+    );
+    println!(
+        "{:<12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "config", "q/s", "speedup", "p50 (µs)", "p95 (µs)", "p99 (µs)", "NA total"
+    );
+    println!(
+        "{:<12} {:>12.0} {:>7.2}x {:>10} {:>10} {:>10} {:>10}",
+        "sequential", report.sequential_qps, 1.0, "-", "-", "-", report.sequential_na
+    );
+    let mut ok = true;
+    for c in &report.cells {
+        println!(
+            "{:<12} {:>12.0} {:>7.2}x {:>10.0} {:>10.0} {:>10.0} {:>10}{}",
+            format!("{} workers", c.workers),
+            c.qps,
+            c.speedup,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.na_total,
+            if c.matches_sequential {
+                ""
+            } else {
+                "  MISMATCH"
+            }
+        );
+        ok &= c.matches_sequential && c.na_total == report.sequential_na;
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !ok {
+        eprintln!("[service_throughput] DETERMINISM VIOLATION: service results diverged");
+        std::process::exit(1);
+    }
+}

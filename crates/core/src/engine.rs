@@ -22,6 +22,9 @@ pub enum Choice {
     Mbm,
     /// Single point method (memory; only when MBM cannot serve).
     Spm,
+    /// Multiple query method (memory; never planner-selected — reported by
+    /// [`crate::QueryRequest`]s that pin MQM explicitly).
+    Mqm,
     /// File multiple query method (disk, few groups).
     Fmqm,
     /// File minimum bounding method (disk, many groups).
@@ -33,6 +36,7 @@ impl std::fmt::Display for Choice {
         let s = match self {
             Choice::Mbm => "MBM",
             Choice::Spm => "SPM",
+            Choice::Mqm => "MQM",
             Choice::Fmqm => "F-MQM",
             Choice::Fmbm => "F-MBM",
         };

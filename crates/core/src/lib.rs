@@ -64,6 +64,7 @@ mod gcp;
 mod mbm;
 mod mqm;
 mod query;
+mod request;
 mod result;
 mod scratch;
 mod spm;
@@ -77,6 +78,7 @@ pub use gcp::{Gcp, GCP_DEFAULT_HEAP_LIMIT};
 pub use mbm::{Mbm, MbmScratch, MbmStream};
 pub use mqm::Mqm;
 pub use query::{QueryGroup, QueryGroupError};
+pub use request::{Algo, QueryRequest, QueryResponse};
 pub use result::{GnnResult, Neighbor, QueryStats};
 pub use scratch::QueryScratch;
 pub use spm::{CentroidMethod, Spm};

@@ -1,0 +1,166 @@
+//! Request / response types for query-serving engines.
+//!
+//! A [`QueryRequest`] is one memory-resident k-GNN query in transportable
+//! form: the query group, `k`, and an [`Algo`] selector. Its
+//! [`QueryRequest::execute_in`] method is the *single* execution path shared
+//! by sequential batch runners and the multi-threaded `gnn-service` workers
+//! — both funnel through the same code, which is what makes "the service
+//! returns bit-identical results and node accesses to the sequential
+//! reference" true by construction rather than by testing luck.
+
+use crate::engine::{Choice, Planner};
+use crate::result::{Neighbor, QueryStats};
+use crate::scratch::QueryScratch;
+use crate::{Aggregate, Mbm, Mqm, QueryGroup, Spm};
+use gnn_rtree::TreeCursor;
+
+/// Which algorithm a [`QueryRequest`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// Let the [`Planner`] decide (the §5 rule — MBM for memory groups).
+    #[default]
+    Auto,
+    /// Force MQM (threshold algorithm over per-point NN streams).
+    Mqm,
+    /// Force SPM (centroid-anchored single traversal). SUM only: requests
+    /// carrying a MAX/MIN group fall back to MBM, which the returned
+    /// [`Choice`] makes observable.
+    Spm,
+    /// Force MBM (query-MBR pruned single traversal).
+    Mbm,
+}
+
+/// One memory-resident k-GNN query in transportable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query group `Q` (points + aggregate + weights).
+    pub group: QueryGroup,
+    /// Number of neighbors to retrieve.
+    pub k: usize,
+    /// Algorithm selector.
+    pub algo: Algo,
+}
+
+impl QueryRequest {
+    /// A planner-routed request.
+    pub fn new(group: QueryGroup, k: usize) -> Self {
+        QueryRequest {
+            group,
+            k,
+            algo: Algo::Auto,
+        }
+    }
+
+    /// A request pinned to a specific algorithm.
+    pub fn with_algo(group: QueryGroup, k: usize, algo: Algo) -> Self {
+        QueryRequest { group, k, algo }
+    }
+
+    /// Executes the request against the tree behind `cursor`, reusing
+    /// `scratch` (allocation-free in steady state). Deterministic: the same
+    /// request against the same tree performs the same node accesses and
+    /// returns the same neighbors regardless of which thread runs it.
+    pub fn execute_in<'s>(
+        &self,
+        planner: &Planner,
+        cursor: &TreeCursor<'_>,
+        scratch: &'s mut QueryScratch,
+    ) -> (Choice, &'s [Neighbor], QueryStats) {
+        match self.algo {
+            Algo::Auto => planner.k_gnn_in(cursor, &self.group, self.k, scratch),
+            Algo::Mqm => {
+                let (neighbors, stats) = Mqm::new().k_gnn_in(cursor, &self.group, self.k, scratch);
+                (Choice::Mqm, neighbors, stats)
+            }
+            Algo::Spm if self.group.aggregate() == Aggregate::Sum => {
+                let (neighbors, stats) =
+                    Spm::best_first().k_gnn_in(cursor, &self.group, self.k, scratch);
+                (Choice::Spm, neighbors, stats)
+            }
+            // SPM is SUM-only (Lemma 1); MAX/MIN requests degrade to MBM.
+            Algo::Spm | Algo::Mbm => {
+                let (neighbors, stats) =
+                    Mbm::best_first().k_gnn_in(cursor, &self.group, self.k, scratch);
+                (Choice::Mbm, neighbors, stats)
+            }
+        }
+    }
+}
+
+/// The answer to one [`QueryRequest`]: which algorithm ran, the neighbors,
+/// and the per-query cost counters (node accesses, distance computations,
+/// wall time) — the paper's metrics, preserved through the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The algorithm that served the request.
+    pub choice: Choice,
+    /// Up to `k` neighbors in ascending aggregate distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Cost counters of this query.
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_geom::{Point, PointId};
+    use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+            .collect()
+    }
+
+    #[test]
+    fn every_selector_matches_the_direct_algorithm() {
+        let data = random_points(600, 1);
+        let tree = RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            data.iter()
+                .enumerate()
+                .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+        );
+        let cursor = gnn_rtree::TreeCursor::unbuffered(&tree);
+        let planner = Planner::new();
+        let mut scratch = QueryScratch::new();
+        let group = QueryGroup::sum(random_points(6, 2)).unwrap();
+        for (algo, want_choice) in [
+            (Algo::Auto, Choice::Mbm),
+            (Algo::Mqm, Choice::Mqm),
+            (Algo::Spm, Choice::Spm),
+            (Algo::Mbm, Choice::Mbm),
+        ] {
+            let req = QueryRequest::with_algo(group.clone(), 4, algo);
+            let (choice, neighbors, _) = req.execute_in(&planner, &cursor, &mut scratch);
+            assert_eq!(choice, want_choice, "{algo:?}");
+            let want = Mbm::best_first().k_gnn(&cursor, &group, 4);
+            assert_eq!(
+                neighbors.iter().map(|n| n.dist).collect::<Vec<_>>(),
+                want.distances(),
+                "{algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spm_request_on_max_group_falls_back_to_mbm() {
+        let data = random_points(300, 3);
+        let tree = RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            data.iter()
+                .enumerate()
+                .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+        );
+        let cursor = gnn_rtree::TreeCursor::unbuffered(&tree);
+        let group = QueryGroup::with_aggregate(random_points(5, 4), Aggregate::Max).unwrap();
+        let req = QueryRequest::with_algo(group, 3, Algo::Spm);
+        let mut scratch = QueryScratch::new();
+        let (choice, neighbors, _) = req.execute_in(&Planner::new(), &cursor, &mut scratch);
+        assert_eq!(choice, Choice::Mbm);
+        assert_eq!(neighbors.len(), 3);
+    }
+}

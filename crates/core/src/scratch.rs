@@ -104,8 +104,7 @@ impl QueryScratch {
         prof.extend(self.mbm.capacity_profile());
         prof.extend(self.df_pool.iter().map(Vec::capacity));
         for nn in &self.nn_pool {
-            prof.push(nn.heap_capacity());
-            prof.push(nn.bounds_capacity());
+            prof.extend(nn.capacity_profile());
         }
         prof.extend(self.fmqm.capacity_profile());
         prof.extend(self.fmbm.capacity_profile());

@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 pub mod io;
 mod synthetic;
 mod workload;
 
+pub use arrivals::{open_loop_arrivals, Arrival};
 pub use synthetic::{
     gaussian_clusters, pp_synthetic, ts_synthetic, uniform_points, ClusterSpec, PP_CARDINALITY,
     TS_CARDINALITY,

@@ -205,6 +205,22 @@ enum Backend<'t> {
 ///
 /// Cheap to create; hold one per experiment (or per algorithm run) and call
 /// [`TreeCursor::take_stats`] between queries.
+///
+/// # Thread safety
+///
+/// A cursor is `Send` but **intentionally `!Sync`**: the access counters
+/// and optional LRU buffer live in a `RefCell`, so `read` works through
+/// `&self` with no locking on the hot path — at the price of confining each
+/// cursor to one thread. Concurrent engines share the tree itself (both
+/// backends are `Send + Sync`) behind an `Arc` and give every worker its
+/// own cursor via [`crate::PackedRTree::cursor`]; that also keeps the
+/// per-query node-access accounting exact, which a shared cursor would
+/// scramble.
+///
+/// ```compile_fail
+/// fn needs_sync<T: Sync>() {}
+/// needs_sync::<gnn_rtree::TreeCursor<'static>>();
+/// ```
 pub struct TreeCursor<'t> {
     backend: Backend<'t>,
     state: RefCell<CursorState>,

@@ -61,3 +61,37 @@ pub use packed::PackedRTree;
 pub use params::RTreeParams;
 pub use scratch_ref::ScratchRef;
 pub use tree::RTree;
+
+/// Compile-time thread-safety contract of the storage layer.
+///
+/// * [`RTree`] and [`PackedRTree`] are plain owned data (`Vec` arenas, no
+///   interior mutability), so they are `Send + Sync`: a frozen snapshot can
+///   be shared across worker threads behind an `Arc` and queried
+///   concurrently through per-thread cursors.
+/// * [`TreeCursor`] is `Send` but **intentionally `!Sync`**: it meters
+///   every page read into a `RefCell` (access counters + optional LRU
+///   buffer state), which makes `read` callable through `&self` on the
+///   single thread that owns the cursor without any locking on the hot
+///   path. Sharing one cursor across threads would serialise every page
+///   read behind a lock *and* scramble the per-query access accounting —
+///   the intended pattern is one cursor (plus one `QueryScratch`) per
+///   worker, all reading the same `Arc<PackedRTree>`.
+///
+/// The assertions below fail to compile if a future change (e.g. an `Rc`
+/// or a raw pointer in a node type) silently removes an auto trait.
+#[allow(dead_code)]
+mod thread_safety_assertions {
+    use super::*;
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+
+    const _: () = assert_send_sync::<RTree>();
+    const _: () = assert_send_sync::<PackedRTree>();
+    const _: () = assert_send_sync::<AccessStats>();
+    const _: () = assert_send_sync::<LeafEntry>();
+    const _: () = assert_send_sync::<NnScratch>();
+    // `TreeCursor` must move freely into a worker thread; its `!Sync` half
+    // of the contract is pinned by a `compile_fail` doc-test on the type.
+    const _: () = assert_send::<TreeCursor<'static>>();
+}

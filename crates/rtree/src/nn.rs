@@ -20,7 +20,7 @@
 use crate::cursor::TreeCursor;
 use crate::node::{LeafEntry, PageId, PageRef};
 use crate::scratch_ref::ScratchRef;
-use gnn_geom::{OrderedF64, Point, Rect};
+use gnn_geom::{OrderedF64, Point, PointId, Rect};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -49,6 +49,24 @@ struct BfItem {
 enum BfKind {
     Node(PageId),
     Point(LeafEntry),
+    /// Packed engine only: a whole leaf's entries, sorted ascending by
+    /// exact squared distance in [`NnScratch::runs`], represented in the
+    /// heap by the key of its unconsumed head — one heap item per leaf
+    /// instead of one per entry. The head's key is already its exact
+    /// distance, so popping the run *emits the head directly* and
+    /// re-inserts the run keyed by its next entry; run entries never become
+    /// individual `Point` heap items. A run therefore behaves exactly like
+    /// the point at its head: rank 0 (at equal keys an exact data point
+    /// must pop before a node on both backends, or the packed engine would
+    /// expand tied nodes the arena engine never reads) and tie-broken by
+    /// the head's point id (so exact cross-leaf distance ties emit in the
+    /// same id order the arena engine produces).
+    Run {
+        /// Slot in [`NnScratch::runs`].
+        rid: u32,
+        /// Id of the run's unconsumed head entry (the tie-break key).
+        head: PointId,
+    },
 }
 
 // BinaryHeap needs a total order; distances and ranks decide, the payload is
@@ -65,6 +83,8 @@ impl Ord for BfKind {
             match k {
                 BfKind::Node(p) => (1, u64::from(p.raw())),
                 BfKind::Point(e) => (0, e.id.0),
+                // A run stands for the point at its head: same tie class.
+                BfKind::Run { head, .. } => (0, head.0),
             }
         }
         key(self).cmp(&key(other))
@@ -79,6 +99,16 @@ impl Ord for BfKind {
 pub struct NnScratch {
     heap: BinaryHeap<Reverse<BfItem>>,
     bounds: Vec<f64>,
+    /// Whether the search backed by this scratch runs the packed fast path
+    /// (sorted leaf runs). Set when the search is seeded, preserved across
+    /// suspend/resume turns.
+    fast: bool,
+    /// Sorted leaf runs (packed engine): per-run `(dist², entry)` ascending.
+    runs: Vec<Vec<(f64, LeafEntry)>>,
+    /// Consumption cursor of each run.
+    run_pos: Vec<usize>,
+    /// Recycled run slots.
+    free_runs: Vec<u32>,
 }
 
 impl NnScratch {
@@ -87,6 +117,10 @@ impl NnScratch {
         NnScratch {
             heap: BinaryHeap::with_capacity(capacity),
             bounds: Vec::with_capacity(64),
+            fast: false,
+            runs: Vec::new(),
+            run_pos: Vec::new(),
+            free_runs: Vec::new(),
         }
     }
 
@@ -100,9 +134,39 @@ impl NnScratch {
         self.bounds.capacity()
     }
 
+    /// Every internal buffer capacity (for the no-regrowth tests — any
+    /// buffer omitted here could silently reintroduce steady-state
+    /// allocations).
+    pub fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
+        [
+            self.heap.capacity(),
+            self.bounds.capacity(),
+            self.runs.capacity(),
+            self.run_pos.capacity(),
+            self.free_runs.capacity(),
+        ]
+        .into_iter()
+        .chain(self.runs.iter().map(Vec::capacity))
+    }
+
+    fn alloc_run(&mut self) -> u32 {
+        if let Some(rid) = self.free_runs.pop() {
+            rid
+        } else {
+            self.runs.push(Vec::new());
+            self.run_pos.push(0);
+            u32::try_from(self.runs.len() - 1).expect("run id overflow")
+        }
+    }
+
     fn reset(&mut self) {
         self.heap.clear();
         self.bounds.clear();
+        self.fast = false;
+        self.free_runs.clear();
+        for i in 0..self.runs.len() {
+            self.free_runs.push(i as u32);
+        }
     }
 }
 
@@ -179,6 +243,11 @@ impl<'t, 'c, 's> NearestNeighbors<'t, 'c, 's> {
     ) -> NearestNeighbors<'t, 'c, 's> {
         let s = scratch.get();
         s.reset();
+        // Packed snapshots run the read-optimized engine: batched kernels
+        // plus sorted leaf runs (one heap item per leaf). Keys are exact on
+        // both paths, so results and node accesses are identical; the fast
+        // path only reduces per-point heap traffic.
+        s.fast = cursor.is_packed();
         if !cursor.is_empty() {
             s.heap.push(Reverse(BfItem {
                 dist_sq: OrderedF64(cursor.root_mbr().mindist_point_sq(query)),
@@ -224,8 +293,70 @@ impl Iterator for NearestNeighbors<'_, '_, '_> {
                         dist: item.dist_sq.get().sqrt(),
                     });
                 }
+                BfKind::Run { rid, .. } => {
+                    // The run's head is the global heap minimum and its key
+                    // is already the exact squared distance (point NN has no
+                    // cheaper filter key, unlike MBM's lazy aggregate
+                    // conversion), so the head *is* the next neighbor: emit
+                    // it directly and re-insert the run keyed (and
+                    // tie-broken) by its next entry. Entries never consumed
+                    // never touch the heap.
+                    let ri = rid as usize;
+                    let pos = scratch.run_pos[ri];
+                    let (d2, entry) = scratch.runs[ri][pos];
+                    scratch.run_pos[ri] = pos + 1;
+                    if pos + 1 < scratch.runs[ri].len() {
+                        let (next_key, next_entry) = scratch.runs[ri][pos + 1];
+                        scratch.heap.push(Reverse(BfItem {
+                            dist_sq: OrderedF64(next_key),
+                            rank: 0,
+                            kind: BfKind::Run {
+                                rid,
+                                head: next_entry.id,
+                            },
+                        }));
+                    } else {
+                        scratch.free_runs.push(rid);
+                    }
+                    return Some(PointNeighbor {
+                        entry,
+                        dist: d2.sqrt(),
+                    });
+                }
                 BfKind::Node(id) => match cursor.read(id) {
+                    PageRef::Leaf(leaf) if scratch.fast => {
+                        // Packed engine: batched dist² over the whole page,
+                        // keys sorted into a run — one heap item per leaf
+                        // instead of one per entry.
+                        leaf.dist_sq_into(query, &mut scratch.bounds);
+                        let rid = scratch.alloc_run();
+                        let ri = rid as usize;
+                        let run = &mut scratch.runs[ri];
+                        run.clear();
+                        run.extend(
+                            leaf.entries()
+                                .iter()
+                                .zip(&scratch.bounds)
+                                .map(|(&e, &d2)| (d2, e)),
+                        );
+                        run.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+                        if let Some(&(head_key, head_entry)) = run.first() {
+                            scratch.run_pos[ri] = 0;
+                            scratch.heap.push(Reverse(BfItem {
+                                dist_sq: OrderedF64(head_key),
+                                rank: 0,
+                                kind: BfKind::Run {
+                                    rid,
+                                    head: head_entry.id,
+                                },
+                            }));
+                        } else {
+                            scratch.free_runs.push(rid);
+                        }
+                    }
                     PageRef::Leaf(leaf) => {
+                        // Reference (arena) engine: the seed's flow — every
+                        // entry pushed individually.
                         leaf.dist_sq_into(query, &mut scratch.bounds);
                         for (&e, &d2) in leaf.entries().iter().zip(&scratch.bounds) {
                             scratch.heap.push(Reverse(BfItem {
@@ -585,5 +716,72 @@ mod tests {
             NearestNeighbors::new(&cursor, Point::new(0.0, 0.0)).collect();
         assert_eq!(res.len(), 25);
         assert!(res.iter().all(|r| (r.dist - 2f64.sqrt()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cross_leaf_distance_ties_emit_in_arena_id_order() {
+        // Regression: runs tie-break by their head's point id, exactly like
+        // arena `Point` items. (6,8) and (8,6) are both at d²=100 from the
+        // origin but live in different leaves (each padded with neighbors
+        // so both leaves are expanded before the tie pops); with a run-id
+        // tie-break the packed engine emitted them in leaf-expansion order,
+        // returning a different 5th neighbor than the arena engine.
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for (id, x, y) in [
+            (20u64, 6.0, 8.0),
+            (21, 6.0, 7.5),
+            (22, 6.1, 7.6),
+            (23, 5.9, 7.7),
+            (3, 8.0, 6.0),
+            (4, 8.0, 5.9),
+            (5, 8.1, 6.1),
+            (6, 7.9, 6.2),
+        ] {
+            tree.insert(LeafEntry::new(PointId(id), Point::new(x, y)));
+        }
+        let packed = tree.freeze();
+        let q = Point::ORIGIN;
+        let ids = |cursor: &TreeCursor<'_>| -> Vec<u64> {
+            NearestNeighbors::new(cursor, q)
+                .map(|r| r.entry.id.0)
+                .collect()
+        };
+        let arena_ids = ids(&TreeCursor::unbuffered(&tree));
+        let packed_ids = ids(&TreeCursor::packed(&packed));
+        assert_eq!(arena_ids, packed_ids, "tie order diverged across backends");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_inflate_packed_node_accesses() {
+        // Regression: run heap items must carry point rank (0). With node
+        // rank they lose every distance tie to pending nodes, so a tree of
+        // duplicate points made the packed engine expand *every* tied leaf
+        // before emitting anything — node accesses above the arena
+        // reference. One internal level (8 points, capacity 4, k smaller
+        // than any leaf) isolates the run-vs-node tie: both backends must
+        // read exactly root + one leaf.
+        //
+        // (On deeper trees, ties *between nodes* may still expand in
+        // different page-id order on the two backends — arena allocation
+        // vs BFS renumbering — which is a pre-existing property of exact
+        // ties, not of the run fast path.)
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..8 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(1.0, 1.0)));
+        }
+        assert_eq!(tree.height(), 2, "one internal level wanted");
+        let packed = tree.freeze();
+        let arena_cursor = TreeCursor::unbuffered(&tree);
+        let packed_cursor = TreeCursor::packed(&packed);
+        let a = bf_k_nearest(&arena_cursor, Point::new(0.0, 0.0), 2);
+        let p = bf_k_nearest(&packed_cursor, Point::new(0.0, 0.0), 2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(arena_cursor.stats().logical, 2, "root + one leaf");
+        assert_eq!(
+            packed_cursor.stats().logical,
+            2,
+            "packed engine read extra tied nodes"
+        );
     }
 }

@@ -205,6 +205,15 @@ impl PackedRTree {
     pub fn iter(&self) -> impl Iterator<Item = LeafEntry> + '_ {
         self.leaves.iter().copied()
     }
+
+    /// A fresh unbuffered [`crate::TreeCursor`] over this snapshot — the
+    /// cheap per-thread constructor concurrent engines use. The snapshot
+    /// itself is `Send + Sync` (share it behind an `Arc`); each worker
+    /// thread owns its own cursor, because cursors carry per-thread access
+    /// counters in a `RefCell` and are intentionally `!Sync`.
+    pub fn cursor(&self) -> crate::TreeCursor<'_> {
+        crate::TreeCursor::packed(self)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,236 @@
+//! Fixed-bucket latency histogram with lock-free recording.
+//!
+//! Workers record every query's wall time concurrently, so the histogram is
+//! an array of atomic counters over **log-linear** buckets: values 0–3 ns
+//! map to their own buckets, and every further power of two is split into
+//! four sub-buckets, giving a worst-case relative quantile error of 25%
+//! across the full `u64` nanosecond range with a fixed 252-slot footprint
+//! (2 KiB per worker). No allocation, no locking, no floating point on the
+//! record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per power of two (4 → ≤25% relative error).
+const SUB: u64 = 4;
+/// Total bucket count; covers every `u64` nanosecond value exactly: the
+/// largest reachable index is `4·(63−1)+3 = 251`.
+pub const BUCKETS: usize = 252;
+
+/// Bucket index of a nanosecond value.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB {
+        return nanos as usize;
+    }
+    let msb = 63 - nanos.leading_zeros() as usize; // 2..=63
+    let sub = ((nanos >> (msb - 2)) & (SUB - 1)) as usize;
+    SUB as usize * (msb - 1) + sub
+}
+
+/// Inclusive upper bound (in nanoseconds) of bucket `idx` — what quantiles
+/// report, so they never understate a latency.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let msb = idx / SUB as usize + 1;
+    let sub = (idx % SUB as usize) as u128;
+    // Start of the next sub-bucket, minus one (in u128: the top bucket's
+    // bound would overflow u64).
+    let upper = ((SUB as u128 + sub + 1) << (msb - 2)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
+/// A concurrent fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one latency sample. Lock-free; callable from any thread.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// An owned snapshot of a [`LatencyHistogram`] (possibly merged across
+/// workers) with quantile accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    counts: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty() -> Self {
+        LatencySnapshot {
+            counts: vec![0; BUCKETS],
+        }
+    }
+
+    /// Component-wise sum with another snapshot (cross-worker aggregation).
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as a conservative upper bound: the
+    /// inclusive upper edge of the bucket containing the `ceil(q·count)`-th
+    /// smallest sample. `None` when no samples were recorded.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q) && q > 0.0, "quantile q in (0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_nanos(bucket_upper(idx)));
+            }
+        }
+        unreachable!("counts summed to total")
+    }
+
+    /// Median latency (upper-bounded, see [`LatencySnapshot::quantile`]).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<Duration> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Every boundary maps into the bucket whose upper bound admits it,
+        // and bucket indices are monotone in the value.
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1_000,
+            1_000_000,
+            1_000_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_of(v);
+            assert!(idx >= last, "bucket index not monotone at {v}");
+            assert!(
+                idx == BUCKETS - 1 || v <= bucket_upper(idx),
+                "value {v} above its bucket's upper bound {}",
+                bucket_upper(idx)
+            );
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn upper_bound_error_is_within_a_quarter() {
+        for shift in 2..60u64 {
+            for sub in 0..4u64 {
+                let v = (1u64 << shift) + sub * (1u64 << (shift - 2));
+                let upper = bucket_upper(bucket_of(v));
+                assert!(upper >= v);
+                assert!(
+                    (upper - v) as f64 <= v as f64 * 0.25 + 1.0,
+                    "error too large at {v}: upper {upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 99 samples at ~1µs, one at ~1ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(1));
+        }
+        h.record(Duration::from_millis(1));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.p50().unwrap();
+        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(2));
+        let p99 = s.p99().unwrap();
+        assert!(p99 < Duration::from_micros(2), "p99 is the 99th of 100");
+        let p100 = s.quantile(1.0).unwrap();
+        assert!(p100 >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(10));
+        b.record(Duration::from_secs(1));
+        let mut m = LatencySnapshot::empty();
+        m.merge(&a.snapshot());
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert!(m.quantile(1.0).unwrap() >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert!(s.p50().is_none());
+    }
+}

@@ -1,0 +1,669 @@
+//! # gnn-service — sharded, multi-threaded GNN query serving
+//!
+//! The paper's algorithms answer one query at a time; the north star is a
+//! system that serves sustained multi-user traffic. This crate turns a
+//! frozen [`PackedRTree`] snapshot into an embeddable query-serving engine:
+//!
+//! * the snapshot is **immutable and shared** (`Arc<PackedRTree>` — the
+//!   storage layer is `Send + Sync` by construction, statically asserted in
+//!   `gnn-rtree`);
+//! * a fixed pool of worker threads (std `thread` + a bounded channel — no
+//!   external dependencies) pulls requests from a shared queue;
+//! * every worker owns its own [`TreeCursor`], [`QueryScratch`] and
+//!   [`Planner`], so the zero-allocation single-thread hot path of the
+//!   packed engine becomes a zero-allocation **per-core** hot path — no
+//!   shared mutable state is touched while a query runs;
+//! * per-worker counters (queries, node accesses, simulated I/O, distance
+//!   computations) and a fixed-bucket response-latency histogram (measured
+//!   submit → response, so queue wait under overload is visible) are
+//!   aggregated on demand into a [`ServiceStats`] snapshot, so the paper's
+//!   node-access cost metric survives concurrency exactly.
+//!
+//! Determinism is the correctness anchor: a query's node accesses and
+//! results depend only on the snapshot and the request (per-worker cursors
+//! are unbuffered, so no cross-query cache state exists), which means the
+//! same workload submitted through the service and run sequentially through
+//! [`Planner::run_many_collect`] produces identical ids, distances, and
+//! total node accesses — on any worker count, in any completion order. The
+//! workspace-level `service_determinism` test pins this on 1, 2 and 8
+//! workers.
+//!
+//! ```
+//! use gnn_core::{QueryGroup, QueryRequest};
+//! use gnn_geom::{Point, PointId};
+//! use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+//! use gnn_service::{Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let mut tree = RTree::new(RTreeParams::default());
+//! for i in 0..100 {
+//!     tree.insert(LeafEntry::new(PointId(i), Point::new(i as f64, 0.0)));
+//! }
+//! let snapshot = Arc::new(tree.freeze());
+//! let service = Service::start(snapshot, ServiceConfig::with_workers(2));
+//! let group = QueryGroup::sum(vec![Point::new(3.9, 0.0), Point::new(4.1, 0.0)]).unwrap();
+//! let handle = service.submit(QueryRequest::new(group, 1));
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.neighbors[0].id, PointId(4));
+//! let stats = service.shutdown();
+//! assert_eq!(stats.queries_served, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+
+pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
+
+use gnn_core::{Aggregate, Planner, QueryGroup, QueryGroupError, QueryRequest, QueryResponse};
+use gnn_core::{QueryScratch, QueryStats};
+use gnn_geom::Point;
+use gnn_rtree::PackedRTree;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (≥ 1). Each owns a cursor + scratch.
+    pub workers: usize,
+    /// Bounded request-queue depth (≥ 1): [`Service::submit`] blocks and
+    /// [`Service::try_submit`] fails once this many requests are pending.
+    pub queue_depth: usize,
+    /// `k` used by the [`Service::submit_points`] convenience entry.
+    pub default_k: usize,
+    /// Aggregate used by [`Service::submit_points`].
+    pub default_aggregate: Aggregate,
+    /// The planner each worker routes [`gnn_core::Algo::Auto`] requests
+    /// through.
+    pub planner: Planner,
+}
+
+impl Default for ServiceConfig {
+    /// One worker per available core, queue depth 1024, `k = 8`, SUM.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            queue_depth: 1024,
+            default_k: 8,
+            default_aggregate: Aggregate::Sum,
+            planner: Planner::new(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Why a submission or wait failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded request queue was full ([`Service::try_submit`]).
+    QueueFull,
+    /// The worker serving this request disappeared without responding, or
+    /// (on submission) every worker had already died. A worker dies only
+    /// by panicking inside a query; results for other requests are
+    /// unaffected.
+    WorkerGone,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ServiceError::QueueFull => "request queue is full",
+            ServiceError::WorkerGone => "worker terminated without responding",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A pending response: redeem with [`ResponseHandle::wait`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<QueryResponse>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the query completes and returns its response.
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::WorkerGone)
+    }
+
+    /// Non-blocking poll: `Some` once the response is ready (errors map to
+    /// `Some(Err(WorkerGone))`), `None` while the query is still in flight.
+    pub fn poll(&self) -> Option<Result<QueryResponse, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(Ok(r)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::WorkerGone)),
+        }
+    }
+}
+
+/// One unit of work on the queue.
+struct Job {
+    request: QueryRequest,
+    reply: mpsc::Sender<QueryResponse>,
+    /// When the request entered the queue; response latency is measured
+    /// from here, so time spent waiting behind other requests is visible
+    /// in the histogram (the open-loop contract).
+    submitted: Instant,
+}
+
+/// Shared per-worker counters (written lock-free by the worker, read by
+/// [`Service::stats`]).
+#[derive(Debug)]
+struct WorkerCounters {
+    queries: AtomicU64,
+    node_accesses: AtomicU64,
+    io: AtomicU64,
+    dist_computations: AtomicU64,
+    busy_nanos: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl WorkerCounters {
+    fn new() -> Self {
+        WorkerCounters {
+            queries: AtomicU64::new(0),
+            node_accesses: AtomicU64::new(0),
+            io: AtomicU64::new(0),
+            dist_computations: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&self, stats: &QueryStats, execution: Duration, response: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.node_accesses
+            .fetch_add(stats.data_tree.logical, Ordering::Relaxed);
+        self.io.fetch_add(stats.data_tree.io, Ordering::Relaxed);
+        self.dist_computations
+            .fetch_add(stats.dist_computations, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(
+            u64::try_from(execution.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.latency.record(response);
+    }
+
+    fn snapshot(&self, worker: usize) -> WorkerSnapshot {
+        WorkerSnapshot {
+            worker,
+            queries: self.queries.load(Ordering::Relaxed),
+            node_accesses: self.node_accesses.load(Ordering::Relaxed),
+            io: self.io.load(Ordering::Relaxed),
+            dist_computations: self.dist_computations.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time counters of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Queries served by this worker.
+    pub queries: u64,
+    /// Logical node accesses performed (the paper's NA metric).
+    pub node_accesses: u64,
+    /// Simulated I/O (equals `node_accesses` — worker cursors are
+    /// unbuffered so per-query accounting stays deterministic).
+    pub io: u64,
+    /// Distance evaluations (CPU proxy).
+    pub dist_computations: u64,
+    /// Total wall time spent inside query execution (queue wait excluded —
+    /// that shows up in the latency histogram instead).
+    pub busy: Duration,
+}
+
+/// Aggregated service counters: per-worker snapshots, their totals, and the
+/// merged latency histogram.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Total queries served.
+    pub queries_served: u64,
+    /// Total logical node accesses — comparable 1:1 with the sum of
+    /// `QueryStats::data_tree.logical` over a sequential run of the same
+    /// workload.
+    pub node_accesses: u64,
+    /// Total simulated I/O.
+    pub io: u64,
+    /// Total distance evaluations.
+    pub dist_computations: u64,
+    /// Per-worker breakdown (length = configured workers).
+    pub per_worker: Vec<WorkerSnapshot>,
+    /// Merged response-latency histogram (`p50()`/`p95()`/`p99()`).
+    /// Samples measure **submit → response** — queueing plus execution —
+    /// so an overloaded service shows its backlog in the tail percentiles
+    /// (the open-loop measurement contract).
+    pub latency: LatencySnapshot,
+}
+
+/// The serving engine: an immutable snapshot, a bounded queue, and a fixed
+/// worker pool. See the crate docs for the design.
+pub struct Service {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Vec<Arc<WorkerCounters>>,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Spins up the worker pool over `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    pub fn start(snapshot: Arc<PackedRTree>, config: ServiceConfig) -> Service {
+        assert!(config.workers > 0, "service needs at least one worker");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let (tx, rx) = sync_channel::<Job>(config.queue_depth);
+        // std's Receiver is single-consumer; the pool shares it behind a
+        // mutex. The lock is held only for the dequeue itself, never while
+        // a query runs.
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        let mut counters = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let counter = Arc::new(WorkerCounters::new());
+            counters.push(Arc::clone(&counter));
+            let tree = Arc::clone(&snapshot);
+            let rx = Arc::clone(&rx);
+            let planner = config.planner;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gnn-worker-{w}"))
+                    .spawn(move || worker_loop(&tree, &rx, planner, &counter))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Service {
+            tx: Some(tx),
+            workers,
+            counters,
+            config,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Enqueues a request, blocking while the queue is full. Returns a
+    /// handle redeemable for the [`QueryResponse`].
+    ///
+    /// If every worker has died (each one panicked inside a query), the
+    /// request cannot be executed; the returned handle then yields
+    /// [`ServiceError::WorkerGone`] instead of panicking the caller.
+    pub fn submit(&self, request: QueryRequest) -> ResponseHandle {
+        let (reply, rx) = mpsc::channel();
+        // `send` fails only when every worker (and thus the shared
+        // receiver) is gone; dropping the job drops `reply`, which makes
+        // the handle report `WorkerGone`.
+        let _ = self.sender().send(Job {
+            request,
+            reply,
+            submitted: Instant::now(),
+        });
+        ResponseHandle { rx }
+    }
+
+    /// Non-blocking submit: fails with the request and
+    /// [`ServiceError::QueueFull`] when the bounded queue is full — the
+    /// backpressure signal an open-loop load generator counts as a drop —
+    /// or [`ServiceError::WorkerGone`] when every worker has died.
+    // The large `Err` is the point: the rejected request is handed back by
+    // value so the caller can retry or drop it without ever cloning it.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(
+        &self,
+        request: QueryRequest,
+    ) -> Result<ResponseHandle, (QueryRequest, ServiceError)> {
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            reply,
+            submitted: Instant::now(),
+        };
+        match self.sender().try_send(job) {
+            Ok(()) => Ok(ResponseHandle { rx }),
+            Err(TrySendError::Full(job)) => Err((job.request, ServiceError::QueueFull)),
+            Err(TrySendError::Disconnected(job)) => Err((job.request, ServiceError::WorkerGone)),
+        }
+    }
+
+    /// Convenience: submits `points` as a planner-routed query with the
+    /// configured default `k` and aggregate.
+    pub fn submit_points(&self, points: Vec<Point>) -> Result<ResponseHandle, QueryGroupError> {
+        let group = QueryGroup::with_aggregate(points, self.config.default_aggregate)?;
+        Ok(self.submit(QueryRequest::new(group, self.config.default_k)))
+    }
+
+    /// Enqueues a whole batch (blocking on backpressure), returning handles
+    /// in submission order — so `handles[i]` answers `requests[i]` no
+    /// matter which workers execute what, in which order.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = QueryRequest>,
+    ) -> Vec<ResponseHandle> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Aggregated counters so far (cheap: atomic loads only — safe to poll
+    /// from a metrics scraper while traffic runs).
+    pub fn stats(&self) -> ServiceStats {
+        let per_worker: Vec<WorkerSnapshot> = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(w, c)| c.snapshot(w))
+            .collect();
+        let mut latency = LatencySnapshot::empty();
+        for c in &self.counters {
+            latency.merge(&c.latency.snapshot());
+        }
+        ServiceStats {
+            queries_served: per_worker.iter().map(|w| w.queries).sum(),
+            node_accesses: per_worker.iter().map(|w| w.node_accesses).sum(),
+            io: per_worker.iter().map(|w| w.io).sum(),
+            dist_computations: per_worker.iter().map(|w| w.dist_computations).sum(),
+            per_worker,
+            latency,
+        }
+    }
+
+    /// Graceful shutdown: stops accepting new requests, lets the workers
+    /// drain every queued request (their responses stay redeemable), joins
+    /// the pool, and returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn sender(&self) -> &SyncSender<Job> {
+        self.tx.as_ref().expect("sender alive until shutdown")
+    }
+
+    fn stop_and_join(&mut self) {
+        // Dropping the sender makes every worker's `recv` fail once the
+        // queue is drained — the shutdown signal.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            // A panicked worker already delivered its error to the affected
+            // handle (dropped reply channel → `WorkerGone`); joining must
+            // not poison shutdown for the healthy workers.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.config.workers)
+            .field("queue_depth", &self.config.queue_depth)
+            .field("running", &self.tx.is_some())
+            .finish()
+    }
+}
+
+/// The worker body: one cursor + scratch + planner per thread, reused for
+/// the thread's whole lifetime — steady-state queries allocate only their
+/// response vectors.
+fn worker_loop(
+    tree: &PackedRTree,
+    rx: &Mutex<Receiver<Job>>,
+    planner: Planner,
+    counters: &WorkerCounters,
+) {
+    let cursor = tree.cursor();
+    let mut scratch = QueryScratch::new();
+    // Self-warm before serving: one canned query sizes the scratch's core
+    // buffers, so a worker's very first real request does not pay the
+    // cold-start allocations inside a caller's latency measurement. The
+    // shared queue gives no per-worker routing, so no submitted warm-up
+    // batch could guarantee reaching every worker — only the worker itself
+    // can. Uncounted: it is not traffic.
+    if !tree.is_empty() {
+        if let Ok(group) = QueryGroup::sum(vec![tree.root_mbr().center()]) {
+            let warm = QueryRequest::new(group, 1);
+            let _ = warm.execute_in(&planner, &cursor, &mut scratch);
+            cursor.reset();
+        }
+    }
+    loop {
+        let job = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                // Another worker panicked while holding the dequeue lock;
+                // the queue itself is still sound.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(Job {
+            request,
+            reply,
+            submitted,
+        }) = job
+        else {
+            return; // sender dropped and queue drained: shutdown
+        };
+        let exec0 = Instant::now();
+        let (choice, neighbors, stats) = request.execute_in(&planner, &cursor, &mut scratch);
+        let response = QueryResponse {
+            choice,
+            neighbors: neighbors.to_vec(),
+            stats,
+        };
+        // `busy` counts execution only; the latency histogram measures
+        // submit → response, so queue wait under overload is visible.
+        counters.record(&stats, exec0.elapsed(), submitted.elapsed());
+        // The caller may have dropped its handle; that is not an error.
+        let _ = reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_core::{Algo, Mbm};
+    use gnn_geom::PointId;
+    use gnn_rtree::{LeafEntry, RTree, RTreeParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn snapshot(n: usize, seed: u64) -> Arc<PackedRTree> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            (0..n).map(|i| {
+                LeafEntry::new(
+                    PointId(i as u64),
+                    Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                )
+            }),
+        );
+        Arc::new(tree.freeze())
+    }
+
+    fn random_group(n: usize, seed: u64) -> QueryGroup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QueryGroup::sum(
+            (0..n)
+                .map(|_| {
+                    Point::new(
+                        20.0 + rng.gen::<f64>() * 40.0,
+                        20.0 + rng.gen::<f64>() * 40.0,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_query_matches_direct_mbm() {
+        let snap = snapshot(800, 1);
+        let service = Service::start(Arc::clone(&snap), ServiceConfig::with_workers(2));
+        let group = random_group(5, 2);
+        let response = service
+            .submit(QueryRequest::new(group.clone(), 4))
+            .wait()
+            .unwrap();
+        let want = Mbm::best_first().k_gnn(&snap.cursor(), &group, 4);
+        assert_eq!(response.neighbors, want.neighbors);
+        assert_eq!(
+            response.stats.data_tree.logical,
+            want.stats.data_tree.logical
+        );
+    }
+
+    #[test]
+    fn batch_handles_come_back_in_submission_order() {
+        let snap = snapshot(600, 3);
+        let service = Service::start(snap, ServiceConfig::with_workers(4));
+        let requests: Vec<QueryRequest> = (0..24)
+            .map(|i| QueryRequest::new(random_group(4, 100 + i), 1 + (i as usize % 3)))
+            .collect();
+        let handles = service.submit_batch(requests.clone());
+        for (req, handle) in requests.iter().zip(handles) {
+            let r = handle.wait().unwrap();
+            assert_eq!(r.neighbors.len(), req.k);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 24);
+        assert_eq!(stats.latency.count(), 24);
+        assert!(stats.node_accesses > 0);
+        assert_eq!(stats.per_worker.len(), 4);
+        let sum: u64 = stats.per_worker.iter().map(|w| w.queries).sum();
+        assert_eq!(sum, 24);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let snap = snapshot(500, 4);
+        let service = Service::start(
+            snap,
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 64,
+                ..ServiceConfig::default()
+            },
+        );
+        let handles =
+            service.submit_batch((0..32).map(|i| QueryRequest::new(random_group(4, i), 2)));
+        // Shut down immediately: every already-queued request must still be
+        // answered.
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 32);
+        for h in handles {
+            assert_eq!(h.wait().unwrap().neighbors.len(), 2);
+        }
+    }
+
+    #[test]
+    fn submit_points_uses_configured_defaults() {
+        let snap = snapshot(400, 5);
+        let service = Service::start(
+            snap,
+            ServiceConfig {
+                workers: 1,
+                default_k: 3,
+                default_aggregate: Aggregate::Max,
+                ..ServiceConfig::default()
+            },
+        );
+        let pts = random_group(4, 9).points().to_vec();
+        let r = service.submit_points(pts).unwrap().wait().unwrap();
+        assert_eq!(r.neighbors.len(), 3);
+        assert!(service.submit_points(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn explicit_algo_requests_report_their_choice() {
+        let snap = snapshot(500, 6);
+        let service = Service::start(snap, ServiceConfig::with_workers(2));
+        for (algo, want) in [
+            (Algo::Mqm, gnn_core::Choice::Mqm),
+            (Algo::Spm, gnn_core::Choice::Spm),
+            (Algo::Mbm, gnn_core::Choice::Mbm),
+            (Algo::Auto, gnn_core::Choice::Mbm),
+        ] {
+            let r = service
+                .submit(QueryRequest::with_algo(random_group(4, 7), 2, algo))
+                .wait()
+                .unwrap();
+            assert_eq!(r.choice, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn poll_eventually_returns() {
+        let snap = snapshot(300, 7);
+        let service = Service::start(snap, ServiceConfig::with_workers(1));
+        let handle = service.submit(QueryRequest::new(random_group(3, 8), 1));
+        let mut spins = 0u64;
+        let r = loop {
+            if let Some(r) = handle.poll() {
+                break r;
+            }
+            spins += 1;
+            std::thread::yield_now();
+            assert!(spins < 100_000_000, "query never completed");
+        };
+        assert_eq!(r.unwrap().neighbors.len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_serves_empty_results() {
+        let snap = Arc::new(RTree::new(RTreeParams::default()).freeze());
+        let service = Service::start(snap, ServiceConfig::with_workers(2));
+        let r = service
+            .submit(QueryRequest::new(random_group(3, 9), 5))
+            .wait()
+            .unwrap();
+        assert!(r.neighbors.is_empty());
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let snap = Arc::new(RTree::new(RTreeParams::default()).freeze());
+        Service::start(
+            snap,
+            ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+    }
+}

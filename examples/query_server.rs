@@ -1,0 +1,106 @@
+//! A miniature GNN query server: freeze a snapshot, start a 4-worker
+//! service, and stream an open-loop §5.1 workload through it, reporting
+//! throughput, tail latency, and the paper's node-access metric.
+//!
+//! ```text
+//! cargo run --release --example query_server
+//! ```
+//!
+//! The workload generator is *open-loop*: queries are scheduled on a
+//! fixed-seed Poisson arrival process (here 2 000 q/s) and submitted at
+//! their scheduled instants whether or not earlier queries have finished —
+//! the honest way to measure a server's latency percentiles. If the server
+//! falls behind, arrivals queue up (bounded by the service's queue depth)
+//! and the tail percentiles show it.
+
+use gnn::datasets::{open_loop_arrivals, pp_synthetic, QuerySpec};
+use gnn::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. Build the dataset index and freeze a read-optimized snapshot.
+    let points: Vec<Point> = pp_synthetic(20_040_301).into_iter().step_by(10).collect();
+    let tree = RTree::bulk_load(
+        RTreeParams::default(),
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+    );
+    let snapshot = Arc::new(tree.freeze());
+    println!(
+        "dataset: {} points, {} pages, height {}",
+        snapshot.len(),
+        snapshot.node_count(),
+        snapshot.height()
+    );
+
+    // 2. Start the service: 4 workers, each with its own cursor + scratch.
+    let config = ServiceConfig {
+        workers: 4,
+        queue_depth: 512,
+        default_k: 8,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(Arc::clone(&snapshot), config);
+    println!("service: 4 workers, queue depth 512");
+
+    // 3. A §5.1 workload on a Poisson arrival process: 200 queries of 64
+    //    points in 8%-area MBRs, at a mean rate of 2 000 queries/sec.
+    let spec = QuerySpec {
+        n: 64,
+        area_fraction: 0.08,
+    };
+    let arrivals = open_loop_arrivals(snapshot.root_mbr(), spec, 200, 2_000.0, 0xCAFE);
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(arrivals.len());
+    for arrival in arrivals {
+        let due = Duration::from_nanos(arrival.offset_nanos);
+        if let Some(wait) = due.checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        } // else: behind schedule — open loop, submit immediately
+        let group = QueryGroup::sum(arrival.points).expect("workload query");
+        handles.push(service.submit(QueryRequest::new(group, 8)));
+    }
+    let mut answered = 0usize;
+    let mut total_na = 0u64;
+    for handle in handles {
+        let response = handle.wait().expect("query served");
+        answered += response.neighbors.len().min(1);
+        total_na += response.stats.data_tree.logical;
+    }
+    let wall = started.elapsed();
+
+    // 4. Report.
+    let stats = service.shutdown();
+    let us = |d: Option<Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    println!(
+        "served {} queries in {:.3}s  ->  {:.0} queries/sec",
+        stats.queries_served,
+        wall.as_secs_f64(),
+        stats.queries_served as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.0}µs  p95 {:.0}µs  p99 {:.0}µs",
+        us(stats.latency.p50()),
+        us(stats.latency.p95()),
+        us(stats.latency.p99())
+    );
+    println!(
+        "cost: {:.1} node accesses / query ({} total)",
+        total_na as f64 / stats.queries_served as f64,
+        total_na
+    );
+    for w in &stats.per_worker {
+        println!(
+            "  worker {}: {} queries, {} NA, busy {:.1}ms",
+            w.worker,
+            w.queries,
+            w.node_accesses,
+            w.busy.as_secs_f64() * 1e3
+        );
+    }
+    assert_eq!(answered, 200, "every query must return results");
+}

@@ -49,6 +49,7 @@
 //! | [`qfile`] | `gnn-qfile` | paged disk-resident query files |
 //! | [`datasets`] | `gnn-datasets` | PP/TS dataset substitutes, workloads |
 //! | [`core`] | `gnn-core` | MQM, SPM, MBM, GCP, F-MQM, F-MBM |
+//! | [`service`] | `gnn-service` | sharded multi-threaded query serving + latency metrics |
 //! | [`network`] | `gnn-network` | the future-work extension: GNN under network distance |
 
 pub use gnn_core as core;
@@ -57,15 +58,17 @@ pub use gnn_geom as geom;
 pub use gnn_network as network;
 pub use gnn_qfile as qfile;
 pub use gnn_rtree as rtree;
+pub use gnn_service as service;
 
 /// One-stop imports for typical GNN usage.
 pub mod prelude {
     pub use gnn_core::{
-        Aggregate, Choice, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
-        MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup, QueryScratch, QueryStats, Spm,
-        Traversal,
+        Aggregate, Algo, Choice, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
+        MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup, QueryRequest, QueryResponse,
+        QueryScratch, QueryStats, Spm, Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
     pub use gnn_rtree::{LeafEntry, PackedRTree, RTree, RTreeParams, TreeCursor};
+    pub use gnn_service::{Service, ServiceConfig, ServiceStats};
 }
