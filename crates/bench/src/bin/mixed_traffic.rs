@@ -1,0 +1,126 @@
+//! The mixed-traffic / incremental-refreeze experiment: full `freeze()` vs
+//! copy-on-write `refreeze()` latency on a ~10%-dirty tree, plus serving
+//! throughput while snapshots are refreeze-published under live updates.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin mixed_traffic
+//! cargo run -p gnn-bench --release --bin mixed_traffic -- --quick --json BENCH_refreeze.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller serving workload (smoke / CI run); the freeze
+//!   latency comparison always runs at full dataset scale
+//! * `--json PATH`  write the `gnn-refreeze-bench/1` report (the committed
+//!   `BENCH_refreeze.json` at the repo root is a `--quick --json` run)
+//!
+//! The run is gated: a non-zero exit if the refrozen snapshot is not
+//! structurally identical to a full freeze, if any response diverged from
+//! the sequential reference of the generation that served it, or if
+//! refreeze was not faster than a full freeze at ~10% dirty pages — the
+//! acceptance bar for the incremental-refreeze work.
+
+use gnn_bench::run_mixed_traffic;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_refreeze.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[mixed_traffic] building TS tree + dirtying ~10% of pages (quick={quick})...");
+    let report = run_mixed_traffic(quick);
+
+    println!(
+        "== incremental refreeze ({}: {} pages, {} dirty = {:.1}%, {} updates) ==",
+        report.dataset,
+        report.pages,
+        report.dirty_pages,
+        report.dirty_fraction * 100.0,
+        report.updates_applied,
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>9}",
+        "", "full (µs)", "refreeze (µs)", "speedup"
+    );
+    println!(
+        "{:<14} {:>12.0} {:>12.0} {:>8.2}x{}",
+        "freeze",
+        report.full_freeze_us,
+        report.refreeze_us,
+        report.speedup,
+        if report.snapshots_equal {
+            ""
+        } else {
+            "  SNAPSHOT MISMATCH"
+        }
+    );
+    println!(
+        "== serving during refresh ({} workers, {} queries, {} publishes of {} updates) ==",
+        report.workers, report.queries, report.publishes, report.updates_per_cycle,
+    );
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>10}",
+        "phase", "q/s", "p50 (µs)", "p95 (µs)", "p99 (µs)"
+    );
+    println!("{:<14} {:>12.0}", "static", report.static_qps);
+    println!(
+        "{:<14} {:>12.0} {:>10.0} {:>10.0} {:>10.0}{}",
+        "refreshing",
+        report.refresh_qps,
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        if report.matches_generation_reference {
+            ""
+        } else {
+            "  MISMATCH"
+        }
+    );
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+
+    let mut ok = true;
+    if !report.snapshots_equal {
+        eprintln!("[mixed_traffic] FAIL: refreeze diverged structurally from full freeze");
+        ok = false;
+    }
+    if !report.matches_generation_reference {
+        eprintln!("[mixed_traffic] FAIL: a response diverged from its generation's reference");
+        ok = false;
+    }
+    if report.refreeze_us >= report.full_freeze_us {
+        eprintln!(
+            "[mixed_traffic] FAIL: refreeze ({:.0}µs) not faster than full freeze ({:.0}µs) at {:.1}% dirty",
+            report.refreeze_us,
+            report.full_freeze_us,
+            report.dirty_fraction * 100.0
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -98,6 +98,12 @@ pub struct QueryResponse {
     pub neighbors: Vec<Neighbor>,
     /// Cost counters of this query.
     pub stats: QueryStats,
+    /// Generation of the snapshot that served the request. A serving engine
+    /// with snapshot hot-swap (`gnn-service`) tags every response with the
+    /// generation of the snapshot the query actually ran on, so results
+    /// stay pinnable per generation even while snapshots are being
+    /// republished; contexts without generations use `0`.
+    pub generation: u64,
 }
 
 #[cfg(test)]

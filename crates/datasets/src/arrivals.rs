@@ -31,9 +31,15 @@ pub struct Arrival {
 /// `query_workload(workspace, spec, count, seed)` and only the timing is
 /// added. Offsets are strictly non-decreasing. Deterministic in `seed`.
 ///
+/// Degenerate rates stay defined instead of dividing by zero or spinning:
+/// a rate of exactly `0.0` means "no traffic" and yields an **empty**
+/// schedule; a positive rate small enough that offsets overflow the `u64`
+/// nanosecond range saturates them at `u64::MAX` (the schedule stays
+/// finite, non-decreasing, and `count` entries long).
+///
 /// # Panics
 ///
-/// Panics if `rate_qps` is not finite and positive, or on the
+/// Panics if `rate_qps` is negative, NaN or infinite, or on the
 /// `query_workload` preconditions (`n > 0`, `area_fraction` in `(0, 1]`).
 pub fn open_loop_arrivals(
     workspace: Rect,
@@ -43,9 +49,14 @@ pub fn open_loop_arrivals(
     seed: u64,
 ) -> Vec<Arrival> {
     assert!(
-        rate_qps.is_finite() && rate_qps > 0.0,
-        "arrival rate must be finite and positive, got {rate_qps}"
+        rate_qps.is_finite() && rate_qps >= 0.0,
+        "arrival rate must be finite and non-negative, got {rate_qps}"
     );
+    if rate_qps == 0.0 {
+        // Rate zero: no query ever arrives. An empty schedule (not a
+        // division-by-zero inf-offset list) is the only sound reading.
+        return Vec::new();
+    }
     let queries = query_workload(workspace, spec, count, seed);
     // Independent stream for the gaps: timing never perturbs the queries.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -57,6 +68,8 @@ pub fn open_loop_arrivals(
             let u: f64 = rng.gen();
             t += -(1.0 - u).ln() / rate_qps;
             Arrival {
+                // The float→int cast saturates: near-zero rates produce
+                // u64::MAX offsets, never garbage or a panic.
                 offset_nanos: (t * 1e9) as u64,
                 points,
             }
@@ -118,8 +131,58 @@ mod tests {
     }
 
     #[test]
+    fn zero_rate_yields_empty_schedule() {
+        // Regression: rate 0 used to be rejected/divide by zero; "no
+        // traffic" is a legitimate open-loop configuration.
+        assert!(open_loop_arrivals(unit(), spec(), 100, 0.0, 0).is_empty());
+    }
+
+    #[test]
+    fn near_zero_rate_saturates_offsets_finitely() {
+        // Mean gap of 1e12 s ≈ 1e21 ns overflows u64; offsets must
+        // saturate (stay finite and non-decreasing), not wrap or panic.
+        let arr = open_loop_arrivals(unit(), spec(), 10, 1e-12, 5);
+        assert_eq!(arr.len(), 10);
+        for w in arr.windows(2) {
+            assert!(w[0].offset_nanos <= w[1].offset_nanos);
+        }
+        assert_eq!(arr.last().unwrap().offset_nanos, u64::MAX);
+        // The queries themselves are unaffected by the degenerate timing.
+        let wl = query_workload(unit(), spec(), 10, 5);
+        let pts: Vec<Vec<Point>> = arr.iter().map(|x| x.points.clone()).collect();
+        assert_eq!(pts, wl);
+    }
+
+    #[test]
+    fn huge_rate_keeps_offsets_sane() {
+        let arr = open_loop_arrivals(unit(), spec(), 1000, 1e12, 6);
+        assert_eq!(arr.len(), 1000);
+        for w in arr.windows(2) {
+            assert!(w[0].offset_nanos <= w[1].offset_nanos);
+        }
+        // 1000 arrivals at ~1e12 q/s span about a nanosecond; generously
+        // bound well below a millisecond.
+        assert!(arr.last().unwrap().offset_nanos < 1_000_000);
+    }
+
+    #[test]
+    fn degenerate_rates_are_deterministic() {
+        for rate in [0.0, 1e-12, 1e12] {
+            let a = open_loop_arrivals(unit(), spec(), 20, rate, 9);
+            let b = open_loop_arrivals(unit(), spec(), 20, rate, 9);
+            assert_eq!(a, b, "rate {rate}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "arrival rate")]
-    fn rejects_zero_rate() {
-        open_loop_arrivals(unit(), spec(), 1, 0.0, 0);
+    fn rejects_negative_rate() {
+        open_loop_arrivals(unit(), spec(), 1, -1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn rejects_infinite_rate() {
+        open_loop_arrivals(unit(), spec(), 1, f64::INFINITY, 0);
     }
 }

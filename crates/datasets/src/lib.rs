@@ -25,10 +25,12 @@
 
 mod arrivals;
 pub mod io;
+mod mixed;
 mod synthetic;
 mod workload;
 
 pub use arrivals::{open_loop_arrivals, Arrival};
+pub use mixed::{mixed_traffic, MixedEvent, MixedOp, MixedSpec};
 pub use synthetic::{
     gaussian_clusters, pp_synthetic, ts_synthetic, uniform_points, ClusterSpec, PP_CARDINALITY,
     TS_CARDINALITY,

@@ -1,0 +1,309 @@
+//! Mixed update/query traffic schedules for live-serving experiments.
+//!
+//! The paper's experiments run over a static dataset; the serving system's
+//! north star is an **evolving** one. [`mixed_traffic`] interleaves the
+//! fixed-seed open-loop query stream of [`open_loop_arrivals`] with a
+//! second, independent Poisson stream of inserts and deletes over the live
+//! point set, merged into one time-ordered schedule. The same seed always
+//! produces the same operations at the same offsets, so a mixed-traffic
+//! run is exactly replayable: queries can be checked against a sequential
+//! reference per snapshot generation, and refreeze/hot-swap latencies can
+//! be measured on identical workloads across code versions.
+
+use crate::arrivals::open_loop_arrivals;
+use crate::workload::QuerySpec;
+use gnn_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a mixed update/query schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixedOp {
+    /// Insert a fresh point (ids continue past the base dataset's).
+    Insert {
+        /// Stable id of the new point (`base.len() + running count`).
+        id: u64,
+        /// Its location, uniform in the workspace.
+        point: Point,
+    },
+    /// Delete a currently live point (base point or earlier insert).
+    Delete {
+        /// Id of the victim.
+        id: u64,
+        /// The coordinates it was inserted with (R-tree deletion needs the
+        /// location hint).
+        point: Point,
+    },
+    /// One §5.1 query group.
+    Query {
+        /// The query's points.
+        points: Vec<Point>,
+    },
+}
+
+/// One scheduled event of a mixed workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedEvent {
+    /// Submission instant, in nanoseconds from the start of the run.
+    pub offset_nanos: u64,
+    /// What arrives at that instant.
+    pub op: MixedOp,
+}
+
+/// Shape of a mixed update/query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedSpec {
+    /// Shape of the query groups (the §5.1 recipe).
+    pub query: QuerySpec,
+    /// Number of queries in the schedule.
+    pub queries: usize,
+    /// Mean query arrival rate, queries/second (0 ⇒ no queries).
+    pub query_rate_qps: f64,
+    /// Number of updates (inserts + deletes) in the schedule.
+    pub updates: usize,
+    /// Mean update arrival rate, updates/second (0 ⇒ no updates).
+    pub update_rate_ups: f64,
+    /// Fraction of updates that are inserts (the rest delete a uniformly
+    /// chosen live point). A delete drawn when nothing is live becomes an
+    /// insert, so the schedule always has exactly `updates` updates.
+    pub insert_fraction: f64,
+}
+
+/// Builds a deterministic mixed insert/delete/query schedule.
+///
+/// The query stream is exactly `open_loop_arrivals(workspace, spec.query,
+/// spec.queries, spec.query_rate_qps, seed)` — adding updates never
+/// perturbs which queries arrive or when. The update stream draws from two
+/// further seed-derived RNGs (one for gaps, one for operations): inserts
+/// place uniform points in `workspace` with fresh ids starting at
+/// `base.len()`, deletes pick a uniform victim among the currently live
+/// points, where "live" starts as `base` (ids `0..base.len()`, the usual
+/// bulk-load numbering) and evolves with the schedule's own inserts and
+/// deletes. The two streams are merged by offset (ties: update first, so
+/// replaying the schedule synchronously has a deterministic dataset state
+/// at every query).
+///
+/// Degenerate rates follow [`open_loop_arrivals`]: a zero rate empties
+/// that stream, near-zero rates saturate offsets at `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if a rate is negative, NaN or infinite, if `insert_fraction` is
+/// not in `[0, 1]`, or on the `query_workload` preconditions.
+pub fn mixed_traffic(
+    workspace: Rect,
+    spec: MixedSpec,
+    base: &[Point],
+    seed: u64,
+) -> Vec<MixedEvent> {
+    assert!(
+        (0.0..=1.0).contains(&spec.insert_fraction),
+        "insert_fraction must be in [0, 1], got {}",
+        spec.insert_fraction
+    );
+    assert!(
+        spec.update_rate_ups.is_finite() && spec.update_rate_ups >= 0.0,
+        "update rate must be finite and non-negative, got {}",
+        spec.update_rate_ups
+    );
+    let queries = open_loop_arrivals(
+        workspace,
+        spec.query,
+        spec.queries,
+        spec.query_rate_qps,
+        seed,
+    );
+
+    // Update stream: independent gap and op RNGs, so changing e.g. the
+    // insert fraction never shifts the arrival instants.
+    let mut gap_rng = StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut op_rng = StdRng::seed_from_u64(seed ^ 0x8CB9_2BA7_2F3D_8DD7);
+    let mut live: Vec<(u64, Point)> = base
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u64, p))
+        .collect();
+    let mut next_id = base.len() as u64;
+    let mut updates = Vec::with_capacity(spec.updates);
+    let mut t = 0.0f64; // seconds
+    if spec.update_rate_ups > 0.0 {
+        for _ in 0..spec.updates {
+            let u: f64 = gap_rng.gen();
+            t += -(1.0 - u).ln() / spec.update_rate_ups;
+            let insert = live.is_empty() || op_rng.gen_bool(spec.insert_fraction);
+            let op = if insert {
+                let point = Point::new(
+                    workspace.lo.x + op_rng.gen::<f64>() * workspace.width(),
+                    workspace.lo.y + op_rng.gen::<f64>() * workspace.height(),
+                );
+                let id = next_id;
+                next_id += 1;
+                live.push((id, point));
+                MixedOp::Insert { id, point }
+            } else {
+                let victim = op_rng.gen_range(0..live.len());
+                let (id, point) = live.swap_remove(victim);
+                MixedOp::Delete { id, point }
+            };
+            updates.push(MixedEvent {
+                offset_nanos: (t * 1e9) as u64,
+                op,
+            });
+        }
+    }
+
+    // Merge the two offset-sorted streams; updates win ties so synchronous
+    // replay has a well-defined dataset state at every query instant.
+    let mut events = Vec::with_capacity(updates.len() + queries.len());
+    let mut qs = queries.into_iter().peekable();
+    let mut us = updates.into_iter().peekable();
+    loop {
+        let take_update = match (us.peek(), qs.peek()) {
+            (Some(u), Some(q)) => u.offset_nanos <= q.offset_nanos,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_update {
+            events.push(us.next().expect("peeked update"));
+        } else {
+            let arrival = qs.next().expect("peeked query");
+            events.push(MixedEvent {
+                offset_nanos: arrival.offset_nanos,
+                op: MixedOp::Query {
+                    points: arrival.points,
+                },
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_workload;
+
+    fn unit() -> Rect {
+        Rect::from_corners(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn base(n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn spec() -> MixedSpec {
+        MixedSpec {
+            query: QuerySpec {
+                n: 4,
+                area_fraction: 0.08,
+            },
+            queries: 40,
+            query_rate_qps: 1000.0,
+            updates: 60,
+            update_rate_ups: 1500.0,
+            insert_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_time_ordered() {
+        let b = base(50);
+        let a = mixed_traffic(unit(), spec(), &b, 7);
+        assert_eq!(a, mixed_traffic(unit(), spec(), &b, 7));
+        assert_eq!(a.len(), 100);
+        for w in a.windows(2) {
+            assert!(w[0].offset_nanos <= w[1].offset_nanos);
+        }
+        assert_ne!(a, mixed_traffic(unit(), spec(), &b, 8));
+    }
+
+    #[test]
+    fn query_stream_is_exactly_the_open_loop_workload() {
+        let b = base(30);
+        let events = mixed_traffic(unit(), spec(), &b, 3);
+        let queries: Vec<Vec<Point>> = events
+            .iter()
+            .filter_map(|e| match &e.op {
+                MixedOp::Query { points } => Some(points.clone()),
+                _ => None,
+            })
+            .collect();
+        let want = query_workload(unit(), spec().query, spec().queries, 3);
+        assert_eq!(queries, want);
+    }
+
+    #[test]
+    fn replay_is_consistent() {
+        // Replaying the update stream against a mirror of the live set
+        // must never delete a dead id or reuse a live one.
+        let b = base(20);
+        let mut s = spec();
+        s.updates = 400;
+        s.insert_fraction = 0.4; // delete-heavy: drains toward empty
+        let events = mixed_traffic(unit(), s, &b, 11);
+        let mut live: std::collections::BTreeMap<u64, Point> =
+            b.iter().enumerate().map(|(i, &p)| (i as u64, p)).collect();
+        let mut inserts = 0usize;
+        let mut deletes = 0usize;
+        for e in &events {
+            match &e.op {
+                MixedOp::Insert { id, point } => {
+                    inserts += 1;
+                    assert!(live.insert(*id, *point).is_none(), "id {id} reused");
+                }
+                MixedOp::Delete { id, point } => {
+                    deletes += 1;
+                    assert_eq!(live.remove(id), Some(*point), "id {id} not live");
+                }
+                MixedOp::Query { .. } => {}
+            }
+        }
+        assert_eq!(inserts + deletes, 400);
+        assert!(deletes > 100, "delete-heavy schedule had {deletes} deletes");
+    }
+
+    #[test]
+    fn zero_rates_empty_their_streams() {
+        let b = base(10);
+        let mut s = spec();
+        s.query_rate_qps = 0.0;
+        let only_updates = mixed_traffic(unit(), s, &b, 5);
+        assert_eq!(only_updates.len(), s.updates);
+        assert!(only_updates
+            .iter()
+            .all(|e| !matches!(e.op, MixedOp::Query { .. })));
+
+        let mut s = spec();
+        s.update_rate_ups = 0.0;
+        let only_queries = mixed_traffic(unit(), s, &b, 5);
+        assert_eq!(only_queries.len(), s.queries);
+        assert!(only_queries
+            .iter()
+            .all(|e| matches!(e.op, MixedOp::Query { .. })));
+    }
+
+    #[test]
+    fn empty_base_turns_first_deletes_into_inserts() {
+        let mut s = spec();
+        s.insert_fraction = 0.0; // all deletes — but nothing is live
+        s.updates = 5;
+        let events = mixed_traffic(unit(), s, &[], 2);
+        let first_update = events
+            .iter()
+            .find(|e| !matches!(e.op, MixedOp::Query { .. }))
+            .unwrap();
+        assert!(matches!(first_update.op, MixedOp::Insert { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_fraction")]
+    fn rejects_bad_insert_fraction() {
+        let mut s = spec();
+        s.insert_fraction = 1.5;
+        mixed_traffic(unit(), s, &[], 0);
+    }
+}

@@ -9,7 +9,11 @@
 //!   bulk loading;
 //! * [`PackedRTree`] — a read-optimized snapshot ([`RTree::freeze`]):
 //!   contiguous page arenas, SoA rectangle coordinates and dense BFS page
-//!   ids, so query scans are linear passes over packed memory;
+//!   ids, so query scans are linear passes over packed memory; under mixed
+//!   update/query traffic, [`RTree::refreeze`] rebuilds the next snapshot
+//!   incrementally by copying the spans of every page untouched since the
+//!   previous one (page-level copy-on-write, pinned identical to a full
+//!   freeze);
 //! * [`TreeCursor`] / [`AccessStats`] / [`LruBuffer`] — the disk simulation:
 //!   every page read is metered, optionally through an LRU buffer pool, and
 //!   reported as the paper's *node accesses* (NA) metric;

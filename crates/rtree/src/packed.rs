@@ -27,7 +27,7 @@ use crate::RTreeParams;
 use gnn_geom::Rect;
 
 /// Location of one page inside the packed arenas.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PageSpan {
     /// Offset into the branch arenas (internal) or the leaf arena (leaf).
     offset: u32,
@@ -39,9 +39,15 @@ struct PageSpan {
 
 /// A read-only, contiguously packed R*-tree snapshot.
 ///
-/// Built with [`RTree::freeze`]; queried through
+/// Built with [`RTree::freeze`] (full rebuild) or [`RTree::refreeze`]
+/// (page-level copy-on-write reuse of a previous snapshot); queried through
 /// [`crate::TreeCursor::packed`] exactly like the arena tree. Mutations go
-/// to the source [`RTree`]; re-freeze to refresh the snapshot.
+/// to the source [`RTree`]; re-freeze (or refreeze) to refresh the snapshot.
+///
+/// `PartialEq` compares the *structural* content — parameters, page spans,
+/// all five SoA arenas, the leaf arena and mirrors, root MBR, height and
+/// cardinality — i.e. everything a query can observe. Two equal snapshots
+/// produce bit-identical results and node accesses for every algorithm.
 #[derive(Debug, Clone)]
 pub struct PackedRTree {
     params: RTreeParams,
@@ -59,19 +65,116 @@ pub struct PackedRTree {
     root_mbr: Rect,
     height: usize,
     len: usize,
+    // --- refreeze provenance (not part of PartialEq) ---
+    /// `arena_of[new_id] = arena page id` at freeze time: the inverse of the
+    /// dense renumbering, kept so a later refreeze can find each arena
+    /// page's span inside this snapshot.
+    arena_of: Vec<PageId>,
+    /// Identity token of the source tree instance.
+    tree_id: u64,
+    /// The source tree's mutation clock at freeze time.
+    version: u64,
+}
+
+impl PartialEq for PackedRTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+            && self.spans == other.spans
+            && self.br_lo_x == other.br_lo_x
+            && self.br_lo_y == other.br_lo_y
+            && self.br_hi_x == other.br_hi_x
+            && self.br_hi_y == other.br_hi_y
+            && self.br_child == other.br_child
+            && self.leaves == other.leaves
+            && self.leaf_xs == other.leaf_xs
+            && self.leaf_ys == other.leaf_ys
+            && self.root_mbr == other.root_mbr
+            && self.height == other.height
+            && self.len == other.len
+    }
 }
 
 impl PackedRTree {
-    /// Packs `tree` (see [`RTree::freeze`]).
+    /// Packs `tree` from scratch (see [`RTree::freeze`]).
     pub(crate) fn freeze(tree: &RTree) -> Self {
-        // BFS pass 1: dense renumbering. `order[new_id] = old_id`.
+        Self::pack(tree, None)
+    }
+
+    /// Packs `tree` reusing the untouched page spans of `prev` (see
+    /// [`RTree::refreeze`]). Falls back to a full pack when `prev` is not a
+    /// snapshot of this tree instance (or was taken under other params).
+    pub(crate) fn refreeze(tree: &RTree, prev: &PackedRTree) -> Self {
+        if prev.is_snapshot_of(tree) {
+            Self::pack(tree, Some(prev))
+        } else {
+            Self::pack(tree, None)
+        }
+    }
+
+    /// Whether this snapshot was frozen from `tree` (same instance, same
+    /// parameters), i.e. whether per-page version comparison against it is
+    /// meaningful.
+    pub fn is_snapshot_of(&self, tree: &RTree) -> bool {
+        self.tree_id == tree.tree_id() && self.params == *tree.params()
+    }
+
+    /// The source tree's mutation clock at freeze time.
+    #[inline]
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn pack(tree: &RTree, prev: Option<&PackedRTree>) -> Self {
+        // `prev_of[arena_id] = page id inside prev`, for span reuse. Arena
+        // ids only grow, so `prev`'s ids all fit below `tree.arena_len()`.
+        let prev_of: Option<Vec<u32>> = prev.map(|p| {
+            let mut m = vec![u32::MAX; tree.arena_len()];
+            for (packed_id, arena_id) in p.arena_of.iter().enumerate() {
+                m[arena_id.index()] = u32::try_from(packed_id).expect("page arena overflow");
+            }
+            m
+        });
+        // A page is *clean* when it existed in `prev` and has not been
+        // touched since `prev` was frozen: its content (and, for internal
+        // pages, its children's arena ids) is bit-identical to what `prev`
+        // recorded, so both BFS passes can run off the previous snapshot's
+        // contiguous arenas without dereferencing the arena node at all.
+        // Returns the page's id inside `prev`, or `u32::MAX` when dirty.
+        let clean_prev_id = |arena_id: PageId| -> u32 {
+            match (prev, prev_of.as_deref()) {
+                (Some(p), Some(prev_of)) if tree.page_version(arena_id) <= p.version => {
+                    prev_of[arena_id.index()]
+                }
+                _ => u32::MAX,
+            }
+        };
+
+        // BFS pass 1: dense renumbering. `order[new_id] = old_id`;
+        // `reuse[new_id]` = the page's id in `prev` (u32::MAX when dirty).
         let mut order: Vec<PageId> = Vec::with_capacity(tree.node_count());
+        let mut reuse: Vec<u32> = Vec::with_capacity(tree.node_count());
         order.push(tree.root());
+        reuse.push(clean_prev_id(tree.root()));
         let mut head = 0;
         while head < order.len() {
-            let node = tree.node(order[head]);
-            if let Node::Internal(bs) = node {
-                order.extend(bs.iter().map(|b| b.child));
+            let prev_id = reuse[head];
+            if prev_id != u32::MAX {
+                let p = prev.expect("reuse implies prev");
+                let span = p.spans[prev_id as usize];
+                if !span.leaf {
+                    let lo = span.offset as usize;
+                    let hi = lo + span.len as usize;
+                    for c in &p.br_child[lo..hi] {
+                        let arena_child = p.arena_of[c.index()];
+                        order.push(arena_child);
+                        reuse.push(clean_prev_id(arena_child));
+                    }
+                }
+            } else if let Node::Internal(bs) = tree.node(order[head]) {
+                for b in bs {
+                    order.push(b.child);
+                    reuse.push(clean_prev_id(b.child));
+                }
             }
             head += 1;
         }
@@ -95,8 +198,71 @@ impl PackedRTree {
             root_mbr: tree.root_mbr(),
             height: tree.height(),
             len: tree.len(),
+            arena_of: Vec::new(),
+            tree_id: tree.tree_id(),
+            version: tree.version(),
         };
-        for old_id in &order {
+        // Clean leaf pages that were adjacent in `prev` usually stay
+        // adjacent in the new order, so instead of one copy per page the
+        // pending contiguous range of `prev`'s leaf arena is carried in
+        // `run` and flushed as a single three-arena memcpy when it breaks.
+        let mut run = 0usize..0usize;
+        let flush_run = |packed: &mut PackedRTree, run: &mut std::ops::Range<usize>| {
+            if run.start < run.end {
+                let p = prev.expect("leaf run implies prev");
+                packed.leaves.extend_from_slice(&p.leaves[run.clone()]);
+                packed.leaf_xs.extend_from_slice(&p.leaf_xs[run.clone()]);
+                packed.leaf_ys.extend_from_slice(&p.leaf_ys[run.clone()]);
+            }
+            *run = 0..0;
+        };
+        for (new_id, old_id) in order.iter().enumerate() {
+            let prev_id = reuse[new_id];
+            // Copy-on-write fast path: a clean page's span is copied
+            // wholesale out of the previous snapshot's arenas. Only child
+            // ids must be remapped (dense BFS ids are global, so a
+            // structural change anywhere renumbers).
+            if prev_id != u32::MAX {
+                let p = prev.expect("reuse implies prev");
+                let span = p.spans[prev_id as usize];
+                let lo = span.offset as usize;
+                let hi = lo + span.len as usize;
+                if span.leaf {
+                    let pending = run.end - run.start;
+                    packed.spans.push(PageSpan {
+                        offset: u32::try_from(packed.leaves.len() + pending)
+                            .expect("leaf arena overflow"),
+                        len: span.len,
+                        leaf: true,
+                    });
+                    if run.end == lo {
+                        run.end = hi; // extends the pending contiguous range
+                    } else {
+                        flush_run(&mut packed, &mut run);
+                        run = lo..hi;
+                    }
+                } else {
+                    flush_run(&mut packed, &mut run);
+                    packed.spans.push(PageSpan {
+                        offset: u32::try_from(packed.br_child.len())
+                            .expect("branch arena overflow"),
+                        len: span.len,
+                        leaf: false,
+                    });
+                    packed.br_lo_x.extend_from_slice(&p.br_lo_x[lo..hi]);
+                    packed.br_lo_y.extend_from_slice(&p.br_lo_y[lo..hi]);
+                    packed.br_hi_x.extend_from_slice(&p.br_hi_x[lo..hi]);
+                    packed.br_hi_y.extend_from_slice(&p.br_hi_y[lo..hi]);
+                    // The page is clean, so its children's arena ids are
+                    // unchanged: prev packed id → arena id → new id.
+                    for c in &p.br_child[lo..hi] {
+                        let arena_child = p.arena_of[c.index()];
+                        packed.br_child.push(PageId(new_of[arena_child.index()]));
+                    }
+                }
+                continue;
+            }
+            flush_run(&mut packed, &mut run);
             match tree.node(*old_id) {
                 Node::Leaf(es) => {
                     packed.spans.push(PageSpan {
@@ -127,6 +293,8 @@ impl PackedRTree {
                 }
             }
         }
+        flush_run(&mut packed, &mut run);
+        packed.arena_of = order;
         packed
     }
 
@@ -298,5 +466,92 @@ mod tests {
         assert!(packed.is_empty());
         assert_eq!(packed.node_count(), 1);
         assert!(matches!(packed.page(packed.root()), PageRef::Leaf(_)));
+    }
+
+    #[test]
+    fn refreeze_equals_full_freeze_after_mixed_updates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tree = random_tree(1200, 9);
+        let mut snapshot = tree.freeze();
+        let mut live: Vec<LeafEntry> = tree.iter().collect();
+        let mut next_id = 10_000u64;
+        for round in 0..6 {
+            for _ in 0..40 {
+                if rng.gen_bool(0.5) && !live.is_empty() {
+                    let e = live.swap_remove(rng.gen_range(0..live.len()));
+                    assert!(tree.remove(e.id, e.point));
+                } else {
+                    let e = LeafEntry::new(
+                        PointId(next_id),
+                        Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                    );
+                    next_id += 1;
+                    tree.insert(e);
+                    live.push(e);
+                }
+            }
+            let full = tree.freeze();
+            let incremental = tree.refreeze(&snapshot);
+            assert_eq!(full, incremental, "round {round}");
+            // The refrozen snapshot chains: next round reuses it.
+            snapshot = incremental;
+        }
+    }
+
+    #[test]
+    fn refreeze_with_no_updates_is_identity() {
+        let tree = random_tree(400, 12);
+        let snap = tree.freeze();
+        let again = tree.refreeze(&snap);
+        assert_eq!(snap, again);
+        assert_eq!(tree.dirty_page_count(&snap), 0);
+    }
+
+    #[test]
+    fn refreeze_against_foreign_snapshot_falls_back_to_full_freeze() {
+        let tree = random_tree(300, 4);
+        let clone = tree.clone();
+        let foreign = clone.freeze();
+        assert!(!foreign.is_snapshot_of(&tree));
+        assert_eq!(tree.dirty_page_count(&foreign), tree.node_count());
+        // Still correct — just not incremental.
+        assert_eq!(tree.refreeze(&foreign), tree.freeze());
+    }
+
+    #[test]
+    fn dirty_page_count_tracks_update_paths() {
+        let mut tree = random_tree(1000, 5);
+        let snap = tree.freeze();
+        assert_eq!(tree.dirty_page_count(&snap), 0);
+        tree.insert(LeafEntry::new(PointId(99_999), Point::new(50.0, 50.0)));
+        let dirty = tree.dirty_page_count(&snap);
+        // At least the root-to-leaf path changed, but nowhere near the
+        // whole tree.
+        assert!(dirty >= tree.height(), "dirty={dirty}");
+        assert!(dirty < tree.node_count() / 2, "dirty={dirty}");
+    }
+
+    #[test]
+    fn snapshot_mbr_shrinks_after_hull_delete() {
+        // Regression: the snapshot's dataset MBR must be recomputed from
+        // the condensed tree at (re)freeze time, not carried over from
+        // pre-delete bounds.
+        let mut tree = random_tree(500, 6);
+        let hull = LeafEntry::new(PointId(500), Point::new(1e4, 1e4));
+        tree.insert(hull);
+        let before = tree.freeze();
+        assert_eq!(before.root_mbr().hi, Point::new(1e4, 1e4));
+        assert!(tree.remove(hull.id, hull.point));
+        let full = tree.freeze();
+        let incremental = tree.refreeze(&before);
+        assert_eq!(full, incremental);
+        assert_eq!(incremental.root_mbr(), tree.root_mbr());
+        assert!(incremental.root_mbr().hi.x < 1e3);
+        assert!(
+            incremental.root_mbr().area() < before.root_mbr().area(),
+            "MBR did not shrink: {} vs {}",
+            incremental.root_mbr(),
+            before.root_mbr()
+        );
     }
 }

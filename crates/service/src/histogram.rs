@@ -108,7 +108,14 @@ impl LatencySnapshot {
 
     /// The `q`-quantile (`0 < q <= 1`) as a conservative upper bound: the
     /// inclusive upper edge of the bucket containing the `ceil(q·count)`-th
-    /// smallest sample. `None` when no samples were recorded.
+    /// smallest sample.
+    ///
+    /// The empty histogram has **no** quantiles: every accessor returns the
+    /// defined sentinel `None` (never a garbage bucket bound), which is
+    /// what lets callers distinguish "no traffic yet" from "all samples in
+    /// bucket zero" (a recorded 0 ns sample legitimately yields
+    /// `Some(Duration::ZERO)`). When every sample landed in one bucket,
+    /// every quantile is that bucket's upper bound.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         assert!((0.0..=1.0).contains(&q) && q > 0.0, "quantile q in (0, 1]");
         let total = self.count();
@@ -229,8 +236,105 @@ mod tests {
 
     #[test]
     fn empty_histogram_has_no_quantiles() {
+        // Zero recorded samples: every percentile accessor must return the
+        // defined `None` sentinel — never a bucket bound of an empty
+        // distribution.
         let s = LatencyHistogram::new().snapshot();
         assert_eq!(s.count(), 0);
         assert!(s.p50().is_none());
+        assert!(s.p95().is_none());
+        assert!(s.p99().is_none());
+        assert!(s.quantile(1.0).is_none());
+        assert!(s.quantile(f64::MIN_POSITIVE).is_none());
+        // Merging empties stays empty.
+        let mut m = LatencySnapshot::empty();
+        m.merge(&s);
+        assert!(m.p99().is_none());
+    }
+
+    #[test]
+    fn single_bucket_distribution_pins_every_quantile() {
+        // All samples in one bucket: p50 = p95 = p99 = that bucket's upper
+        // bound, including the degenerate zero-latency bucket.
+        for nanos in [0u64, 3, 1_000] {
+            let h = LatencyHistogram::new();
+            for _ in 0..17 {
+                h.record(Duration::from_nanos(nanos));
+            }
+            let s = h.snapshot();
+            let want = Duration::from_nanos(bucket_upper(bucket_of(nanos)));
+            for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(s.quantile(q), Some(want), "q={q} nanos={nanos}");
+            }
+            assert!(s.quantile(1.0).unwrap() >= Duration::from_nanos(nanos));
+        }
+    }
+
+    #[test]
+    fn single_sample_distribution() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.p50(), s.p99());
+        assert!(s.p50().unwrap() >= Duration::from_micros(7));
+    }
+
+    use proptest::prelude::*;
+
+    /// Nanosecond values spanning every bucket regime: the four unit
+    /// buckets, the log-linear middle, and the saturating top (`u64::MAX`
+    /// itself is covered by the unit tests above — the vendored range
+    /// strategy is half-open).
+    fn nanos() -> impl Strategy<Value = u64> {
+        prop_oneof![0u64..16, 16u64..1_000_000, 1_000_000u64..u64::MAX,]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Bucket round-trip: every value's bucket upper bound admits the
+        /// value, and re-bucketing the bound lands in the same bucket
+        /// (`bucket_index(value) → bucket_bound` is a closure).
+        #[test]
+        fn bucket_round_trip(v in nanos()) {
+            let idx = bucket_of(v);
+            prop_assert!(idx < BUCKETS);
+            let upper = bucket_upper(idx);
+            prop_assert!(upper >= v, "value {} above bound {}", v, upper);
+            prop_assert_eq!(bucket_of(upper), idx, "bound re-buckets elsewhere");
+            // Conservative error bound: ≤ 25% relative (+1 for the tiny buckets).
+            prop_assert!((upper - v) as f64 <= v as f64 * 0.25 + 1.0);
+        }
+
+        /// Bucket indices and upper bounds are monotone in the value, so
+        /// quantiles can scan buckets without reordering anomalies.
+        #[test]
+        fn bucket_monotonicity(a in nanos(), b in nanos()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_of(lo) <= bucket_of(hi));
+            prop_assert!(bucket_upper(bucket_of(lo)) <= bucket_upper(bucket_of(hi)));
+        }
+
+        /// A quantile is the bound of a bucket that actually holds samples,
+        /// and at least `ceil(q·n)` samples sit at or below it — i.e. it
+        /// never understates the true percentile.
+        #[test]
+        fn quantile_is_a_real_bucket_bound(
+            samples in prop::collection::vec(0u64..1_000_000, 1..200),
+            q in 0.01f64..1.0,
+        ) {
+            let h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(Duration::from_nanos(s));
+            }
+            let snap = h.snapshot();
+            let got = snap.quantile(q).expect("non-empty").as_nanos() as u64;
+            prop_assert!(snap.counts[bucket_of(got)] > 0);
+            // Rank guarantee: at least ceil(q*n) samples are <= the result.
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let below = samples.iter().filter(|&&s| s <= got).count();
+            prop_assert!(below >= rank, "only {} of {} samples <= {}", below, samples.len(), got);
+        }
     }
 }
