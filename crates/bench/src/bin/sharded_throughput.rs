@@ -1,0 +1,97 @@
+//! The sharded-serving experiment: unsharded sequential baseline vs the
+//! MBR-routed per-shard pools of `gnn-service` at 1/2/4/8 shards, under a
+//! fixed-seed hotspot (skewed) workload.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin sharded_throughput
+//! cargo run -p gnn-bench --release --bin sharded_throughput -- --quick --json BENCH_shard.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller timed batch (smoke / CI run)
+//! * `--json PATH`  write the `gnn-shard-bench/1` report (the committed
+//!   `BENCH_shard.json` at the repo root is a `--quick --json` run)
+//!
+//! Every shard count is checked against the **unsharded** sequential
+//! reference for bit-identical neighbor ids and distances before its row is
+//! printed; a mismatch aborts with a non-zero exit so CI catches
+//! equivalence drift. Routing quality is reported as the single-shard-hit
+//! fraction and the per-shard routed distribution; interpret speedups
+//! against `host_parallelism` (thread count grows with the shard count).
+
+use gnn_bench::run_sharded_throughput;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_shard.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[sharded_throughput] building PP shards + running (quick={quick})...");
+    let report = run_sharded_throughput(quick);
+
+    println!(
+        "== sharded serving ({} hotspot queries, n={}, M={}%, k={}, host cores: {}) ==",
+        report.queries,
+        report.n,
+        (report.area * 100.0) as u32,
+        report.k,
+        report.host_parallelism
+    );
+    println!(
+        "{:<12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "config", "q/s", "speedup", "1-shard", "fan-out", "NA total"
+    );
+    println!(
+        "{:<12} {:>12.0} {:>7.2}x {:>10} {:>10} {:>10}",
+        "sequential", report.sequential_qps, 1.0, "-", "-", report.sequential_na
+    );
+    let mut ok = true;
+    for c in &report.cells {
+        println!(
+            "{:<12} {:>12.0} {:>7.2}x {:>9.1}% {:>10.2} {:>10}{}",
+            format!("{} shards", c.shards),
+            c.qps,
+            c.speedup,
+            c.single_shard_fraction * 100.0,
+            c.avg_shards_consulted,
+            c.na_total,
+            if c.matches_unsharded {
+                ""
+            } else {
+                "  MISMATCH"
+            }
+        );
+        eprintln!("  routed per shard: {:?}", c.routed);
+        ok &= c.matches_unsharded;
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !ok {
+        eprintln!("[sharded_throughput] EQUIVALENCE VIOLATION: sharded results diverged");
+        std::process::exit(1);
+    }
+}

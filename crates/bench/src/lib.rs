@@ -630,6 +630,282 @@ pub fn run_service_throughput(quick: bool) -> ServiceReport {
     }
 }
 
+/// One shard-count measurement of the sharded-serving experiment.
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    /// Shard count (1 = the unsharded snapshot behind the same engine).
+    pub shards: usize,
+    /// Worker threads (one pool per shard, one worker per pool — thread
+    /// count scales with the shard count; judge against
+    /// `host_parallelism`).
+    pub workers: usize,
+    /// End-to-end queries/sec of the timed batch, best of three passes.
+    pub qps: f64,
+    /// `qps / sequential_qps`.
+    pub speedup: f64,
+    /// Fraction of served queries answered by their primary shard alone
+    /// (the routing-quality metric; 1.0 for the unsharded cell).
+    pub single_shard_fraction: f64,
+    /// Average shards consulted per query (merge fan-out).
+    pub avg_shards_consulted: f64,
+    /// Requests the router queued per shard pool (length = `shards`).
+    pub routed: Vec<u64>,
+    /// Total logical node accesses over the timed batch. Shard trees are
+    /// rebuilt per shard count, so — unlike the worker-count experiment —
+    /// this legitimately differs from `sequential_na`; it is recorded to
+    /// show the NA cost of partitioning.
+    pub na_total: u64,
+    /// Whether ids and distances (bit-identical) matched the **unsharded**
+    /// sequential reference for every query — the tentpole equivalence
+    /// claim, gated by the `sharded_throughput` binary's exit code.
+    pub matches_unsharded: bool,
+}
+
+impl ShardCell {
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        let routed: Vec<String> = self.routed.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"shards\":{},\"workers\":{},\"qps\":{:.1},\"speedup\":{:.3},\
+             \"single_shard_fraction\":{:.4},\"avg_shards_consulted\":{:.3},\
+             \"routed\":[{}],\"na_total\":{},\"matches_unsharded\":{}}}",
+            self.shards,
+            self.workers,
+            self.qps,
+            self.speedup,
+            self.single_shard_fraction,
+            self.avg_shards_consulted,
+            routed.join(","),
+            self.na_total,
+            self.matches_unsharded,
+        )
+    }
+}
+
+/// The sharded-serving report (written to `BENCH_shard.json`).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Whether the quick (reduced batch) mode was used.
+    pub quick: bool,
+    /// Dataset name.
+    pub dataset: String,
+    /// Queries in the timed batch.
+    pub queries: usize,
+    /// Query group cardinality.
+    pub n: usize,
+    /// Query MBR area fraction.
+    pub area: f64,
+    /// Neighbors retrieved per query.
+    pub k: usize,
+    /// Hotspot centers in the skewed workload.
+    pub hotspots: usize,
+    /// Uniform background fraction of the skewed workload.
+    pub background: f64,
+    /// `std::thread::available_parallelism()` of the recording host.
+    pub host_parallelism: usize,
+    /// Steady-state queries/sec of the sequential unsharded baseline.
+    pub sequential_qps: f64,
+    /// Total logical node accesses of the sequential unsharded run.
+    pub sequential_na: u64,
+    /// One cell per shard count.
+    pub cells: Vec<ShardCell>,
+}
+
+impl ShardReport {
+    /// The `gnn-shard-bench/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(ShardCell::to_json).collect();
+        format!(
+            "{{\n\"schema\":\"gnn-shard-bench/1\",\n\"quick\":{},\n\"dataset\":{},\n\
+             \"queries\":{},\n\"n\":{},\n\"area\":{},\n\"k\":{},\n\"hotspots\":{},\n\
+             \"background\":{},\n\"host_parallelism\":{},\n\
+             \"sequential\":{{\"qps\":{:.1},\"na_total\":{}}},\n\"sharded\":[\n{}\n]\n}}\n",
+            self.quick,
+            json_str(&self.dataset),
+            self.queries,
+            self.n,
+            self.area,
+            self.k,
+            self.hotspots,
+            self.background,
+            self.host_parallelism,
+            self.sequential_qps,
+            self.sequential_na,
+            cells.join(",\n"),
+        )
+    }
+}
+
+/// The sharded-serving experiment behind `BENCH_shard.json`: the same
+/// fixed-seed **hotspot** workload (skewed traffic is what shard routing is
+/// for) is run sequentially on the unsharded snapshot, then through
+/// [`gnn_service::Service::start_sharded`] at 1, 2, 4 and 8 shards (one
+/// worker pool per shard), asserting along the way that every shard count
+/// returns ids and distances bit-identical to the unsharded reference.
+/// Queries/sec, per-shard routed counts and the single-shard-hit fraction
+/// are recorded per cell.
+pub fn run_sharded_throughput(quick: bool) -> ShardReport {
+    use gnn_datasets::{hotspot_query_workload, HotspotSpec};
+    use gnn_rtree::ShardedSnapshot;
+    use gnn_service::{Service, ServiceConfig};
+    use std::sync::Arc;
+
+    let n = 64usize;
+    // Local-traffic regime: a 1%-area query MBR (10% side) stays well
+    // inside one Hilbert shard most of the time — the workload sharding is
+    // built for. Wider MBRs degrade gracefully into broadcast+merge (the
+    // fan-out column); EXPERIMENTS.md discusses the trade-off.
+    let area = 0.01f64;
+    let k = defaults::K;
+    let hotspots = 16usize;
+    let background = 0.2f64;
+    let count = if quick { 192 } else { 768 };
+
+    let pts = Dataset::Pp.points(false);
+    let tree = build_tree(&pts);
+    let packed = Arc::new(tree.freeze());
+
+    let spec = HotspotSpec {
+        query: QuerySpec {
+            n,
+            area_fraction: area,
+        },
+        hotspots,
+        sigma: 0.02,
+        background,
+    };
+    let groups: Vec<QueryGroup> = hotspot_query_workload(tree.root_mbr(), spec, count, 0x5AAD_ED01)
+        .into_iter()
+        .map(|q| QueryGroup::sum(q).expect("valid workload query"))
+        .collect();
+    let planner = gnn_core::Planner::new();
+
+    // Sequential unsharded baseline + reference fingerprints (warm-up pass
+    // doubles as collection; best of three timed passes).
+    let cursor = packed.cursor();
+    let mut scratch = QueryScratch::new();
+    let mut sequential_na = 0u64;
+    let mut reference: Vec<Vec<(u64, u64)>> = Vec::with_capacity(count);
+    planner.run_many(
+        &cursor,
+        &groups,
+        k,
+        &mut scratch,
+        |_, _, neighbors, stats| {
+            sequential_na += stats.data_tree.logical;
+            reference.push(
+                neighbors
+                    .iter()
+                    .map(|x| (x.id.0, x.dist.to_bits()))
+                    .collect(),
+            );
+        },
+    );
+    let best_pass = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            planner.run_many(&cursor, &groups, k, &mut scratch, |_, _, _, _| {});
+            t0.elapsed()
+        })
+        .min()
+        .expect("three timed passes");
+    let sequential_qps = count as f64 / best_pass.as_secs_f64();
+
+    let mut cells = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let snapshot = if shards == 1 {
+            Arc::new(ShardedSnapshot::single(Arc::clone(&packed)))
+        } else {
+            Arc::new(packed.partition(shards))
+        };
+        let service = Service::start_sharded(
+            snapshot,
+            ServiceConfig {
+                workers: shards,
+                queue_depth: 256,
+                ..ServiceConfig::default()
+            },
+        );
+        // Workers self-warm on startup; this untimed batch additionally
+        // warms buffer capacities to the workload's shape.
+        for h in service.submit_batch(
+            groups
+                .iter()
+                .take(32)
+                .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
+        ) {
+            h.wait().expect("warm-up query");
+        }
+        let mut responses: Vec<gnn_core::QueryResponse> = Vec::new();
+        let mut elapsed = std::time::Duration::MAX;
+        for pass in 0..3 {
+            let t0 = Instant::now();
+            let handles = service.submit_batch(
+                groups
+                    .iter()
+                    .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
+            );
+            let got: Vec<gnn_core::QueryResponse> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("service query"))
+                .collect();
+            elapsed = elapsed.min(t0.elapsed());
+            if pass == 0 {
+                responses = got;
+            }
+        }
+        let stats = service.shutdown();
+
+        let mut na_total = 0u64;
+        let mut matches = responses.len() == reference.len();
+        for (i, r) in responses.iter().enumerate() {
+            na_total += r.stats.data_tree.logical;
+            let got: Vec<(u64, u64)> = r
+                .neighbors
+                .iter()
+                .map(|x| (x.id.0, x.dist.to_bits()))
+                .collect();
+            if got != reference[i] {
+                matches = false;
+            }
+        }
+        let served = stats.queries_served.max(1);
+        cells.push(ShardCell {
+            shards,
+            workers: stats.per_worker.len(),
+            qps: count as f64 / elapsed.as_secs_f64(),
+            speedup: count as f64 / elapsed.as_secs_f64() / sequential_qps,
+            single_shard_fraction: stats.single_shard_hits as f64 / served as f64,
+            avg_shards_consulted: stats
+                .per_shard
+                .iter()
+                .map(|s| s.shards_consulted)
+                .sum::<u64>() as f64
+                / served as f64,
+            routed: stats.per_shard.iter().map(|s| s.routed).collect(),
+            na_total,
+            matches_unsharded: matches,
+        });
+    }
+
+    ShardReport {
+        quick,
+        dataset: "PP".into(),
+        queries: count,
+        n,
+        area,
+        k,
+        hotspots,
+        background,
+        host_parallelism: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        sequential_qps,
+        sequential_na,
+        cells,
+    }
+}
+
 /// The mixed-traffic / incremental-refreeze report (written to
 /// `BENCH_refreeze.json`).
 #[derive(Debug, Clone)]
@@ -1117,6 +1393,41 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"schema\":\"gnn-service-bench/1\""));
         assert!(json.contains("\"matches_sequential\":true"));
+    }
+
+    #[test]
+    fn shard_report_is_equivalent_and_exports() {
+        let r = run_sharded_throughput(true);
+        assert_eq!(r.cells.len(), 4);
+        for c in &r.cells {
+            assert!(
+                c.matches_unsharded,
+                "{} shards diverged from the unsharded reference",
+                c.shards
+            );
+            assert!(c.qps > 0.0);
+            assert_eq!(c.routed.len(), c.shards);
+            assert!(c.single_shard_fraction > 0.0 && c.single_shard_fraction <= 1.0);
+            assert!(c.avg_shards_consulted >= 1.0);
+            assert!(c.avg_shards_consulted <= c.shards as f64);
+        }
+        // The unsharded cell wraps the same snapshot: NA must equal the
+        // sequential baseline exactly (3 passes + warm-up all identical
+        // per query; the cell counts one pass).
+        assert_eq!(r.cells[0].na_total, r.sequential_na);
+        assert_eq!(r.cells[0].single_shard_fraction, 1.0);
+        // Skewed traffic must actually hit single shards most of the time.
+        for c in &r.cells[1..] {
+            assert!(
+                c.single_shard_fraction > 0.5,
+                "{} shards: routing hit rate collapsed to {}",
+                c.shards,
+                c.single_shard_fraction
+            );
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"schema\":\"gnn-shard-bench/1\""));
+        assert!(json.contains("\"matches_unsharded\":true"));
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod query;
 mod request;
 mod result;
 mod scratch;
+pub mod sharded;
 mod spm;
 
 pub use aggregate::Aggregate;
@@ -81,6 +82,7 @@ pub use query::{QueryGroup, QueryGroupError};
 pub use request::{Algo, QueryRequest, QueryResponse};
 pub use result::{GnnResult, Neighbor, QueryStats};
 pub use scratch::QueryScratch;
+pub use sharded::ShardRouting;
 pub use spm::{CentroidMethod, Spm};
 
 use gnn_qfile::{FileCursor, GroupedQueryFile};

@@ -11,8 +11,9 @@
 use crate::engine::{Choice, Planner};
 use crate::result::{Neighbor, QueryStats};
 use crate::scratch::QueryScratch;
-use crate::{Aggregate, Mbm, Mqm, QueryGroup, Spm};
-use gnn_rtree::TreeCursor;
+use crate::sharded::{sharded_k_gnn_in, ShardRouting};
+use crate::{Aggregate, Mbm, MemoryGnnAlgorithm, Mqm, QueryGroup, Spm};
+use gnn_rtree::{ShardedSnapshot, TreeCursor};
 
 /// Which algorithm a [`QueryRequest`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +40,12 @@ pub struct QueryRequest {
     pub k: usize,
     /// Algorithm selector.
     pub algo: Algo,
+    /// Routing override for sharded serving engines: when set (and in
+    /// range), the router sends the request to this shard's pool instead of
+    /// computing the aggregate-MBR bound — results are unaffected (the
+    /// cross-shard merge still consults whatever shards the bounds demand),
+    /// only queue placement changes.
+    pub shard_hint: Option<u32>,
 }
 
 impl QueryRequest {
@@ -48,12 +55,24 @@ impl QueryRequest {
             group,
             k,
             algo: Algo::Auto,
+            shard_hint: None,
         }
     }
 
     /// A request pinned to a specific algorithm.
     pub fn with_algo(group: QueryGroup, k: usize, algo: Algo) -> Self {
-        QueryRequest { group, k, algo }
+        QueryRequest {
+            group,
+            k,
+            algo,
+            shard_hint: None,
+        }
+    }
+
+    /// Sets a shard-routing hint (see [`QueryRequest::shard_hint`]).
+    pub fn with_shard_hint(mut self, shard: u32) -> Self {
+        self.shard_hint = Some(shard);
+        self
     }
 
     /// Executes the request against the tree behind `cursor`, reusing
@@ -66,23 +85,69 @@ impl QueryRequest {
         cursor: &TreeCursor<'_>,
         scratch: &'s mut QueryScratch,
     ) -> (Choice, &'s [Neighbor], QueryStats) {
+        let (choice, resolved) = self.resolve(planner);
+        let (neighbors, stats) = resolved
+            .as_dyn()
+            .k_gnn_in(cursor, &self.group, self.k, scratch);
+        (choice, neighbors, stats)
+    }
+
+    /// The concrete algorithm (and the [`Choice`] it reports) this request
+    /// resolves to — the single selection rule shared by
+    /// [`QueryRequest::execute_in`] and [`QueryRequest::execute_sharded_in`].
+    fn resolve(&self, planner: &Planner) -> (Choice, ResolvedAlgo) {
         match self.algo {
-            Algo::Auto => planner.k_gnn_in(cursor, &self.group, self.k, scratch),
-            Algo::Mqm => {
-                let (neighbors, stats) = Mqm::new().k_gnn_in(cursor, &self.group, self.k, scratch);
-                (Choice::Mqm, neighbors, stats)
-            }
+            Algo::Auto => match planner.choose_memory(&self.group) {
+                Choice::Spm => (Choice::Spm, ResolvedAlgo::Spm(Spm::best_first())),
+                _ => (Choice::Mbm, ResolvedAlgo::Mbm(Mbm::best_first())),
+            },
+            Algo::Mqm => (Choice::Mqm, ResolvedAlgo::Mqm(Mqm::new())),
             Algo::Spm if self.group.aggregate() == Aggregate::Sum => {
-                let (neighbors, stats) =
-                    Spm::best_first().k_gnn_in(cursor, &self.group, self.k, scratch);
-                (Choice::Spm, neighbors, stats)
+                (Choice::Spm, ResolvedAlgo::Spm(Spm::best_first()))
             }
             // SPM is SUM-only (Lemma 1); MAX/MIN requests degrade to MBM.
-            Algo::Spm | Algo::Mbm => {
-                let (neighbors, stats) =
-                    Mbm::best_first().k_gnn_in(cursor, &self.group, self.k, scratch);
-                (Choice::Mbm, neighbors, stats)
-            }
+            Algo::Spm | Algo::Mbm => (Choice::Mbm, ResolvedAlgo::Mbm(Mbm::best_first())),
+        }
+    }
+
+    /// Executes the request as a cross-shard k-GNN over `snapshot` through
+    /// `cursors` (one per shard), reusing `scratch`. The single-shard case
+    /// degenerates to [`QueryRequest::execute_in`] exactly — same results,
+    /// same node accesses; multiple shards run the best-first merge of
+    /// [`crate::sharded`]. Deterministic for a fixed snapshot and request.
+    pub fn execute_sharded_in<'s>(
+        &self,
+        planner: &Planner,
+        snapshot: &ShardedSnapshot,
+        cursors: &[TreeCursor<'_>],
+        scratch: &'s mut QueryScratch,
+    ) -> (Choice, &'s [Neighbor], QueryStats, ShardRouting) {
+        let (choice, resolved) = self.resolve(planner);
+        let (neighbors, stats, outcome) = sharded_k_gnn_in(
+            resolved.as_dyn(),
+            snapshot,
+            cursors,
+            &self.group,
+            self.k,
+            scratch,
+        );
+        (choice, neighbors, stats, outcome)
+    }
+}
+
+/// Stack-allocated resolved algorithm (no boxing on the serving hot path).
+enum ResolvedAlgo {
+    Mqm(Mqm),
+    Spm(Spm),
+    Mbm(Mbm),
+}
+
+impl ResolvedAlgo {
+    fn as_dyn(&self) -> &dyn MemoryGnnAlgorithm {
+        match self {
+            ResolvedAlgo::Mqm(a) => a,
+            ResolvedAlgo::Spm(a) => a,
+            ResolvedAlgo::Mbm(a) => a,
         }
     }
 }
@@ -104,6 +169,10 @@ pub struct QueryResponse {
     /// stay pinnable per generation even while snapshots are being
     /// republished; contexts without generations use `0`.
     pub generation: u64,
+    /// How the sharded engine answered this request (primary shard +
+    /// shards consulted). Unsharded contexts use the default (shard 0,
+    /// 1 consulted).
+    pub routing: ShardRouting,
 }
 
 #[cfg(test)]

@@ -52,6 +52,14 @@ pub struct QueryScratch {
     pub(crate) fmqm: FmqmScratch,
     /// F-MBM state (traversal heap, leaf processing buffers).
     pub(crate) fmbm: FmbmScratch,
+    /// Cross-shard merge: the global best-k list candidates from every
+    /// consulted shard are offered into (see [`crate::sharded`]).
+    pub(crate) merge_best: KBestList,
+    /// Cross-shard merge: the merged result staging buffer (`merge_best`
+    /// cannot drain into `out`, which holds the last shard's results).
+    pub(crate) merge_out: Vec<Neighbor>,
+    /// Cross-shard merge: `(lower bound, shard)` visit order.
+    pub(crate) shard_order: Vec<(f64, u32)>,
 }
 
 impl QueryScratch {
@@ -68,6 +76,9 @@ impl QueryScratch {
             evaluated: HashSet::new(),
             fmqm: FmqmScratch::default(),
             fmbm: FmbmScratch::default(),
+            merge_best: KBestList::new(1),
+            merge_out: Vec::new(),
+            shard_order: Vec::new(),
         }
     }
 
@@ -108,6 +119,9 @@ impl QueryScratch {
         }
         prof.extend(self.fmqm.capacity_profile());
         prof.extend(self.fmbm.capacity_profile());
+        prof.push(self.merge_best.capacity());
+        prof.push(self.merge_out.capacity());
+        prof.push(self.shard_order.capacity());
         prof
     }
 }

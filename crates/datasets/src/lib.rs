@@ -36,5 +36,6 @@ pub use synthetic::{
     TS_CARDINALITY,
 };
 pub use workload::{
-    centered_subrect, overlap_shifted_rect, query_workload, scale_points_to_rect, QuerySpec,
+    centered_subrect, hotspot_query_workload, overlap_shifted_rect, query_workload,
+    scale_points_to_rect, HotspotSpec, QuerySpec,
 };

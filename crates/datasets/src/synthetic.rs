@@ -14,7 +14,7 @@ pub const TS_CARDINALITY: usize = 194_971;
 
 /// Minimal Box–Muller normal sampling so the crate needs no extra
 /// distribution dependency.
-mod rand_distr_normal {
+pub(crate) mod rand_distr_normal {
     use rand::Rng;
 
     /// One standard-normal sample via Box–Muller.

@@ -1,5 +1,6 @@
 //! Query workloads and workspace transforms for the paper's experiments.
 
+use crate::synthetic::rand_distr_normal::sample_normal;
 use gnn_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +45,111 @@ pub fn query_workload(
             let lo_x = workspace.lo.x + rng.gen::<f64>() * (workspace.width() - mbr_w);
             let lo_y = workspace.lo.y + rng.gen::<f64>() * (workspace.height() - mbr_h);
             (0..spec.n)
+                .map(|_| {
+                    Point::new(
+                        lo_x + rng.gen::<f64>() * mbr_w,
+                        lo_y + rng.gen::<f64>() * mbr_h,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Shape of a skewed (hotspot-mixture) query workload: realistic serving
+/// traffic concentrates around popular places, which is exactly what
+/// exercises spatial shard routing — most queries should hit one shard,
+/// the background fraction keeps every shard warm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotSpec {
+    /// Per-query shape (`n` points in an MBR of `area_fraction`), as in the
+    /// uniform §5.1 workload.
+    pub query: QuerySpec,
+    /// Number of hotspot centers placed uniformly in the workspace.
+    /// Hotspot popularity is Zipf-skewed (`w_i ∝ 1/(i+1)`), matching the
+    /// cluster-weight recipe of the synthetic datasets.
+    pub hotspots: usize,
+    /// Standard deviation of a query's center around its hotspot, as a
+    /// fraction of the workspace diagonal.
+    pub sigma: f64,
+    /// Fraction of queries placed uniformly at random instead (background
+    /// traffic).
+    pub background: f64,
+}
+
+/// Generates `count` queries from a fixed-seed hotspot mixture: each query
+/// picks a Zipf-weighted hotspot (or, with probability `background`, a
+/// uniform location), jitters its MBR center around it by a Gaussian of
+/// `sigma × diagonal`, clamps the MBR into the workspace, and draws
+/// `query.n` points uniformly inside — the skewed counterpart of
+/// [`query_workload`], same per-query shape.
+///
+/// # Panics
+///
+/// Panics if `query.n == 0`, `query.area_fraction` is not in `(0, 1]`,
+/// `hotspots == 0`, or `background` is not in `[0, 1]`.
+pub fn hotspot_query_workload(
+    workspace: Rect,
+    spec: HotspotSpec,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<Point>> {
+    assert!(spec.query.n > 0, "queries need at least one point");
+    assert!(
+        spec.query.area_fraction > 0.0 && spec.query.area_fraction <= 1.0,
+        "area fraction must be in (0, 1], got {}",
+        spec.query.area_fraction
+    );
+    assert!(spec.hotspots > 0, "need at least one hotspot");
+    assert!(
+        (0.0..=1.0).contains(&spec.background),
+        "background fraction must be in [0, 1], got {}",
+        spec.background
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..spec.hotspots)
+        .map(|_| {
+            Point::new(
+                workspace.lo.x + rng.gen::<f64>() * workspace.width(),
+                workspace.lo.y + rng.gen::<f64>() * workspace.height(),
+            )
+        })
+        .collect();
+    let weights: Vec<f64> = (0..spec.hotspots).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let diag = (workspace.width().powi(2) + workspace.height().powi(2)).sqrt();
+    let sigma = spec.sigma * diag;
+    let side = spec.query.area_fraction.sqrt();
+    let mbr_w = workspace.width() * side;
+    let mbr_h = workspace.height() * side;
+    (0..count)
+        .map(|_| {
+            let center = if rng.gen::<f64>() < spec.background {
+                Point::new(
+                    workspace.lo.x + rng.gen::<f64>() * workspace.width(),
+                    workspace.lo.y + rng.gen::<f64>() * workspace.height(),
+                )
+            } else {
+                let mut pick = rng.gen::<f64>() * total_weight;
+                let mut ci = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        ci = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let c = centers[ci];
+                Point::new(
+                    c.x + sample_normal(&mut rng) * sigma,
+                    c.y + sample_normal(&mut rng) * sigma,
+                )
+            };
+            // Clamp the MBR into the workspace (the §5.1 contract: query
+            // points stay inside the data workspace).
+            let lo_x = (center.x - mbr_w * 0.5).clamp(workspace.lo.x, workspace.hi.x - mbr_w);
+            let lo_y = (center.y - mbr_h * 0.5).clamp(workspace.lo.y, workspace.hi.y - mbr_h);
+            (0..spec.query.n)
                 .map(|_| {
                     Point::new(
                         lo_x + rng.gen::<f64>() * mbr_w,
@@ -205,6 +311,104 @@ mod tests {
         for q in &ql {
             assert!(q.iter().all(|p| unit().contains_point(*p)));
         }
+    }
+
+    fn hotspot_spec() -> HotspotSpec {
+        HotspotSpec {
+            query: QuerySpec {
+                n: 8,
+                area_fraction: 0.02,
+            },
+            hotspots: 6,
+            sigma: 0.01,
+            background: 0.1,
+        }
+    }
+
+    #[test]
+    fn hotspot_workload_shape_and_containment() {
+        let ql = hotspot_query_workload(unit(), hotspot_spec(), 200, 11);
+        assert_eq!(ql.len(), 200);
+        for q in &ql {
+            assert_eq!(q.len(), 8);
+            let mbr = Rect::bounding(q.iter().copied()).unwrap();
+            assert!(mbr.area() <= 0.02 + 1e-9);
+            assert!(unit().contains_rect(&mbr), "query left the workspace");
+        }
+    }
+
+    #[test]
+    fn hotspot_workload_is_deterministic() {
+        assert_eq!(
+            hotspot_query_workload(unit(), hotspot_spec(), 30, 5),
+            hotspot_query_workload(unit(), hotspot_spec(), 30, 5)
+        );
+        assert_ne!(
+            hotspot_query_workload(unit(), hotspot_spec(), 30, 5),
+            hotspot_query_workload(unit(), hotspot_spec(), 30, 6)
+        );
+    }
+
+    #[test]
+    fn hotspot_workload_is_skewed_against_uniform() {
+        // Occupancy of a 6x6 grid by query centers: the hotspot mixture
+        // must leave far more cells (nearly) empty than the uniform
+        // workload does.
+        fn sparse_cells(ql: &[Vec<Point>]) -> usize {
+            let mut counts = [0usize; 36];
+            for q in ql {
+                let c = Rect::bounding(q.iter().copied()).unwrap().center();
+                let cx = (c.x * 6.0).min(5.0) as usize;
+                let cy = (c.y * 6.0).min(5.0) as usize;
+                counts[cy * 6 + cx] += 1;
+            }
+            let quarter_avg = ql.len() / (36 * 4);
+            counts.iter().filter(|&&c| c <= quarter_avg).count()
+        }
+        let skewed = hotspot_query_workload(unit(), hotspot_spec(), 720, 3);
+        let uniform = query_workload(
+            unit(),
+            QuerySpec {
+                n: 8,
+                area_fraction: 0.02,
+            },
+            720,
+            3,
+        );
+        assert!(
+            sparse_cells(&skewed) > sparse_cells(&uniform) + 5,
+            "hotspot {} vs uniform {}",
+            sparse_cells(&skewed),
+            sparse_cells(&uniform)
+        );
+    }
+
+    #[test]
+    fn pure_background_hotspot_workload_spreads() {
+        let spec = HotspotSpec {
+            background: 1.0,
+            ..hotspot_spec()
+        };
+        let ql = hotspot_query_workload(unit(), spec, 100, 9);
+        let centers: Vec<Point> = ql
+            .iter()
+            .map(|q| Rect::bounding(q.iter().copied()).unwrap().center())
+            .collect();
+        let spread = Rect::bounding(centers.iter().copied()).unwrap();
+        assert!(
+            spread.area() > 0.5,
+            "background-only barely moved: {spread}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hotspot")]
+    fn hotspot_workload_rejects_zero_hotspots() {
+        let spec = HotspotSpec {
+            hotspots: 0,
+            ..hotspot_spec()
+        };
+        hotspot_query_workload(unit(), spec, 1, 0);
     }
 
     #[test]

@@ -156,6 +156,43 @@ impl HilbertMapper {
     }
 }
 
+/// Splits a **sorted** key sequence into `parts` near-even consecutive
+/// ranges, returning the `parts - 1` range boundaries: range `s` covers keys
+/// in `[cuts[s-1], cuts[s])` (with `-∞` / `+∞` at the ends).
+///
+/// Boundaries never split a run of equal keys — points sharing a Hilbert
+/// cell always land in the same range, which is what makes range membership
+/// a pure function of the key (the property spatial shard routing relies
+/// on). When equal-key runs force it, later ranges may come out empty; a
+/// repeated cut value marks such a range (nothing routes into it).
+///
+/// # Panics
+///
+/// Panics if `parts` is zero or `keys` is not sorted ascending.
+pub fn balanced_cuts(keys: &[u64], parts: usize) -> Vec<u64> {
+    assert!(parts > 0, "need at least one range");
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    let n = keys.len();
+    let mut cuts = Vec::with_capacity(parts - 1);
+    let mut prev_b = 0usize;
+    for s in 1..parts {
+        let mut b = (s * n / parts).max(prev_b);
+        // Advance past an equal-key run so the cut lands on a key change.
+        while b > 0 && b < n && keys[b] == keys[b - 1] {
+            b += 1;
+        }
+        cuts.push(if b >= n { u64::MAX } else { keys[b] });
+        prev_b = b;
+    }
+    cuts
+}
+
+/// The range index a key routes to under [`balanced_cuts`] boundaries.
+#[inline]
+pub fn cut_range(cuts: &[u64], key: u64) -> usize {
+    cuts.partition_point(|&c| c <= key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +279,53 @@ mod tests {
         let d01 = pts[0].dist(pts[1]);
         let d23 = pts[2].dist(pts[3]);
         assert!(d01 < 0.1 && d23 < 0.1, "sorted: {pts:?}");
+    }
+
+    #[test]
+    fn balanced_cuts_split_evenly_on_distinct_keys() {
+        let keys: Vec<u64> = (0..100).collect();
+        let cuts = balanced_cuts(&keys, 4);
+        assert_eq!(cuts, vec![25, 50, 75]);
+        let mut counts = [0usize; 4];
+        for &k in &keys {
+            counts[cut_range(&cuts, k)] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn balanced_cuts_never_split_equal_key_runs() {
+        // A huge run of one key straddling every even boundary.
+        let mut keys = vec![7u64; 90];
+        keys.extend([8, 9, 10]);
+        let cuts = balanced_cuts(&keys, 4);
+        // All the 7s route together.
+        let shard_of_7 = cut_range(&cuts, 7);
+        assert_eq!(shard_of_7, 0);
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1], "cuts must be non-decreasing: {cuts:?}");
+        }
+        // Routing partitions: every key lands in exactly one range.
+        for &k in &keys {
+            assert!(cut_range(&cuts, k) < 4);
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_handle_degenerate_inputs() {
+        assert_eq!(balanced_cuts(&[], 3), vec![u64::MAX, u64::MAX]);
+        assert_eq!(balanced_cuts(&[5], 1), Vec::<u64>::new());
+        // More parts than keys: later ranges stay empty.
+        let cuts = balanced_cuts(&[1, 2], 5);
+        assert_eq!(cuts.len(), 4);
+        assert!(cut_range(&cuts, 1) <= cut_range(&cuts, 2));
+        assert!(cut_range(&cuts, 2) < 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn balanced_cuts_reject_unsorted_keys() {
+        balanced_cuts(&[3, 1], 2);
     }
 
     #[test]

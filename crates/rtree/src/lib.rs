@@ -52,6 +52,7 @@ mod node;
 mod packed;
 mod params;
 mod scratch_ref;
+mod sharded;
 mod split;
 mod tree;
 pub mod validate;
@@ -64,6 +65,7 @@ pub use node::{Branch, BranchesRef, LeafEntry, LeafRef, Node, PageId, PageRef, S
 pub use packed::PackedRTree;
 pub use params::RTreeParams;
 pub use scratch_ref::ScratchRef;
+pub use sharded::{ShardedSnapshot, ShardedTree};
 pub use tree::RTree;
 
 /// Compile-time thread-safety contract of the storage layer.
@@ -92,6 +94,8 @@ mod thread_safety_assertions {
 
     const _: () = assert_send_sync::<RTree>();
     const _: () = assert_send_sync::<PackedRTree>();
+    const _: () = assert_send_sync::<ShardedSnapshot>();
+    const _: () = assert_send_sync::<ShardedTree>();
     const _: () = assert_send_sync::<AccessStats>();
     const _: () = assert_send_sync::<LeafEntry>();
     const _: () = assert_send_sync::<NnScratch>();

@@ -1,42 +1,52 @@
-//! # gnn-service — sharded, multi-threaded GNN query serving
+//! # gnn-service — spatially sharded, multi-threaded GNN query serving
 //!
 //! The paper's algorithms answer one query at a time; the north star is a
 //! system that serves sustained multi-user traffic. This crate turns a
-//! frozen [`PackedRTree`] snapshot into an embeddable query-serving engine:
+//! frozen snapshot — one [`PackedRTree`] or a spatially partitioned
+//! [`ShardedSnapshot`] — into an embeddable query-serving engine:
 //!
-//! * the snapshot is **immutable and shared** (`Arc<PackedRTree>` — the
-//!   storage layer is `Send + Sync` by construction, statically asserted in
-//!   `gnn-rtree`) and lives in a **hot-swap slot**: [`Service::publish`]
-//!   atomically installs a new snapshot (typically a cheap
-//!   [`gnn_rtree::RTree::refreeze`] of the mutated source tree) while
-//!   queries keep flowing — workers pick the new generation up between
-//!   queries with a single atomic check, in-flight queries finish on the
-//!   snapshot they started on, and nobody ever blocks on the swap;
-//! * a fixed pool of worker threads (std `thread` + a bounded channel — no
-//!   external dependencies) pulls requests from a shared queue;
-//! * every worker owns its own [`TreeCursor`], [`QueryScratch`] and
-//!   [`Planner`], so the zero-allocation single-thread hot path of the
+//! * the snapshot is **immutable and shared** (`Arc` — the storage layer is
+//!   `Send + Sync` by construction, statically asserted in `gnn-rtree`) and
+//!   lives in a **hot-swap slot**: [`Service::publish`] /
+//!   [`Service::publish_sharded`] atomically install a new snapshot
+//!   (typically a cheap per-shard [`gnn_rtree::ShardedTree::refreeze_all`])
+//!   while queries keep flowing — workers pick the new generation up
+//!   between queries with a single atomic check, in-flight queries finish
+//!   on the snapshot they started on, and nobody ever blocks on the swap;
+//! * requests are **routed by their query group's aggregate-MBR bound** to
+//!   the pool of the shard that can serve them cheapest (the [`Router`]),
+//!   one bounded queue and a fixed set of worker threads per shard — so a
+//!   pool's workers keep their own shard's arenas hot in cache under
+//!   spatially skewed traffic;
+//! * every worker owns its own per-shard [`TreeCursor`]s, [`QueryScratch`]
+//!   and [`Planner`], so the zero-allocation single-thread hot path of the
 //!   packed engine becomes a zero-allocation **per-core** hot path — no
-//!   shared mutable state is touched while a query runs;
-//! * per-worker counters (queries, node accesses, simulated I/O, distance
-//!   computations) and a fixed-bucket response-latency histogram (measured
-//!   submit → response, so queue wait under overload is visible) are
-//!   aggregated on demand into a [`ServiceStats`] snapshot, so the paper's
+//!   shared mutable state is touched while a query runs. A query whose
+//!   bound admits several shards is answered *exactly* by the worker
+//!   itself through the cross-shard best-first merge
+//!   ([`gnn_core::sharded`]); the response's
+//!   [`ShardRouting`](gnn_core::ShardRouting) tag records the primary
+//!   shard and how many shards were consulted;
+//! * per-worker counters, per-shard routing counters (routed / served /
+//!   single-shard hits) and a fixed-bucket response-latency histogram
+//!   aggregate on demand into a [`ServiceStats`] snapshot, so the paper's
 //!   node-access cost metric survives concurrency exactly.
 //!
 //! Determinism is the correctness anchor: a query's node accesses and
 //! results depend only on the snapshot and the request (per-worker cursors
 //! are unbuffered, so no cross-query cache state exists), which means the
-//! same workload submitted through the service and run sequentially through
-//! [`Planner::run_many_collect`] produces identical ids, distances, and
-//! total node accesses — on any worker count, in any completion order. The
-//! workspace-level `service_determinism` test pins this on 1, 2 and 8
-//! workers. Under live updates the anchor holds **per generation**: every
+//! same workload submitted through the service and run sequentially
+//! produces identical ids, distances, and total node accesses — on any
+//! worker count, in any completion order, sharded or not. The
+//! workspace-level `service_determinism` and `sharded_equivalence` tests
+//! pin this. Under live updates the anchor holds **per generation**: every
 //! [`QueryResponse`] is tagged with the generation of the snapshot that
-//! served it, and all responses of one generation match the sequential
-//! reference on that snapshot (pinned by the workspace-level `hot_swap`
-//! test). Queries whose dequeue races a `publish` may legitimately be
-//! served by either neighboring generation — the tag says which.
+//! served it (pinned by the workspace-level `hot_swap` and
+//! `refresh_driver` tests).
+//!
+//! For continuous refresh, [`RefreshDriver`] runs the full mutate →
+//! per-shard refreeze → publish lifecycle on a background thread driven by
+//! a dirty-fraction policy; see its docs.
 //!
 //! ```
 //! use gnn_core::{QueryGroup, QueryRequest};
@@ -63,13 +73,16 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod refresh;
 
 pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
+pub use refresh::{RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update};
 
+use gnn_core::sharded::primary_shard;
 use gnn_core::{Aggregate, Planner, QueryGroup, QueryGroupError, QueryRequest, QueryResponse};
-use gnn_core::{QueryScratch, QueryStats};
+use gnn_core::{QueryScratch, QueryStats, ShardRouting};
 use gnn_geom::Point;
-use gnn_rtree::PackedRTree;
+use gnn_rtree::{PackedRTree, ShardedSnapshot, TreeCursor};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -80,10 +93,15 @@ use std::time::{Duration, Instant};
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Worker threads in the pool (≥ 1). Each owns a cursor + scratch.
+    /// Worker threads (≥ 1). A single-shard service puts all of them in
+    /// one pool; [`Service::start_sharded`] distributes them near-evenly
+    /// across the per-shard pools in shard order, giving every pool at
+    /// least one worker (so the effective total is
+    /// `max(workers, shard_count)`).
     pub workers: usize,
-    /// Bounded request-queue depth (≥ 1): [`Service::submit`] blocks and
-    /// [`Service::try_submit`] fails once this many requests are pending.
+    /// Bounded per-pool request-queue depth (≥ 1): [`Service::submit`]
+    /// blocks and [`Service::try_submit`] fails once this many requests are
+    /// pending on the routed shard's queue.
     pub queue_depth: usize,
     /// `k` used by the [`Service::submit_points`] convenience entry.
     pub default_k: usize,
@@ -122,12 +140,12 @@ impl ServiceConfig {
 /// Why a submission or wait failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The bounded request queue was full ([`Service::try_submit`]).
+    /// The routed shard's bounded queue was full ([`Service::try_submit`]).
     QueueFull,
     /// The worker serving this request disappeared without responding, or
-    /// (on submission) every worker had already died. A worker dies only
-    /// by panicking inside a query; results for other requests are
-    /// unaffected.
+    /// (on submission) every worker of the routed pool had already died. A
+    /// worker dies only by panicking inside a query; results for other
+    /// requests are unaffected.
     WorkerGone,
 }
 
@@ -168,7 +186,7 @@ impl ResponseHandle {
 
 /// Locks a mutex, recovering from poisoning: a worker that panicked inside
 /// a query may have died holding a lock, but every structure guarded here
-/// (the snapshot slot, the dequeue end, the sender slot) stays sound — the
+/// (the snapshot slot, a dequeue end, the sender table) stays sound — the
 /// panic cannot have left it mid-mutation. One policy, one place.
 fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match mutex.lock() {
@@ -177,7 +195,8 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
-/// The hot-swap publication slot: the current snapshot plus its generation.
+/// The hot-swap publication slot: the current sharded snapshot plus its
+/// generation.
 ///
 /// Hand-rolled `ArcSwap` equivalent with no dependencies: publishers
 /// replace the `Arc` under a mutex and bump the generation; workers watch
@@ -185,15 +204,18 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// locks) and reload the `Arc` — briefly taking the uncontended lock — only
 /// when it changed. Readers of an old generation keep their `Arc` alive, so
 /// in-flight queries always finish on the snapshot they started on and old
-/// snapshots are freed exactly when the last worker moves off them.
+/// snapshots are freed exactly when the last worker moves off them. An
+/// incremental refresh shares the `Arc` of every untouched *shard* between
+/// consecutive generations, so a publish costs memory only for the shards
+/// that actually changed.
 struct SnapshotSlot {
-    current: Mutex<Arc<PackedRTree>>,
+    current: Mutex<Arc<ShardedSnapshot>>,
     generation: AtomicU64,
 }
 
 impl SnapshotSlot {
     /// Wraps the initial snapshot as generation 1.
-    fn new(initial: Arc<PackedRTree>) -> Self {
+    fn new(initial: Arc<ShardedSnapshot>) -> Self {
         SnapshotSlot {
             current: Mutex::new(initial),
             generation: AtomicU64::new(1),
@@ -206,20 +228,20 @@ impl SnapshotSlot {
 
     /// The current `(snapshot, generation)` pair, read consistently (the
     /// generation is only ever bumped under the same lock).
-    fn load(&self) -> (Arc<PackedRTree>, u64) {
+    fn load(&self) -> (Arc<ShardedSnapshot>, u64) {
         let guard = lock_unpoisoned(&self.current);
         let generation = self.generation.load(Ordering::Acquire);
         (Arc::clone(&guard), generation)
     }
 
-    fn publish(&self, snapshot: Arc<PackedRTree>) -> u64 {
+    fn publish(&self, snapshot: Arc<ShardedSnapshot>) -> u64 {
         let mut guard = lock_unpoisoned(&self.current);
         *guard = snapshot;
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 }
 
-/// One unit of work on the queue.
+/// One unit of work on a shard queue.
 struct Job {
     request: QueryRequest,
     reply: mpsc::Sender<QueryResponse>,
@@ -238,6 +260,8 @@ struct WorkerCounters {
     io: AtomicU64,
     dist_computations: AtomicU64,
     busy_nanos: AtomicU64,
+    single_shard_hits: AtomicU64,
+    shards_consulted: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -249,11 +273,19 @@ impl WorkerCounters {
             io: AtomicU64::new(0),
             dist_computations: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            single_shard_hits: AtomicU64::new(0),
+            shards_consulted: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
 
-    fn record(&self, stats: &QueryStats, execution: Duration, response: Duration) {
+    fn record(
+        &self,
+        stats: &QueryStats,
+        routing: ShardRouting,
+        execution: Duration,
+        response: Duration,
+    ) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.node_accesses
             .fetch_add(stats.data_tree.logical, Ordering::Relaxed);
@@ -264,12 +296,18 @@ impl WorkerCounters {
             u64::try_from(execution.as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
+        if routing.consulted <= 1 {
+            self.single_shard_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shards_consulted
+            .fetch_add(u64::from(routing.consulted), Ordering::Relaxed);
         self.latency.record(response);
     }
 
-    fn snapshot(&self, worker: usize) -> WorkerSnapshot {
+    fn snapshot(&self, worker: usize, shard: usize) -> WorkerSnapshot {
         WorkerSnapshot {
             worker,
+            shard,
             queries: self.queries.load(Ordering::Relaxed),
             node_accesses: self.node_accesses.load(Ordering::Relaxed),
             io: self.io.load(Ordering::Relaxed),
@@ -282,8 +320,10 @@ impl WorkerCounters {
 /// Point-in-time counters of one worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSnapshot {
-    /// Worker index (0-based).
+    /// Worker index (0-based, global across pools).
     pub worker: usize,
+    /// The shard pool this worker serves.
+    pub shard: usize,
     /// Queries served by this worker.
     pub queries: u64,
     /// Logical node accesses performed (the paper's NA metric).
@@ -298,28 +338,48 @@ pub struct WorkerSnapshot {
     pub busy: Duration,
 }
 
-/// Aggregated service counters: per-worker snapshots, their totals, and the
-/// merged latency histogram.
+/// Point-in-time routing/serving counters of one shard pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests the router queued on this pool.
+    pub routed: u64,
+    /// Queries served by this pool's workers.
+    pub queries: u64,
+    /// Served queries that consulted only this pool's own shard (the
+    /// routing-hit metric: higher is better for spatially local traffic).
+    pub single_shard_hits: u64,
+    /// Total shards consulted across this pool's served queries
+    /// (`/ queries` = average fan-out of the cross-shard merge).
+    pub shards_consulted: u64,
+}
+
+/// Aggregated service counters: per-worker and per-shard snapshots, their
+/// totals, and the merged latency histogram.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// The snapshot generation currently published (1 for the snapshot the
-    /// service started on; each [`Service::publish`] bumps it). Individual
-    /// responses carry the generation that actually served them in
+    /// service started on; each publish bumps it). Individual responses
+    /// carry the generation that actually served them in
     /// [`QueryResponse::generation`], which is how determinism stays
     /// pinnable per generation under hot swaps.
     pub generation: u64,
     /// Total queries served.
     pub queries_served: u64,
-    /// Total logical node accesses — comparable 1:1 with the sum of
-    /// `QueryStats::data_tree.logical` over a sequential run of the same
-    /// workload.
+    /// Total logical node accesses — comparable 1:1 with a sequential run
+    /// of the same workload on the same snapshot.
     pub node_accesses: u64,
     /// Total simulated I/O.
     pub io: u64,
     /// Total distance evaluations.
     pub dist_computations: u64,
-    /// Per-worker breakdown (length = configured workers).
+    /// Served queries that needed only their primary shard.
+    pub single_shard_hits: u64,
+    /// Per-worker breakdown (length = total workers across pools).
     pub per_worker: Vec<WorkerSnapshot>,
+    /// Per-shard routing/serving breakdown (length = shard count).
+    pub per_shard: Vec<ShardStats>,
     /// Merged response-latency histogram (`p50()`/`p95()`/`p99()`).
     /// Samples measure **submit → response** — queueing plus execution —
     /// so an overloaded service shows its backlog in the tail percentiles
@@ -327,70 +387,166 @@ pub struct ServiceStats {
     pub latency: LatencySnapshot,
 }
 
-/// The serving engine: a hot-swappable snapshot slot, a bounded queue, and
-/// a fixed worker pool. See the crate docs for the design.
-pub struct Service {
-    /// `None` once shutdown has been initiated — behind a mutex so
-    /// [`Service::initiate_shutdown`] can close the queue from `&self`
-    /// (e.g. from another thread racing in-flight submissions).
-    tx: Mutex<Option<SyncSender<Job>>>,
-    slot: Arc<SnapshotSlot>,
+impl ServiceStats {
+    /// Fraction of served queries answered by a single shard (1.0 for an
+    /// unsharded service; `None` before any query completed).
+    pub fn single_shard_fraction(&self) -> Option<f64> {
+        (self.queries_served > 0)
+            .then(|| self.single_shard_hits as f64 / self.queries_served as f64)
+    }
+}
+
+/// One shard's worker pool: its queue is entry `shard` of the service-wide
+/// sender table; workers share the matching receiver.
+struct Pool {
     workers: Vec<JoinHandle<()>>,
     counters: Vec<Arc<WorkerCounters>>,
+    /// Requests the router queued on this pool.
+    routed: AtomicU64,
+}
+
+/// The serving engine: a hot-swappable sharded snapshot slot, one bounded
+/// queue + worker pool per shard, and an aggregate-MBR router. See the
+/// crate docs for the design.
+pub struct Service {
+    /// Per-shard senders; `None` once shutdown has been initiated — behind
+    /// one mutex so [`Service::initiate_shutdown`] can close every queue
+    /// atomically from `&self` (and so a publish can be serialized against
+    /// the close, see [`Service::try_publish_sharded`]).
+    senders: Mutex<Option<Vec<SyncSender<Job>>>>,
+    slot: Arc<SnapshotSlot>,
+    pools: Vec<Pool>,
     config: ServiceConfig,
 }
 
 impl Service {
-    /// Spins up the worker pool over `snapshot`.
+    /// Spins up an **unsharded** service: one pool of `config.workers`
+    /// workers over one snapshot (wrapped as a single-shard
+    /// [`ShardedSnapshot`] without rebuilding — node accesses are exactly
+    /// those of the snapshot itself).
     ///
     /// # Panics
     ///
     /// Panics when `config.workers` or `config.queue_depth` is zero.
     pub fn start(snapshot: Arc<PackedRTree>, config: ServiceConfig) -> Service {
+        Self::start_sharded(Arc::new(ShardedSnapshot::single(snapshot)), config)
+    }
+
+    /// Spins up a **sharded** service: one bounded queue and worker pool
+    /// per shard, requests routed by query aggregate-MBR bound.
+    /// `config.workers` threads are distributed near-evenly across the
+    /// pools in shard order (the first `workers % shards` pools get one
+    /// extra); every pool gets at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    pub fn start_sharded(snapshot: Arc<ShardedSnapshot>, config: ServiceConfig) -> Service {
         assert!(config.workers > 0, "service needs at least one worker");
         assert!(config.queue_depth > 0, "queue depth must be positive");
-        let (tx, rx) = sync_channel::<Job>(config.queue_depth);
-        // std's Receiver is single-consumer; the pool shares it behind a
-        // mutex. The lock is held only for the dequeue itself, never while
-        // a query runs.
-        let rx = Arc::new(Mutex::new(rx));
+        let shards = snapshot.shard_count();
         let slot = Arc::new(SnapshotSlot::new(snapshot));
-        let mut workers = Vec::with_capacity(config.workers);
-        let mut counters = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
-            let counter = Arc::new(WorkerCounters::new());
-            counters.push(Arc::clone(&counter));
-            let slot = Arc::clone(&slot);
-            let rx = Arc::clone(&rx);
-            let planner = config.planner;
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("gnn-worker-{w}"))
-                    .spawn(move || worker_loop(&slot, &rx, planner, &counter))
-                    .expect("spawn worker thread"),
-            );
+        let mut senders = Vec::with_capacity(shards);
+        let mut pools = Vec::with_capacity(shards);
+        let mut worker_id = 0usize;
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Job>(config.queue_depth);
+            senders.push(tx);
+            // std's Receiver is single-consumer; the pool shares it behind
+            // a mutex. The lock is held only for the dequeue itself, never
+            // while a query runs.
+            let rx = Arc::new(Mutex::new(rx));
+            let pool_workers =
+                (config.workers / shards + usize::from(shard < config.workers % shards)).max(1);
+            let mut workers = Vec::with_capacity(pool_workers);
+            let mut counters = Vec::with_capacity(pool_workers);
+            for _ in 0..pool_workers {
+                let counter = Arc::new(WorkerCounters::new());
+                counters.push(Arc::clone(&counter));
+                let slot = Arc::clone(&slot);
+                let rx = Arc::clone(&rx);
+                let planner = config.planner;
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("gnn-worker-{shard}-{worker_id}"))
+                        .spawn(move || worker_loop(&slot, &rx, planner, &counter))
+                        .expect("spawn worker thread"),
+                );
+                worker_id += 1;
+            }
+            pools.push(Pool {
+                workers,
+                counters,
+                routed: AtomicU64::new(0),
+            });
         }
         Service {
-            tx: Mutex::new(Some(tx)),
+            senders: Mutex::new(Some(senders)),
             slot,
-            workers,
-            counters,
+            pools,
             config,
         }
     }
 
-    /// Atomically publishes a new snapshot and returns its generation.
+    /// Atomically publishes a new snapshot on a **single-shard** service
+    /// and returns its generation.
     ///
     /// Workers pick the new snapshot up **between** queries: the in-flight
     /// query of every worker finishes on the snapshot it started on, no
     /// worker ever blocks on the swap (the hot path checks one atomic), and
     /// any request dequeued after `publish` returns is served on the new
     /// generation. Old snapshots are dropped when the last worker moves off
-    /// them. Pairs with [`gnn_rtree::RTree::refreeze`] for cheap refreshes:
-    /// mutate the arena tree, refreeze against the previous snapshot,
-    /// publish the result — queries keep flowing throughout.
+    /// them. Pairs with [`gnn_rtree::RTree::refreeze`] for cheap refreshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service — publish a matching
+    /// [`ShardedSnapshot`] through [`Service::publish_sharded`] instead.
     pub fn publish(&self, snapshot: Arc<PackedRTree>) -> u64 {
+        assert_eq!(
+            self.pools.len(),
+            1,
+            "publish() is the single-shard entry; use publish_sharded()"
+        );
+        self.slot
+            .publish(Arc::new(ShardedSnapshot::single(snapshot)))
+    }
+
+    /// Atomically publishes a new sharded snapshot (same swap semantics as
+    /// [`Service::publish`]) and returns its generation. An incremental
+    /// refresh ([`gnn_rtree::ShardedTree::refreeze_all`]) shares the `Arc`
+    /// of every untouched shard with the previous generation, so the swap
+    /// costs memory only for the shards that changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's shard count differs from the service's
+    /// pool count (the router's shard↔pool mapping is fixed at start).
+    pub fn publish_sharded(&self, snapshot: Arc<ShardedSnapshot>) -> u64 {
+        assert_eq!(
+            snapshot.shard_count(),
+            self.pools.len(),
+            "published snapshot must keep the shard count"
+        );
         self.slot.publish(snapshot)
+    }
+
+    /// Like [`Service::publish_sharded`], but refuses (returns `None`)
+    /// once [`Service::initiate_shutdown`] has closed the queues — the
+    /// check and the publish are serialized against the close, so after
+    /// `initiate_shutdown` returns, the generation can never advance
+    /// again. This is the entry the [`RefreshDriver`] uses: a refresh that
+    /// races shutdown is dropped instead of published into a draining
+    /// service.
+    pub fn try_publish_sharded(&self, snapshot: Arc<ShardedSnapshot>) -> Option<u64> {
+        assert_eq!(
+            snapshot.shard_count(),
+            self.pools.len(),
+            "published snapshot must keep the shard count"
+        );
+        let guard = lock_unpoisoned(&self.senders);
+        guard.as_ref()?;
+        Some(self.slot.publish(snapshot))
     }
 
     /// Generation of the currently published snapshot (starts at 1).
@@ -398,9 +554,28 @@ impl Service {
         self.slot.generation()
     }
 
-    /// The currently published snapshot.
+    /// The currently published snapshot of a **single-shard** service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service — use [`Service::sharded_snapshot`].
     pub fn snapshot(&self) -> Arc<PackedRTree> {
+        assert_eq!(
+            self.pools.len(),
+            1,
+            "snapshot() is the single-shard entry; use sharded_snapshot()"
+        );
+        Arc::clone(self.slot.load().0.shard(0))
+    }
+
+    /// The currently published sharded snapshot.
+    pub fn sharded_snapshot(&self) -> Arc<ShardedSnapshot> {
         self.slot.load().0
+    }
+
+    /// Number of shard pools (fixed at start).
+    pub fn shard_count(&self) -> usize {
+        self.pools.len()
     }
 
     /// The configuration the service was started with.
@@ -408,32 +583,66 @@ impl Service {
         &self.config
     }
 
-    /// Enqueues a request, blocking while the queue is full. Returns a
-    /// handle redeemable for the [`QueryResponse`].
+    /// The pool this request would be queued on: its
+    /// [`QueryRequest::shard_hint`] when valid, otherwise the shard with
+    /// the smallest aggregate-MBR lower bound for the group (the
+    /// [`Router`] rule — exposed for tests and load generators).
+    pub fn route(&self, request: &QueryRequest) -> usize {
+        if self.pools.len() == 1 {
+            return 0;
+        }
+        if let Some(hint) = request.shard_hint {
+            if (hint as usize) < self.pools.len() {
+                return hint as usize;
+            }
+        }
+        // Known trade-off: routing loads the slot (a brief, usually
+        // uncontended mutex — the same pattern the sender table already
+        // pays per submit) and the worker recomputes the full shard order
+        // for the merge anyway. A lock-free routing-directory cache keyed
+        // on the generation atomic would shave both; measure first —
+        // callers that care today pre-route with `shard_hint`.
+        primary_shard(&request.group, &self.slot.load().0) as usize
+    }
+
+    /// Enqueues a request on its routed shard's queue, blocking while that
+    /// queue is full. Returns a handle redeemable for the
+    /// [`QueryResponse`].
     ///
-    /// If every worker has died (each one panicked inside a query), the
-    /// request cannot be executed; the returned handle then yields
-    /// [`ServiceError::WorkerGone`] instead of panicking the caller.
+    /// If every worker of the routed pool has died (each one panicked
+    /// inside a query), the request cannot be executed; the returned
+    /// handle then yields [`ServiceError::WorkerGone`] instead of
+    /// panicking the caller.
     pub fn submit(&self, request: QueryRequest) -> ResponseHandle {
+        let shard = self.route(&request);
         let (reply, rx) = mpsc::channel();
-        // `send` fails only when every worker (and thus the shared
-        // receiver) is gone; dropping the job drops `reply`, which makes
-        // the handle report `WorkerGone`. A `None` sender (shutdown already
-        // initiated) drops `reply` immediately for the same clean error.
-        if let Some(sender) = self.sender() {
-            let _ = sender.send(Job {
-                request,
-                reply,
-                submitted: Instant::now(),
-            });
+        // `send` fails only when every worker of the pool (and thus the
+        // shared receiver) is gone; dropping the job drops `reply`, which
+        // makes the handle report `WorkerGone`. A `None` sender table
+        // (shutdown already initiated) drops `reply` immediately for the
+        // same clean error.
+        if let Some(sender) = self.sender(shard) {
+            let accepted = sender
+                .send(Job {
+                    request,
+                    reply,
+                    submitted: Instant::now(),
+                })
+                .is_ok();
+            // Count only accepted requests (matches `try_submit`), so
+            // `routed` vs `queries` stays meaningful when a pool dies.
+            if accepted {
+                self.pools[shard].routed.fetch_add(1, Ordering::Relaxed);
+            }
         }
         ResponseHandle { rx }
     }
 
     /// Non-blocking submit: fails with the request and
-    /// [`ServiceError::QueueFull`] when the bounded queue is full — the
-    /// backpressure signal an open-loop load generator counts as a drop —
-    /// or [`ServiceError::WorkerGone`] when every worker has died.
+    /// [`ServiceError::QueueFull`] when the routed shard's bounded queue is
+    /// full — the backpressure signal an open-loop load generator counts as
+    /// a drop — or [`ServiceError::WorkerGone`] when every worker of that
+    /// pool has died.
     // The large `Err` is the point: the rejected request is handed back by
     // value so the caller can retry or drop it without ever cloning it.
     #[allow(clippy::result_large_err)]
@@ -441,7 +650,8 @@ impl Service {
         &self,
         request: QueryRequest,
     ) -> Result<ResponseHandle, (QueryRequest, ServiceError)> {
-        let Some(sender) = self.sender() else {
+        let shard = self.route(&request);
+        let Some(sender) = self.sender(shard) else {
             return Err((request, ServiceError::WorkerGone));
         };
         let (reply, rx) = mpsc::channel();
@@ -451,7 +661,10 @@ impl Service {
             submitted: Instant::now(),
         };
         match sender.try_send(job) {
-            Ok(()) => Ok(ResponseHandle { rx }),
+            Ok(()) => {
+                self.pools[shard].routed.fetch_add(1, Ordering::Relaxed);
+                Ok(ResponseHandle { rx })
+            }
             Err(TrySendError::Full(job)) => Err((job.request, ServiceError::QueueFull)),
             Err(TrySendError::Disconnected(job)) => Err((job.request, ServiceError::WorkerGone)),
         }
@@ -466,7 +679,7 @@ impl Service {
 
     /// Enqueues a whole batch (blocking on backpressure), returning handles
     /// in submission order — so `handles[i]` answers `requests[i]` no
-    /// matter which workers execute what, in which order.
+    /// matter which pools and workers execute what, in which order.
     pub fn submit_batch(
         &self,
         requests: impl IntoIterator<Item = QueryRequest>,
@@ -477,15 +690,27 @@ impl Service {
     /// Aggregated counters so far (cheap: atomic loads only — safe to poll
     /// from a metrics scraper while traffic runs).
     pub fn stats(&self) -> ServiceStats {
-        let per_worker: Vec<WorkerSnapshot> = self
-            .counters
-            .iter()
-            .enumerate()
-            .map(|(w, c)| c.snapshot(w))
-            .collect();
+        let mut per_worker = Vec::new();
+        let mut per_shard = Vec::with_capacity(self.pools.len());
         let mut latency = LatencySnapshot::empty();
-        for c in &self.counters {
-            latency.merge(&c.latency.snapshot());
+        let mut worker_id = 0usize;
+        for (shard, pool) in self.pools.iter().enumerate() {
+            let mut stats = ShardStats {
+                shard,
+                routed: pool.routed.load(Ordering::Relaxed),
+                queries: 0,
+                single_shard_hits: 0,
+                shards_consulted: 0,
+            };
+            for c in &pool.counters {
+                per_worker.push(c.snapshot(worker_id, shard));
+                worker_id += 1;
+                stats.queries += c.queries.load(Ordering::Relaxed);
+                stats.single_shard_hits += c.single_shard_hits.load(Ordering::Relaxed);
+                stats.shards_consulted += c.shards_consulted.load(Ordering::Relaxed);
+                latency.merge(&c.latency.snapshot());
+            }
+            per_shard.push(stats);
         }
         ServiceStats {
             generation: self.slot.generation(),
@@ -493,47 +718,55 @@ impl Service {
             node_accesses: per_worker.iter().map(|w| w.node_accesses).sum(),
             io: per_worker.iter().map(|w| w.io).sum(),
             dist_computations: per_worker.iter().map(|w| w.dist_computations).sum(),
+            single_shard_hits: per_shard.iter().map(|s| s.single_shard_hits).sum(),
             per_worker,
+            per_shard,
             latency,
         }
     }
 
     /// Graceful shutdown: stops accepting new requests, lets the workers
     /// drain every queued request (their responses stay redeemable), joins
-    /// the pool, and returns the final counters.
+    /// the pools, and returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.stop_and_join();
         self.stats()
     }
 
-    /// Closes the request queue from `&self` without joining the workers:
+    /// Closes every shard queue from `&self` without joining the workers:
     /// submissions from this point on fail cleanly
     /// ([`ServiceError::WorkerGone`] / a handle that reports it), while
     /// every request accepted **before** the close is still drained and
-    /// answered exactly once. Callable from any thread — this is what lets
-    /// a shutdown race in-flight `submit_batch` calls deterministically.
-    /// Follow with [`Service::shutdown`] to join the pool and collect the
-    /// final counters.
+    /// answered exactly once — and no snapshot can be published past the
+    /// close ([`Service::try_publish_sharded`]). Callable from any thread —
+    /// this is what lets a shutdown race in-flight `submit_batch` calls and
+    /// a running [`RefreshDriver`] deterministically. Follow with
+    /// [`Service::shutdown`] to join the pools and collect the final
+    /// counters.
     pub fn initiate_shutdown(&self) {
-        // Dropping the sender makes every worker's `recv` fail once the
+        // Dropping the senders makes every worker's `recv` fail once its
         // queue is drained — the shutdown signal.
-        drop(lock_unpoisoned(&self.tx).take());
+        drop(lock_unpoisoned(&self.senders).take());
     }
 
-    fn sender(&self) -> Option<SyncSender<Job>> {
+    fn sender(&self, shard: usize) -> Option<SyncSender<Job>> {
         // Clone-and-release: the bounded `send` may block on backpressure,
         // and holding the lock there would stall `initiate_shutdown` and
         // every other submitter.
-        lock_unpoisoned(&self.tx).clone()
+        lock_unpoisoned(&self.senders)
+            .as_ref()
+            .map(|s| s[shard].clone())
     }
 
     fn stop_and_join(&mut self) {
         self.initiate_shutdown();
-        for handle in self.workers.drain(..) {
-            // A panicked worker already delivered its error to the affected
-            // handle (dropped reply channel → `WorkerGone`); joining must
-            // not poison shutdown for the healthy workers.
-            let _ = handle.join();
+        for pool in &mut self.pools {
+            for handle in pool.workers.drain(..) {
+                // A panicked worker already delivered its error to the
+                // affected handle (dropped reply channel → `WorkerGone`);
+                // joining must not poison shutdown for healthy workers.
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -546,8 +779,9 @@ impl Drop for Service {
 
 impl fmt::Debug for Service {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let running = lock_unpoisoned(&self.tx).is_some();
+        let running = lock_unpoisoned(&self.senders).is_some();
         f.debug_struct("Service")
+            .field("shards", &self.pools.len())
             .field("workers", &self.config.workers)
             .field("queue_depth", &self.config.queue_depth)
             .field("generation", &self.slot.generation())
@@ -556,11 +790,14 @@ impl fmt::Debug for Service {
     }
 }
 
-/// The worker body: one cursor + scratch + planner per thread. The scratch
-/// is reused for the thread's whole lifetime — steady-state queries
-/// allocate only their response vectors — while the cursor is rebuilt (a
-/// cheap constructor) whenever a newer snapshot generation is picked up
-/// between queries.
+/// The worker body: per-shard cursors + one scratch + planner per thread.
+/// The scratch is reused for the thread's whole lifetime — steady-state
+/// queries allocate only their response vectors — while the cursors are
+/// rebuilt (cheap constructors) whenever a newer snapshot generation is
+/// picked up between queries. Queries run through
+/// [`QueryRequest::execute_sharded_in`]: a single-shard snapshot follows
+/// the exact single-tree path, a partitioned one the best-first cross-shard
+/// merge.
 fn worker_loop(
     slot: &SnapshotSlot,
     rx: &Mutex<Receiver<Job>>,
@@ -568,27 +805,29 @@ fn worker_loop(
     counters: &WorkerCounters,
 ) {
     let mut scratch = QueryScratch::new();
-    let (mut tree, mut generation) = slot.load();
+    let (mut snap, mut generation) = slot.load();
     // A job dequeued under a stale generation: carried across the reload so
     // it executes on the snapshot current at its dequeue, never dropped.
     let mut pending: Option<Job> = None;
     let mut warmed = false;
     loop {
-        let cursor = tree.cursor();
+        let cursors: Vec<TreeCursor<'_>> = snap.shards().iter().map(|s| s.cursor()).collect();
         // Self-warm before serving: one canned query sizes the scratch's
         // core buffers, so a worker's very first real request does not pay
         // the cold-start allocations inside a caller's latency measurement.
-        // The shared queue gives no per-worker routing, so no submitted
+        // The per-pool queues give no per-worker routing, so no submitted
         // warm-up batch could guarantee reaching every worker — only the
         // worker itself can. Uncounted: it is not traffic. Once is enough:
         // the scratch survives snapshot swaps.
         if !warmed {
             warmed = true;
-            if !tree.is_empty() {
-                if let Ok(group) = QueryGroup::sum(vec![tree.root_mbr().center()]) {
+            if !snap.is_empty() {
+                if let Ok(group) = QueryGroup::sum(vec![snap.root_mbr().center()]) {
                     let warm = QueryRequest::new(group, 1);
-                    let _ = warm.execute_in(&planner, &cursor, &mut scratch);
-                    cursor.reset();
+                    let _ = warm.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+                    for c in &cursors {
+                        c.reset();
+                    }
                 }
             }
         }
@@ -623,23 +862,25 @@ fn worker_loop(
                 submitted,
             } = job;
             let exec0 = Instant::now();
-            let (choice, neighbors, stats) = request.execute_in(&planner, &cursor, &mut scratch);
+            let (choice, neighbors, stats, routing) =
+                request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
             let response = QueryResponse {
                 choice,
                 neighbors: neighbors.to_vec(),
                 stats,
                 generation,
+                routing,
             };
             // `busy` counts execution only; the latency histogram measures
             // submit → response, so queue wait under overload is visible.
-            counters.record(&stats, exec0.elapsed(), submitted.elapsed());
+            counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
             // The caller may have dropped its handle; that is not an error.
             let _ = reply.send(response);
         };
         pending = handoff;
-        drop(cursor);
-        let (next_tree, next_generation) = slot.load();
-        tree = next_tree;
+        drop(cursors);
+        let (next_snap, next_generation) = slot.load();
+        snap = next_snap;
         generation = next_generation;
     }
 }
@@ -697,6 +938,7 @@ mod tests {
             response.stats.data_tree.logical,
             want.stats.data_tree.logical
         );
+        assert_eq!(response.routing, ShardRouting::default());
     }
 
     #[test]
@@ -718,6 +960,9 @@ mod tests {
         assert_eq!(stats.per_worker.len(), 4);
         let sum: u64 = stats.per_worker.iter().map(|w| w.queries).sum();
         assert_eq!(sum, 24);
+        assert_eq!(stats.per_shard.len(), 1);
+        assert_eq!(stats.per_shard[0].routed, 24);
+        assert_eq!(stats.single_shard_fraction(), Some(1.0));
     }
 
     #[test]
@@ -966,5 +1211,151 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
+    }
+
+    // --- sharded serving ---
+
+    fn sharded_snapshot(n: usize, shards: usize, seed: u64) -> Arc<ShardedSnapshot> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = RTree::bulk_load(
+            RTreeParams::with_capacity(8),
+            (0..n).map(|i| {
+                LeafEntry::new(
+                    PointId(i as u64),
+                    Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                )
+            }),
+        );
+        Arc::new(tree.freeze_sharded(shards))
+    }
+
+    #[test]
+    fn sharded_service_matches_sequential_merge() {
+        let snap = sharded_snapshot(2000, 4, 70);
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(4));
+        let planner = Planner::new();
+        let mut scratch = QueryScratch::new();
+        let cursors: Vec<_> = snap.shards().iter().map(|s| s.cursor()).collect();
+        for i in 0..24u64 {
+            let request = QueryRequest::new(random_group(4, 300 + i), 3);
+            let (choice, want, stats, routing) =
+                request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+            let want = want.to_vec();
+            let r = service.submit(request).wait().unwrap();
+            assert_eq!(r.choice, choice, "query {i}");
+            assert_eq!(r.neighbors, want, "query {i}");
+            assert_eq!(
+                r.stats.data_tree.logical, stats.data_tree.logical,
+                "query {i}"
+            );
+            assert_eq!(r.routing, routing, "query {i}");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(
+            stats.per_shard.iter().map(|s| s.routed).sum::<u64>(),
+            24,
+            "every request routed to exactly one pool"
+        );
+        assert_eq!(stats.queries_served, 24);
+    }
+
+    #[test]
+    fn workers_distribute_across_pools_with_a_floor_of_one() {
+        let snap = sharded_snapshot(500, 4, 71);
+        // 6 workers over 4 shards: pools get 2,2,1,1.
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(6));
+        let stats = service.stats();
+        assert_eq!(stats.per_worker.len(), 6);
+        let mut per_pool = [0usize; 4];
+        for w in &stats.per_worker {
+            per_pool[w.shard] += 1;
+        }
+        assert_eq!(per_pool, [2, 2, 1, 1]);
+        drop(service);
+        // 2 workers over 4 shards: every pool still gets one.
+        let service = Service::start_sharded(snap, ServiceConfig::with_workers(2));
+        assert_eq!(service.stats().per_worker.len(), 4);
+        drop(service);
+    }
+
+    #[test]
+    fn router_honors_valid_shard_hints_only() {
+        let snap = sharded_snapshot(1000, 3, 72);
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(3));
+        let group = random_group(3, 73);
+        let natural = service.route(&QueryRequest::new(group.clone(), 1));
+        let hinted = QueryRequest::new(group.clone(), 1).with_shard_hint(2);
+        assert_eq!(service.route(&hinted), 2);
+        let out_of_range = QueryRequest::new(group, 1).with_shard_hint(99);
+        assert_eq!(service.route(&out_of_range), natural);
+        // A hinted submission still returns the exact answer (the merge
+        // consults whatever shards the bounds demand).
+        let r = service.submit(hinted).wait().unwrap();
+        assert!(!r.neighbors.is_empty());
+        let stats = service.shutdown();
+        assert_eq!(stats.per_shard[2].routed, 1);
+    }
+
+    #[test]
+    fn local_traffic_routes_to_distinct_pools() {
+        // Queries centered in each shard's MBR must route to that shard
+        // and (for tight groups) be answered by it alone.
+        let snap = sharded_snapshot(4000, 4, 74);
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(4));
+        for (s, mbr) in snap.directory().iter().enumerate() {
+            let c = mbr.center();
+            let g = QueryGroup::sum(vec![c, Point::new(c.x + 0.2, c.y + 0.2)]).unwrap();
+            let req = QueryRequest::new(g, 1);
+            assert_eq!(service.route(&req), s, "shard {s}");
+            let r = service.submit(req).wait().unwrap();
+            assert_eq!(r.routing.primary as usize, s);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 4);
+        for s in &stats.per_shard {
+            assert_eq!(s.routed, 1, "shard {}", s.shard);
+        }
+        assert!(stats.single_shard_hits >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn publish_sharded_swaps_generations() {
+        let first = sharded_snapshot(800, 2, 75);
+        let second = sharded_snapshot(1200, 2, 76);
+        let service = Service::start_sharded(Arc::clone(&first), ServiceConfig::with_workers(2));
+        assert_eq!(service.generation(), 1);
+        assert_eq!(service.publish_sharded(Arc::clone(&second)), 2);
+        assert!(Arc::ptr_eq(&service.sharded_snapshot(), &second));
+        let r = service
+            .submit(QueryRequest::new(random_group(4, 77), 2))
+            .wait()
+            .unwrap();
+        assert_eq!(r.generation, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the shard count")]
+    fn publish_sharded_rejects_shard_count_changes() {
+        let service =
+            Service::start_sharded(sharded_snapshot(500, 2, 78), ServiceConfig::with_workers(2));
+        service.publish_sharded(sharded_snapshot(500, 3, 79));
+    }
+
+    #[test]
+    fn try_publish_fails_after_shutdown_initiated() {
+        let snap = sharded_snapshot(500, 2, 80);
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(2));
+        assert_eq!(
+            service.try_publish_sharded(Arc::clone(&snap)),
+            Some(2),
+            "publish before close must succeed"
+        );
+        service.initiate_shutdown();
+        let generation = service.generation();
+        assert_eq!(service.try_publish_sharded(Arc::clone(&snap)), None);
+        assert_eq!(service.generation(), generation, "generation advanced");
+        service.shutdown();
     }
 }

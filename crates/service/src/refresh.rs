@@ -1,0 +1,393 @@
+//! The auto-refresh driver: mutate → per-shard refreeze → publish on a
+//! policy, so a mutating sharded tree serves continuously.
+//!
+//! PR 4 provided the primitives (incremental [`gnn_rtree::RTree::refreeze`]
+//! and [`Service`] hot-swap); this module closes the loop. A
+//! [`RefreshDriver`] owns the mutable [`ShardedTree`] on a background
+//! thread, receives [`Update`]s through an unbounded channel, applies them
+//! to the owning shards, and — whenever any shard's dirty fraction crosses
+//! [`RefreshPolicy::dirty_fraction`] (or the applied-update backlog exceeds
+//! [`RefreshPolicy::max_pending`]) — refreezes the dirty shards
+//! incrementally, reuses the `Arc` of every clean one, and publishes the
+//! result to the service. Query traffic never blocks: publish is the
+//! existing between-queries hot swap.
+//!
+//! Shutdown hygiene is part of the contract:
+//!
+//! * [`RefreshDriver::shutdown`] closes the update channel, lets the thread
+//!   drain and apply every accepted update, performs one final flush
+//!   refresh (so no accepted update is silently dropped), joins the thread,
+//!   and hands back the tree plus the whole published snapshot history;
+//! * publishes go through [`Service::try_publish_sharded`], which is
+//!   serialized against [`Service::initiate_shutdown`] — once the service
+//!   has closed its queues, a racing refresh is *dropped*, never published:
+//!   the service generation cannot advance after the close (pinned by the
+//!   workspace `refresh_driver` test).
+//!
+//! Determinism stays pinnable under continuous refresh: when the driver is
+//! the only publisher, generation `g` serves exactly
+//! `outcome.snapshots[g - 1]`, so every tagged response can be checked
+//! against the sequential cross-shard reference on that snapshot.
+
+use crate::{lock_unpoisoned, Service};
+use gnn_geom::{Point, PointId};
+use gnn_rtree::{LeafEntry, ShardedSnapshot, ShardedTree};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One mutation for the [`RefreshDriver`] to apply to its sharded tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Insert a point (routed to its owning shard by Hilbert key).
+    Insert(LeafEntry),
+    /// Remove a point by id + position (same routing; a miss is counted,
+    /// not an error — deletes of never-inserted points are a caller bug the
+    /// stats make visible).
+    Remove {
+        /// Id of the point to remove.
+        id: PointId,
+        /// Its position (shard routing and R-tree deletion need it).
+        point: Point,
+    },
+}
+
+/// When the [`RefreshDriver`] refreezes and publishes.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshPolicy {
+    /// Refresh once any shard's dirty page fraction reaches this value.
+    /// Lower = fresher snapshots, more refreeze work; `0.1` mirrors the
+    /// ~10% dirty point where incremental refreeze shows its best
+    /// advantage (see `BENCH_refreeze.json`).
+    pub dirty_fraction: f64,
+    /// Refresh after at most this many applied-but-unpublished updates,
+    /// regardless of dirty fractions (bounds staleness on huge shards
+    /// where single updates barely move the fraction).
+    pub max_pending: usize,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy {
+            dirty_fraction: 0.1,
+            max_pending: 4096,
+        }
+    }
+}
+
+/// Counters of one driver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Updates applied to the sharded tree.
+    pub applied: u64,
+    /// Remove updates whose point was not present.
+    pub missed_removes: u64,
+    /// Snapshots published to the service.
+    pub published: u64,
+    /// Refreshes dropped because the service had initiated shutdown.
+    pub skipped_publishes: u64,
+}
+
+/// What a finished driver hands back.
+#[derive(Debug)]
+pub struct RefreshOutcome {
+    /// The mutable sharded tree, with every accepted update applied.
+    pub tree: ShardedTree,
+    /// Every snapshot this driver served through, starting with the one
+    /// published when the driver started. When the driver was the only
+    /// publisher, `snapshots[g - 1]` is exactly the snapshot of service
+    /// generation `g` — the handle determinism tests pin responses
+    /// against.
+    pub snapshots: Vec<Arc<ShardedSnapshot>>,
+    /// Run counters.
+    pub stats: RefreshStats,
+}
+
+/// A background thread running the mutate → refreeze → publish lifecycle
+/// against a [`Service`]. See the module docs.
+#[derive(Debug)]
+pub struct RefreshDriver {
+    tx: Option<Sender<Update>>,
+    handle: Option<JoinHandle<RefreshOutcome>>,
+    /// Mirrors the thread's counters for cheap mid-run observation.
+    applied: Arc<Mutex<RefreshStats>>,
+}
+
+impl RefreshDriver {
+    /// Starts the driver over `tree`, publishing refreshes into `service`.
+    /// The service keeps serving its current snapshot until the first
+    /// policy-triggered publish; callers normally start the service on
+    /// `tree.freeze_all()` so generation 1 matches the tree's initial
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree's shard count differs from the service's, or
+    /// when the policy is degenerate (non-positive `dirty_fraction` or
+    /// zero `max_pending`).
+    pub fn start(tree: ShardedTree, service: Arc<Service>, policy: RefreshPolicy) -> RefreshDriver {
+        assert_eq!(
+            tree.shard_count(),
+            service.shard_count(),
+            "driver tree and service must agree on the shard count"
+        );
+        assert!(
+            policy.dirty_fraction > 0.0,
+            "dirty fraction must be positive"
+        );
+        assert!(policy.max_pending > 0, "max pending must be positive");
+        let (tx, rx) = channel();
+        let applied = Arc::new(Mutex::new(RefreshStats::default()));
+        let shared = Arc::clone(&applied);
+        let handle = std::thread::Builder::new()
+            .name("gnn-refresh-driver".into())
+            .spawn(move || driver_loop(tree, &service, policy, &rx, &shared))
+            .expect("spawn refresh driver thread");
+        RefreshDriver {
+            tx: Some(tx),
+            handle: Some(handle),
+            applied,
+        }
+    }
+
+    /// Enqueues an update for the driver to apply. Returns `false` once the
+    /// driver thread is gone (only possible after [`RefreshDriver::shutdown`]
+    /// or a driver panic).
+    pub fn apply(&self, update: Update) -> bool {
+        self.tx.as_ref().is_some_and(|tx| tx.send(update).is_ok())
+    }
+
+    /// Current run counters (the thread updates them after every apply and
+    /// publish cycle).
+    pub fn stats(&self) -> RefreshStats {
+        *lock_unpoisoned(&self.applied)
+    }
+
+    /// Closes the update channel, waits for the thread to drain every
+    /// accepted update and perform its final flush refresh, and returns the
+    /// tree, the published snapshot history, and the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver thread itself panicked.
+    pub fn shutdown(mut self) -> RefreshOutcome {
+        self.tx.take();
+        self.handle
+            .take()
+            .expect("driver joined once")
+            .join()
+            .expect("refresh driver thread panicked")
+    }
+}
+
+impl Drop for RefreshDriver {
+    /// Dropping without [`RefreshDriver::shutdown`] closes the channel so
+    /// the thread drains and exits on its own; it is detached, not joined
+    /// (drop must not block), and its outcome is discarded.
+    fn drop(&mut self) {
+        self.tx.take();
+    }
+}
+
+fn apply_update(tree: &mut ShardedTree, update: Update, stats: &mut RefreshStats) {
+    match update {
+        Update::Insert(entry) => {
+            tree.insert(entry);
+        }
+        Update::Remove { id, point } => {
+            if !tree.remove(id, point) {
+                stats.missed_removes += 1;
+            }
+        }
+    }
+    stats.applied += 1;
+}
+
+fn driver_loop(
+    mut tree: ShardedTree,
+    service: &Service,
+    policy: RefreshPolicy,
+    rx: &Receiver<Update>,
+    shared: &Mutex<RefreshStats>,
+) -> RefreshOutcome {
+    let mut last = service.sharded_snapshot();
+    let mut snapshots = vec![Arc::clone(&last)];
+    let mut stats = RefreshStats::default();
+    let mut pending = 0usize;
+    // Blocking receive: the policy is purely update-driven (pending counts
+    // and dirty fractions only change when an update arrives), and a close
+    // of the channel wakes the receiver immediately — an idle driver costs
+    // nothing.
+    while let Ok(update) = rx.recv() {
+        apply_update(&mut tree, update, &mut stats);
+        pending += 1;
+        // Drain whatever else is already queued before deciding — one
+        // policy check per burst, not per update.
+        while let Ok(update) = rx.try_recv() {
+            apply_update(&mut tree, update, &mut stats);
+            pending += 1;
+        }
+        if pending >= policy.max_pending || tree.max_dirty_fraction(&last) >= policy.dirty_fraction
+        {
+            refresh(&tree, service, &mut last, &mut snapshots, &mut stats);
+            pending = 0;
+        }
+        *lock_unpoisoned(shared) = stats;
+    }
+    if pending > 0 {
+        // Final flush: every accepted update reaches a snapshot — unless
+        // the service already closed, in which case the refresh is
+        // *dropped*, never published (`try_publish_sharded` is serialized
+        // against the close).
+        refresh(&tree, service, &mut last, &mut snapshots, &mut stats);
+    }
+    *lock_unpoisoned(shared) = stats;
+    RefreshOutcome {
+        tree,
+        snapshots,
+        stats,
+    }
+}
+
+/// One refreeze + publish cycle. `last` chains: even a dropped (post-close)
+/// refresh keeps the incremental baseline current for the next cycle.
+fn refresh(
+    tree: &ShardedTree,
+    service: &Service,
+    last: &mut Arc<ShardedSnapshot>,
+    snapshots: &mut Vec<Arc<ShardedSnapshot>>,
+    stats: &mut RefreshStats,
+) {
+    let next = Arc::new(tree.refreeze_all(last));
+    if service.try_publish_sharded(Arc::clone(&next)).is_some() {
+        snapshots.push(Arc::clone(&next));
+        stats.published += 1;
+    } else {
+        stats.skipped_publishes += 1;
+    }
+    *last = next;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use gnn_rtree::RTreeParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn entries(n: usize, seed: u64) -> Vec<LeafEntry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                LeafEntry::new(
+                    PointId(i as u64),
+                    Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                )
+            })
+            .collect()
+    }
+
+    fn start_pair(
+        n: usize,
+        shards: usize,
+        seed: u64,
+        policy: RefreshPolicy,
+    ) -> (Arc<Service>, RefreshDriver) {
+        let tree = ShardedTree::build(RTreeParams::with_capacity(8), entries(n, seed), shards);
+        let snapshot = Arc::new(tree.freeze_all());
+        let service = Arc::new(Service::start_sharded(
+            snapshot,
+            ServiceConfig::with_workers(shards),
+        ));
+        let driver = RefreshDriver::start(tree, Arc::clone(&service), policy);
+        (service, driver)
+    }
+
+    #[test]
+    fn updates_flow_into_published_snapshots() {
+        let policy = RefreshPolicy {
+            dirty_fraction: 1e-9, // every burst publishes
+            ..RefreshPolicy::default()
+        };
+        let (service, driver) = start_pair(500, 2, 1, policy);
+        for i in 0..50u64 {
+            assert!(driver.apply(Update::Insert(LeafEntry::new(
+                PointId(10_000 + i),
+                Point::new(i as f64, i as f64),
+            ))));
+        }
+        // Wait until every update landed in a published snapshot.
+        let mut spins = 0;
+        while service.sharded_snapshot().len() < 550 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 100_000_000, "updates never published");
+        }
+        let outcome = driver.shutdown();
+        assert_eq!(outcome.stats.applied, 50);
+        assert_eq!(outcome.stats.missed_removes, 0);
+        assert!(outcome.stats.published >= 1);
+        assert_eq!(outcome.tree.len(), 550);
+        assert_eq!(
+            outcome.snapshots.last().unwrap().len(),
+            550,
+            "final snapshot must hold every accepted update"
+        );
+        // Driver was the only publisher: history aligns with generations.
+        assert_eq!(
+            service.generation(),
+            outcome.snapshots.len() as u64,
+            "snapshots[g-1] must be generation g"
+        );
+        Arc::try_unwrap(service)
+            .expect("driver released its handle")
+            .shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_below_threshold_updates() {
+        let policy = RefreshPolicy {
+            dirty_fraction: 0.99, // never triggers on its own
+            max_pending: 1_000_000,
+        };
+        let (service, driver) = start_pair(400, 2, 2, policy);
+        for i in 0..10u64 {
+            driver.apply(Update::Insert(LeafEntry::new(
+                PointId(20_000 + i),
+                Point::new(1.0 + i as f64, 2.0),
+            )));
+        }
+        let outcome = driver.shutdown();
+        assert_eq!(outcome.stats.applied, 10);
+        assert_eq!(outcome.stats.published, 1, "exactly the final flush");
+        assert_eq!(outcome.snapshots.last().unwrap().len(), 410);
+        assert_eq!(service.sharded_snapshot().len(), 410);
+        Arc::try_unwrap(service)
+            .expect("driver released its handle")
+            .shutdown();
+    }
+
+    #[test]
+    fn missed_removes_are_counted_not_fatal() {
+        let (service, driver) = start_pair(100, 2, 3, RefreshPolicy::default());
+        driver.apply(Update::Remove {
+            id: PointId(999_999),
+            point: Point::new(3.0, 3.0),
+        });
+        let outcome = driver.shutdown();
+        assert_eq!(outcome.stats.missed_removes, 1);
+        assert_eq!(outcome.tree.len(), 100);
+        drop(service);
+    }
+
+    #[test]
+    fn apply_fails_cleanly_after_shutdown() {
+        let (service, driver) = start_pair(100, 2, 4, RefreshPolicy::default());
+        let stats = driver.stats();
+        assert_eq!(stats.applied, 0);
+        let outcome = driver.shutdown();
+        assert_eq!(outcome.stats.published, 0, "no updates, no publishes");
+        drop(service);
+    }
+}

@@ -65,10 +65,14 @@ pub mod prelude {
     pub use gnn_core::{
         Aggregate, Algo, Choice, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
         MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup, QueryRequest, QueryResponse,
-        QueryScratch, QueryStats, Spm, Traversal,
+        QueryScratch, QueryStats, ShardRouting, Spm, Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
-    pub use gnn_rtree::{LeafEntry, PackedRTree, RTree, RTreeParams, TreeCursor};
-    pub use gnn_service::{Service, ServiceConfig, ServiceStats};
+    pub use gnn_rtree::{
+        LeafEntry, PackedRTree, RTree, RTreeParams, ShardedSnapshot, ShardedTree, TreeCursor,
+    };
+    pub use gnn_service::{
+        RefreshDriver, RefreshPolicy, Service, ServiceConfig, ServiceStats, Update,
+    };
 }

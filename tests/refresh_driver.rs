@@ -1,0 +1,299 @@
+//! RefreshDriver lifecycle determinism: a sharded service whose snapshot is
+//! continuously refreshed by the background driver (apply updates →
+//! per-shard refreeze → publish on the dirty-fraction policy) must stay
+//! pinnable **per generation** — every response's generation tag maps to a
+//! snapshot in the driver's published history, and the response is
+//! bit-identical to the sequential cross-shard reference on that snapshot.
+//! Plus the shutdown hygiene contract: the driver joins cleanly, and once
+//! `Service::initiate_shutdown` has closed the queues, no refresh is ever
+//! published — the generation cannot advance after the close.
+
+use gnn::datasets::{mixed_traffic, MixedOp, MixedSpec, QuerySpec};
+use gnn::prelude::*;
+use gnn::service::RefreshStats;
+use std::sync::Arc;
+
+fn fingerprint(neighbors: &[Neighbor]) -> Vec<(u64, u64)> {
+    neighbors
+        .iter()
+        .map(|n| (n.id.0, n.dist.to_bits()))
+        .collect()
+}
+
+/// Sequential cross-shard reference of one request on one snapshot.
+fn reference(snapshot: &ShardedSnapshot, request: &QueryRequest) -> Vec<(u64, u64)> {
+    let planner = Planner::new();
+    let cursors: Vec<TreeCursor<'_>> = snapshot.shards().iter().map(|s| s.cursor()).collect();
+    let mut scratch = QueryScratch::new();
+    let (_, neighbors, _, _) =
+        request.execute_sharded_in(&planner, snapshot, &cursors, &mut scratch);
+    fingerprint(neighbors)
+}
+
+fn base_entries(n: usize, seed: u64) -> Vec<LeafEntry> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            LeafEntry::new(
+                PointId(i as u64),
+                Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn continuous_refresh_stays_pinnable_per_generation() {
+    let entries = base_entries(6_000, 77);
+    let base_points: Vec<Point> = entries.iter().map(|e| e.point).collect();
+    let sharded_tree = ShardedTree::build(RTreeParams::with_capacity(16), entries, 4);
+    let workspace = gnn::geom::Rect::bounding(base_points.iter().copied()).unwrap();
+    let initial = Arc::new(sharded_tree.freeze_all());
+    let service = Arc::new(Service::start_sharded(
+        Arc::clone(&initial),
+        ServiceConfig::with_workers(4),
+    ));
+    // Aggressive policy: small bursts of updates trigger publishes, so the
+    // run spans several generations.
+    let driver = RefreshDriver::start(
+        sharded_tree,
+        Arc::clone(&service),
+        gnn::service::RefreshPolicy {
+            dirty_fraction: 0.002,
+            ..Default::default()
+        },
+    );
+
+    // Fixed-seed mixed schedule: the update stream and the query stream
+    // come from the same deterministic recipe the mixed-traffic experiment
+    // uses.
+    let spec = MixedSpec {
+        query: QuerySpec {
+            n: 8,
+            area_fraction: 0.05,
+        },
+        queries: 60,
+        query_rate_qps: 10_000.0,
+        updates: 900,
+        update_rate_ups: 50_000.0,
+        insert_fraction: 0.5,
+    };
+    let events = mixed_traffic(workspace, spec, &base_points, 4040);
+    let mut requests: Vec<QueryRequest> = Vec::new();
+    let mut pending: Vec<(QueryRequest, gnn::service::ResponseHandle)> = Vec::new();
+    let mut applied_since_wait = 0usize;
+    let mut sent = 0u64;
+    for e in &events {
+        match &e.op {
+            MixedOp::Query { points } => {
+                let request = QueryRequest::new(QueryGroup::sum(points.clone()).unwrap(), 4);
+                pending.push((request.clone(), service.submit(request.clone())));
+                requests.push(request);
+            }
+            MixedOp::Insert { id, point } => {
+                assert!(driver.apply(Update::Insert(LeafEntry::new(PointId(*id), *point))));
+                sent += 1;
+                applied_since_wait += 1;
+            }
+            MixedOp::Delete { id, point } => {
+                assert!(driver.apply(Update::Remove {
+                    id: PointId(*id),
+                    point: *point,
+                }));
+                sent += 1;
+                applied_since_wait += 1;
+            }
+        }
+        // Every ~300 updates, wait for the driver to fully drain what was
+        // sent. The driver publishes within the same loop iteration that
+        // applies a burst (its dirty threshold is far below one burst's
+        // dirt) and only then advances its visible counters — so once
+        // `applied == sent`, the burst's publish has happened and the run
+        // deterministically spans several generations, with queries
+        // landing on each.
+        if applied_since_wait >= 300 {
+            applied_since_wait = 0;
+            let mut spins = 0u64;
+            while driver.stats().applied < sent {
+                std::thread::yield_now();
+                spins += 1;
+                assert!(spins < 100_000_000, "driver never drained");
+            }
+        }
+    }
+    let responses: Vec<QueryResponse> = pending
+        .into_iter()
+        .map(|(_, h)| h.wait().expect("query served"))
+        .collect();
+
+    let outcome = driver.shutdown();
+    assert_eq!(outcome.stats.applied, 900);
+    assert_eq!(outcome.stats.missed_removes, 0, "replay desync");
+    assert!(
+        outcome.stats.published >= 2,
+        "policy never fired: {:?}",
+        outcome.stats
+    );
+    assert_eq!(outcome.stats.skipped_publishes, 0);
+    // The driver was the only publisher: its history aligns 1:1 with the
+    // service generations, starting at generation 1.
+    assert_eq!(outcome.snapshots.len() as u64, service.generation());
+    assert!(Arc::ptr_eq(&outcome.snapshots[0], &initial));
+    assert!(Arc::ptr_eq(
+        outcome.snapshots.last().unwrap(),
+        &service.sharded_snapshot()
+    ));
+    // The final snapshot reflects every accepted update.
+    assert_eq!(outcome.snapshots.last().unwrap().len(), outcome.tree.len());
+
+    // Per-generation determinism: every response matches the sequential
+    // cross-shard reference of the snapshot its generation tag names.
+    for (i, r) in responses.iter().enumerate() {
+        let g = r.generation;
+        assert!(
+            g >= 1 && (g as usize) <= outcome.snapshots.len(),
+            "query {i}: generation {g} out of range"
+        );
+        let snapshot = &outcome.snapshots[g as usize - 1];
+        assert_eq!(
+            fingerprint(&r.neighbors),
+            reference(snapshot, &requests[i]),
+            "query {i}: diverged from the reference of generation {g}"
+        );
+        assert!((r.routing.primary as usize) < 4);
+        assert!(r.routing.consulted >= 1 && r.routing.consulted <= 4);
+    }
+
+    let stats = Arc::try_unwrap(service)
+        .expect("driver released its service handle")
+        .shutdown();
+    assert_eq!(stats.queries_served, 60, "{stats:?}");
+}
+
+#[test]
+fn no_publish_after_service_queue_close() {
+    // The satellite contract: a refresh racing `initiate_shutdown` is
+    // dropped, never published — the generation is frozen at close time —
+    // and the driver still joins cleanly with every accepted update
+    // applied to its tree.
+    let entries = base_entries(2_000, 88);
+    let sharded_tree = ShardedTree::build(RTreeParams::with_capacity(16), entries, 2);
+    let service = Arc::new(Service::start_sharded(
+        Arc::new(sharded_tree.freeze_all()),
+        ServiceConfig::with_workers(2),
+    ));
+    let driver = RefreshDriver::start(
+        sharded_tree,
+        Arc::clone(&service),
+        gnn::service::RefreshPolicy {
+            dirty_fraction: 1e-9, // every burst wants to publish
+            ..Default::default()
+        },
+    );
+
+    // Phase 1: updates flow and publish normally.
+    for i in 0..500u64 {
+        assert!(driver.apply(Update::Insert(LeafEntry::new(
+            PointId(100_000 + i),
+            Point::new((i % 997) as f64, (i % 991) as f64),
+        ))));
+    }
+    let mut spins = 0u64;
+    while driver.stats().applied < 500 {
+        std::thread::yield_now();
+        spins += 1;
+        assert!(spins < 100_000_000, "driver never drained phase 1");
+    }
+    assert!(driver.stats().published >= 1, "phase 1 never published");
+
+    // Phase 2: close the service, then keep feeding — every refresh the
+    // driver now wants (in-loop and the shutdown flush) races a closed
+    // queue and must be dropped, never published.
+    service.initiate_shutdown();
+    let generation_at_close = service.generation();
+    for i in 0..500u64 {
+        assert!(driver.apply(Update::Insert(LeafEntry::new(
+            PointId(200_000 + i),
+            Point::new((i % 983) as f64, (i % 977) as f64),
+        ))));
+    }
+    let outcome = driver.shutdown();
+
+    assert_eq!(
+        service.generation(),
+        generation_at_close,
+        "generation advanced after queue close"
+    );
+    assert_eq!(
+        outcome.stats.applied, 1_000,
+        "post-close updates still apply"
+    );
+    assert_eq!(outcome.tree.len(), 2_000 + 1_000);
+    let RefreshStats {
+        published,
+        skipped_publishes,
+        ..
+    } = outcome.stats;
+    assert_eq!(
+        published,
+        generation_at_close - 1,
+        "every published refresh must be a generation bump"
+    );
+    assert!(
+        skipped_publishes >= 1,
+        "the post-close flush must be dropped, not published: {:?}",
+        outcome.stats
+    );
+    // History still aligns with generations for what WAS published.
+    assert_eq!(outcome.snapshots.len() as u64, generation_at_close);
+
+    let stats = Arc::try_unwrap(service)
+        .expect("driver released its service handle")
+        .shutdown();
+    assert_eq!(stats.generation, generation_at_close);
+}
+
+#[test]
+fn refreshed_data_becomes_queryable() {
+    // End-to-end freshness: an inserted point is served once its refresh
+    // publishes — the full mutate → refreeze → publish → query loop.
+    let entries = base_entries(1_500, 99);
+    let sharded_tree = ShardedTree::build(RTreeParams::with_capacity(16), entries, 3);
+    let service = Arc::new(Service::start_sharded(
+        Arc::new(sharded_tree.freeze_all()),
+        ServiceConfig::with_workers(3),
+    ));
+    let driver = RefreshDriver::start(
+        sharded_tree,
+        Arc::clone(&service),
+        gnn::service::RefreshPolicy {
+            dirty_fraction: 1e-9,
+            ..Default::default()
+        },
+    );
+    // A point far outside the data's [0,1000]² workspace: once visible, it
+    // is unambiguously the 1-NN of a group sitting on top of it.
+    let target = Point::new(5_000.0, 5_000.0);
+    assert!(driver.apply(Update::Insert(LeafEntry::new(PointId(424_242), target))));
+    let group = QueryGroup::sum(vec![target]).unwrap();
+    let mut spins = 0u64;
+    loop {
+        let r = service
+            .submit(QueryRequest::new(group.clone(), 1))
+            .wait()
+            .expect("query served");
+        if r.neighbors.first().map(|n| n.id) == Some(PointId(424_242)) {
+            assert_eq!(r.neighbors[0].dist.to_bits(), 0f64.to_bits());
+            break;
+        }
+        spins += 1;
+        std::thread::yield_now();
+        assert!(spins < 10_000_000, "inserted point never became queryable");
+    }
+    driver.shutdown();
+    Arc::try_unwrap(service)
+        .expect("driver released its service handle")
+        .shutdown();
+}
