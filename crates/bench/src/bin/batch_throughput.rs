@@ -1,0 +1,102 @@
+//! The shared-traversal batch experiment: per-query submission baseline vs
+//! `Submission::batch` at batch sizes 4/16/64 under the fixed-seed hotspot
+//! workload, plus a 4-shard sub-batch routing spot check.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin batch_throughput
+//! cargo run -p gnn-bench --release --bin batch_throughput -- --quick --json BENCH_batch.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller timed workload (smoke / CI run)
+//! * `--json PATH`  write the `gnn-batch-bench/1` report (the committed
+//!   `BENCH_batch.json` at the repo root is a `--quick --json` run)
+//!
+//! Every cell is checked against the sequential reference — bit-identical
+//! neighbor ids and distances everywhere, and per-query NA on the
+//! unsharded cells (traversal sharing is physical only; the logical
+//! algorithm must be untouched). The exit code gates BOTH equivalence and
+//! the tentpole savings claim: unsharded cells at batch size ≥ 16 must
+//! eliminate at least 20% of the per-query path's page reads.
+
+use gnn_bench::run_batch_throughput;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_batch.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[batch_throughput] building PP snapshot + running (quick={quick})...");
+    let report = run_batch_throughput(quick);
+
+    println!(
+        "== shared-traversal batches ({} hotspot queries, n={}, M={}%, k={}, host cores: {}) ==",
+        report.queries,
+        report.n,
+        (report.area * 100.0) as u32,
+        report.k,
+        report.host_parallelism
+    );
+    println!(
+        "{:<16} {:>12} {:>8} {:>10} {:>12} {:>10}",
+        "config", "q/s", "vs 1-by-1", "mean size", "pages u/s", "savings"
+    );
+    println!(
+        "{:<16} {:>12.0} {:>8} {:>10} {:>12} {:>10}",
+        "sequential", report.sequential_qps, "-", "-", report.sequential_na, "-"
+    );
+    println!(
+        "{:<16} {:>12.0} {:>7.2}x {:>10} {:>12} {:>10}",
+        "1-by-1 service", report.single_qps, 1.0, "1", "-", "-"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<16} {:>12.0} {:>7.2}x {:>10.1} {:>6}/{:<6} {:>9.1}%{}",
+            format!("batch {} x{}", c.batch_size, c.shards),
+            c.qps,
+            c.speedup_vs_single,
+            c.mean_batch_size,
+            c.unique_pages,
+            c.sequential_pages,
+            c.savings * 100.0,
+            if c.matches_reference {
+                ""
+            } else {
+                "  MISMATCH"
+            }
+        );
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !report.gate_passes() {
+        eprintln!(
+            "[batch_throughput] GATE FAILED: equivalence violated or shared \
+             traversal saved < 20% of page reads at batch >= 16"
+        );
+        std::process::exit(1);
+    }
+}

@@ -558,12 +558,18 @@ pub fn run_service_throughput(quick: bool) -> ServiceReport {
         // Best-effort only — the shared queue has no per-worker routing —
         // and its samples do appear in the latency histogram (a head of up
         // to 32 warm-shape samples).
-        let warmup = service.submit_batch(
-            groups
-                .iter()
-                .take(32)
-                .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
-        );
+        // Per-request submissions (not `Submission::batch`): this
+        // experiment measures worker scaling, and a shared-traversal batch
+        // would serialize each sub-batch on one worker.
+        let warmup: Vec<_> = groups
+            .iter()
+            .take(32)
+            .map(|g| {
+                service
+                    .submit(gnn_core::QueryRequest::new(g.clone(), k))
+                    .expect("warm-up submit")
+            })
+            .collect();
         for h in warmup {
             h.wait().expect("warm-up query");
         }
@@ -575,11 +581,14 @@ pub fn run_service_throughput(quick: bool) -> ServiceReport {
         let mut elapsed = std::time::Duration::MAX;
         for pass in 0..3 {
             let t0 = Instant::now();
-            let handles = service.submit_batch(
-                groups
-                    .iter()
-                    .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
-            );
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|g| {
+                    service
+                        .submit(gnn_core::QueryRequest::new(g.clone(), k))
+                        .expect("timed submit")
+                })
+                .collect();
             let got: Vec<gnn_core::QueryResponse> = handles
                 .into_iter()
                 .map(|h| h.wait().expect("service query"))
@@ -827,24 +836,33 @@ pub fn run_sharded_throughput(quick: bool) -> ShardReport {
             },
         );
         // Workers self-warm on startup; this untimed batch additionally
-        // warms buffer capacities to the workload's shape.
-        for h in service.submit_batch(
-            groups
-                .iter()
-                .take(32)
-                .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
-        ) {
+        // warms buffer capacities to the workload's shape. Per-request
+        // submissions — the batched variant is measured separately by
+        // `run_batch_throughput`.
+        let warmup: Vec<_> = groups
+            .iter()
+            .take(32)
+            .map(|g| {
+                service
+                    .submit(gnn_core::QueryRequest::new(g.clone(), k))
+                    .expect("warm-up submit")
+            })
+            .collect();
+        for h in warmup {
             h.wait().expect("warm-up query");
         }
         let mut responses: Vec<gnn_core::QueryResponse> = Vec::new();
         let mut elapsed = std::time::Duration::MAX;
         for pass in 0..3 {
             let t0 = Instant::now();
-            let handles = service.submit_batch(
-                groups
-                    .iter()
-                    .map(|g| gnn_core::QueryRequest::new(g.clone(), k)),
-            );
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|g| {
+                    service
+                        .submit(gnn_core::QueryRequest::new(g.clone(), k))
+                        .expect("timed submit")
+                })
+                .collect();
             let got: Vec<gnn_core::QueryResponse> = handles
                 .into_iter()
                 .map(|h| h.wait().expect("service query"))
@@ -902,6 +920,394 @@ pub fn run_sharded_throughput(quick: bool) -> ShardReport {
             .unwrap_or(1),
         sequential_qps,
         sequential_na,
+        cells,
+    }
+}
+
+/// One cell of the shared-traversal batch experiment.
+#[derive(Debug, Clone)]
+pub struct BatchCell {
+    /// Shard count of the serving snapshot (1 = unsharded).
+    pub shards: usize,
+    /// Queries per submitted batch.
+    pub batch_size: usize,
+    /// End-to-end queries/sec of the timed workload, best of three passes.
+    pub qps: f64,
+    /// `qps / single_qps` — against the per-query service path on the same
+    /// worker count, so the ratio isolates what batching buys.
+    pub speedup_vs_single: f64,
+    /// Shared-traversal passes executed (per-shard sub-batches each count
+    /// once, so on a sharded snapshot this exceeds the submitted batches).
+    pub batches: u64,
+    /// Mean queries per executed pass.
+    pub mean_batch_size: f64,
+    /// Distinct pages read across all passes (the physical read count of
+    /// the shared cursor).
+    pub unique_pages: u64,
+    /// Pages the same queries read as-if-sequential (sum of per-query
+    /// logical NA — the per-query path's read count).
+    pub sequential_pages: u64,
+    /// `1 - unique/sequential`: the fraction of page reads the shared
+    /// traversal eliminated. The tentpole gate demands ≥ 0.20 at
+    /// `batch_size >= 16` on the unsharded cells.
+    pub savings: f64,
+    /// Whether every response matched the sequential reference — ids and
+    /// distance bits always, and per-query NA too on the unsharded cells
+    /// (shard trees are repacked, so their NA legitimately differs).
+    pub matches_reference: bool,
+}
+
+impl BatchCell {
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"batch_size\":{},\"qps\":{:.1},\
+             \"speedup_vs_single\":{:.3},\"batches\":{},\"mean_batch_size\":{:.2},\
+             \"unique_pages\":{},\"sequential_pages\":{},\"savings\":{:.4},\
+             \"matches_reference\":{}}}",
+            self.shards,
+            self.batch_size,
+            self.qps,
+            self.speedup_vs_single,
+            self.batches,
+            self.mean_batch_size,
+            self.unique_pages,
+            self.sequential_pages,
+            self.savings,
+            self.matches_reference,
+        )
+    }
+}
+
+/// The shared-traversal batch report (written to `BENCH_batch.json`).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Whether the quick (reduced batch) mode was used.
+    pub quick: bool,
+    /// Dataset name.
+    pub dataset: String,
+    /// Queries in the timed workload.
+    pub queries: usize,
+    /// Query group cardinality.
+    pub n: usize,
+    /// Query MBR area fraction.
+    pub area: f64,
+    /// Neighbors retrieved per query.
+    pub k: usize,
+    /// Hotspot centers in the skewed workload.
+    pub hotspots: usize,
+    /// Uniform background fraction of the skewed workload.
+    pub background: f64,
+    /// `std::thread::available_parallelism()` of the recording host.
+    pub host_parallelism: usize,
+    /// Steady-state queries/sec of the sequential in-process baseline.
+    pub sequential_qps: f64,
+    /// Total logical node accesses of the sequential run — also the page
+    /// budget every cell's `sequential_pages` must reproduce exactly.
+    pub sequential_na: u64,
+    /// Queries/sec of the per-query service path (same snapshot, same
+    /// worker count as the unsharded batch cells).
+    pub single_qps: f64,
+    /// One cell per (shards, batch size).
+    pub cells: Vec<BatchCell>,
+}
+
+impl BatchReport {
+    /// The `gnn-batch-bench/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(BatchCell::to_json).collect();
+        format!(
+            "{{\n\"schema\":\"gnn-batch-bench/1\",\n\"quick\":{},\n\"dataset\":{},\n\
+             \"queries\":{},\n\"n\":{},\n\"area\":{},\n\"k\":{},\n\"hotspots\":{},\n\
+             \"background\":{},\n\"host_parallelism\":{},\n\
+             \"sequential\":{{\"qps\":{:.1},\"na_total\":{}}},\n\
+             \"single_qps\":{:.1},\n\"batched\":[\n{}\n]\n}}\n",
+            self.quick,
+            json_str(&self.dataset),
+            self.queries,
+            self.n,
+            self.area,
+            self.k,
+            self.hotspots,
+            self.background,
+            self.host_parallelism,
+            self.sequential_qps,
+            self.sequential_na,
+            self.single_qps,
+            cells.join(",\n"),
+        )
+    }
+
+    /// The tentpole acceptance gate (the `batch_throughput` binary's exit
+    /// code): every cell bit-identical to the sequential reference, and
+    /// every unsharded cell with `batch_size >= 16` saving at least 20% of
+    /// the per-query path's page reads.
+    pub fn gate_passes(&self) -> bool {
+        let gated: Vec<&BatchCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.shards == 1 && c.batch_size >= 16)
+            .collect();
+        self.cells.iter().all(|c| c.matches_reference)
+            && !gated.is_empty()
+            && gated.iter().all(|c| c.savings >= 0.20)
+    }
+}
+
+/// The shared-traversal batch experiment behind `BENCH_batch.json`: the
+/// fixed-seed hotspot workload of the sharding experiment (overlapping
+/// traffic is what traversal sharing is for) is grouped into arrival
+/// batches by [`gnn_datasets::batched_arrivals`] and submitted through
+/// [`Submission::batch`](gnn_service::Submission::batch) at batch sizes 4,
+/// 16 and 64, against a per-query submission baseline on the same snapshot
+/// and worker count. Every cell is checked bit-for-bit against the
+/// sequential reference (ids, distance bits, and — unsharded — per-query
+/// NA: sharing is physical, the logical traversal is untouched), and the
+/// batch ledger's distinct-page counts quantify the reads the shared
+/// cursor eliminated. A 4-shard spot check exercises per-shard sub-batch
+/// routing. The arrival offsets model burst timing for open-loop runs;
+/// this saturation measurement submits batches back-to-back.
+pub fn run_batch_throughput(quick: bool) -> BatchReport {
+    use gnn_datasets::{batched_arrivals, HotspotSpec};
+    use gnn_service::{Service, ServiceConfig, Submission};
+    use std::sync::Arc;
+
+    let n = 64usize;
+    let area = 0.01f64;
+    let k = defaults::K;
+    let hotspots = 16usize;
+    let background = 0.2f64;
+    let count = if quick { 192 } else { 768 };
+    let workers = 2usize;
+
+    let pts = Dataset::Pp.points(false);
+    let tree = build_tree(&pts);
+    let packed = Arc::new(tree.freeze());
+
+    let spec = HotspotSpec {
+        query: QuerySpec {
+            n,
+            area_fraction: area,
+        },
+        hotspots,
+        sigma: 0.02,
+        background,
+    };
+
+    // One batch schedule per batch size. `batched_arrivals` guarantees the
+    // flattened queries are the plain hotspot workload regardless of batch
+    // size, so a single sequential reference covers every cell.
+    let sizes = [4usize, 16, 64];
+    let schedules: Vec<Vec<gnn_datasets::BatchArrival>> = sizes
+        .iter()
+        .map(|&b| batched_arrivals(tree.root_mbr(), spec, count, b, 1_000.0, 0x5AAD_ED01))
+        .collect();
+    let groups: Vec<QueryGroup> = schedules[0]
+        .iter()
+        .flat_map(|b| b.queries.iter())
+        .map(|q| QueryGroup::sum(q.clone()).expect("valid workload query"))
+        .collect();
+    assert_eq!(groups.len(), count);
+    let planner = gnn_core::Planner::new();
+
+    // Sequential baseline + reference fingerprints (warm-up pass doubles
+    // as collection; best of three timed passes).
+    let cursor = packed.cursor();
+    let mut scratch = QueryScratch::new();
+    let mut sequential_na = 0u64;
+    let mut reference: Vec<(Vec<(u64, u64)>, u64)> = Vec::with_capacity(count);
+    planner.run_many(
+        &cursor,
+        &groups,
+        k,
+        &mut scratch,
+        |_, _, neighbors, stats| {
+            sequential_na += stats.data_tree.logical;
+            let prints = neighbors
+                .iter()
+                .map(|x| (x.id.0, x.dist.to_bits()))
+                .collect();
+            reference.push((prints, stats.data_tree.logical));
+        },
+    );
+    let best_pass = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            planner.run_many(&cursor, &groups, k, &mut scratch, |_, _, _, _| {});
+            t0.elapsed()
+        })
+        .min()
+        .expect("three timed passes");
+    let sequential_qps = count as f64 / best_pass.as_secs_f64();
+
+    // Per-query service baseline: same snapshot, same worker count.
+    let single_qps = {
+        let service = Service::start(
+            Arc::clone(&packed),
+            ServiceConfig {
+                workers,
+                queue_depth: 256,
+                ..ServiceConfig::default()
+            },
+        );
+        let submit_all = || -> Vec<_> {
+            groups
+                .iter()
+                .map(|g| {
+                    service
+                        .submit(gnn_core::QueryRequest::new(g.clone(), k))
+                        .expect("baseline submit")
+                })
+                .collect()
+        };
+        for h in submit_all() {
+            h.wait().expect("baseline warm-up query");
+        }
+        let elapsed = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                for h in submit_all() {
+                    h.wait().expect("baseline query");
+                }
+                t0.elapsed()
+            })
+            .min()
+            .expect("three timed passes");
+        service.shutdown();
+        count as f64 / elapsed.as_secs_f64()
+    };
+
+    let mut cells = Vec::new();
+    let mut measure =
+        |shards: usize, batch_size: usize, schedule: &[gnn_datasets::BatchArrival]| {
+            let service = if shards == 1 {
+                Service::start(
+                    Arc::clone(&packed),
+                    ServiceConfig {
+                        workers,
+                        queue_depth: 256,
+                        ..ServiceConfig::default()
+                    },
+                )
+            } else {
+                Service::start_sharded(
+                    Arc::new(packed.partition(shards)),
+                    ServiceConfig {
+                        workers: shards,
+                        queue_depth: 256,
+                        ..ServiceConfig::default()
+                    },
+                )
+            };
+            let batches: Vec<Vec<gnn_core::QueryRequest>> = schedule
+                .iter()
+                .map(|arrival| {
+                    arrival
+                        .queries
+                        .iter()
+                        .map(|q| {
+                            gnn_core::QueryRequest::new(
+                                QueryGroup::sum(q.clone()).expect("valid workload query"),
+                                k,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            // Warm-up pass (untimed) — per-query singles, deliberately: they
+            // never touch the batch ledger, so the counter snapshot below
+            // covers exactly the three timed passes. (A batched warm-up would
+            // race it: `wait_all` returns on the last reply, but the worker
+            // credits the ledger only after the executor returns.)
+            for batch in &batches {
+                let warmup: Vec<_> = batch
+                    .iter()
+                    .map(|r| service.submit(r.clone()).expect("warm-up submit"))
+                    .collect();
+                for h in warmup {
+                    h.wait().expect("warm-up query");
+                }
+            }
+            let before = service.stats();
+            let mut responses: Vec<gnn_core::QueryResponse> = Vec::new();
+            let mut elapsed = std::time::Duration::MAX;
+            for pass in 0..3 {
+                let t0 = Instant::now();
+                let handles: Vec<_> = batches
+                    .iter()
+                    .map(|batch| {
+                        service
+                            .submit(Submission::batch(batch.clone()))
+                            .expect("batch submit")
+                    })
+                    .collect();
+                let got: Vec<gnn_core::QueryResponse> = handles
+                    .into_iter()
+                    .flat_map(|h| h.wait_all().expect("batch responses"))
+                    .collect();
+                elapsed = elapsed.min(t0.elapsed());
+                if pass == 0 {
+                    responses = got;
+                }
+            }
+            let after = service.shutdown();
+
+            let mut matches = responses.len() == reference.len();
+            for (r, (prints, na)) in responses.iter().zip(&reference) {
+                let got: Vec<(u64, u64)> = r
+                    .neighbors
+                    .iter()
+                    .map(|x| (x.id.0, x.dist.to_bits()))
+                    .collect();
+                if got != *prints || (shards == 1 && r.stats.data_tree.logical != *na) {
+                    matches = false;
+                }
+            }
+            let executed = after.batches - before.batches;
+            let batch_queries = after.batch_queries - before.batch_queries;
+            let unique_pages = after.batch_unique_pages - before.batch_unique_pages;
+            let sequential_pages = after.batch_sequential_pages - before.batch_sequential_pages;
+            // Three identical passes: per-pass sequential pages must replay the
+            // sequential baseline exactly (the schedule-independence claim).
+            if shards == 1 && sequential_pages != 3 * sequential_na {
+                matches = false;
+            }
+            let qps = count as f64 / elapsed.as_secs_f64();
+            cells.push(BatchCell {
+                shards,
+                batch_size,
+                qps,
+                speedup_vs_single: qps / single_qps,
+                batches: executed,
+                mean_batch_size: batch_queries as f64 / executed.max(1) as f64,
+                unique_pages,
+                sequential_pages,
+                savings: 1.0 - unique_pages as f64 / sequential_pages.max(1) as f64,
+                matches_reference: matches,
+            });
+        };
+    for (&batch_size, schedule) in sizes.iter().zip(&schedules) {
+        measure(1, batch_size, schedule);
+    }
+    // Sharded spot check: routing splits each batch into per-shard
+    // sub-batches; equivalence must survive the split.
+    measure(4, 16, &schedules[1]);
+
+    BatchReport {
+        quick,
+        dataset: "PP".into(),
+        queries: count,
+        n,
+        area,
+        k,
+        hotspots,
+        background,
+        host_parallelism: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        sequential_qps,
+        sequential_na,
+        single_qps,
         cells,
     }
 }
@@ -1109,7 +1515,9 @@ pub fn run_mixed_traffic(quick: bool) -> RefreezeReport {
     };
     // Static phase (also warms workers + shapes).
     let t0 = Instant::now();
-    let handles = service.submit_batch(requests());
+    let handles: Vec<_> = requests()
+        .map(|r| service.submit(r).expect("static-phase submit"))
+        .collect();
     let static_responses: Vec<gnn_core::QueryResponse> = handles
         .into_iter()
         .map(|h| h.wait().expect("static-phase query"))
@@ -1123,7 +1531,9 @@ pub fn run_mixed_traffic(quick: bool) -> RefreezeReport {
     let refresh_responses: Vec<gnn_core::QueryResponse> = std::thread::scope(|s| {
         let svc = &service;
         let collector = s.spawn(move || {
-            svc.submit_batch(requests())
+            requests()
+                .map(|r| svc.submit(r).expect("refresh-phase submit"))
+                .collect::<Vec<_>>()
                 .into_iter()
                 .map(|h| h.wait().expect("refresh-phase query"))
                 .collect::<Vec<_>>()
@@ -1428,6 +1838,36 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"schema\":\"gnn-shard-bench/1\""));
         assert!(json.contains("\"matches_unsharded\":true"));
+    }
+
+    #[test]
+    fn batch_report_is_equivalent_and_exports() {
+        let r = run_batch_throughput(true);
+        assert_eq!(r.cells.len(), 4);
+        for c in &r.cells {
+            assert!(
+                c.matches_reference,
+                "batch {} x{} diverged from the sequential reference",
+                c.batch_size, c.shards
+            );
+            assert!(c.qps > 0.0);
+            assert!(c.savings > 0.0 && c.savings < 1.0);
+            assert!(c.unique_pages < c.sequential_pages);
+        }
+        // The unsharded cells replay the sequential traversal query by
+        // query: their as-if-sequential page totals must reproduce the
+        // baseline exactly (3 timed passes).
+        for c in r.cells.iter().filter(|c| c.shards == 1) {
+            assert_eq!(c.sequential_pages, 3 * r.sequential_na);
+        }
+        // The tentpole claim, same gate as the binary's exit code.
+        assert!(
+            r.gate_passes(),
+            "shared traversal saved < 20% at batch >= 16: {r:?}"
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"schema\":\"gnn-batch-bench/1\""));
+        assert!(json.contains("\"matches_reference\":true"));
     }
 
     #[test]

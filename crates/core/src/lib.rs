@@ -55,6 +55,7 @@
 mod aggregate;
 pub mod assignment;
 pub mod baseline;
+pub mod batch;
 mod best_list;
 pub mod centroid;
 mod engine;
@@ -71,6 +72,7 @@ pub mod sharded;
 mod spm;
 
 pub use aggregate::Aggregate;
+pub use batch::{execute_batch_in, BatchAccounting};
 pub use best_list::KBestList;
 pub use engine::{Choice, Planner};
 pub use fmbm::Fmbm;
@@ -79,7 +81,7 @@ pub use gcp::{Gcp, GCP_DEFAULT_HEAP_LIMIT};
 pub use mbm::{Mbm, MbmScratch, MbmStream};
 pub use mqm::Mqm;
 pub use query::{QueryGroup, QueryGroupError};
-pub use request::{Algo, QueryRequest, QueryResponse};
+pub use request::{Algo, QueryRequest, QueryResponse, Target};
 pub use result::{GnnResult, Neighbor, QueryStats};
 pub use scratch::QueryScratch;
 pub use sharded::ShardRouting;

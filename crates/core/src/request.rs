@@ -13,7 +13,52 @@ use crate::result::{Neighbor, QueryStats};
 use crate::scratch::QueryScratch;
 use crate::sharded::{sharded_k_gnn_in, ShardRouting};
 use crate::{Aggregate, Mbm, MemoryGnnAlgorithm, Mqm, QueryGroup, Spm};
+use gnn_geom::Rect;
 use gnn_rtree::{ShardedSnapshot, TreeCursor};
+
+/// Where a [`QueryRequest`] (or a batch of them) executes: a single tree
+/// behind one cursor, or a [`ShardedSnapshot`] behind one cursor per shard.
+///
+/// This is the one execution surface shared by the sequential reference,
+/// the serving workers, and the batch executor ([`crate::batch`]): every
+/// path funnels through [`QueryRequest::execute_on`], so "the service is
+/// bit-identical to the sequential reference" holds by construction rather
+/// than by testing luck. The single-shard sharded case degenerates exactly
+/// to the single-tree case (same results, same node accesses).
+pub enum Target<'a, 't> {
+    /// One tree (arena or packed snapshot) behind one metering cursor.
+    Single(&'a TreeCursor<'t>),
+    /// A spatially partitioned snapshot with one cursor per shard, answered
+    /// by the cross-shard best-first merge of [`crate::sharded`].
+    Sharded {
+        /// The partitioned snapshot (shard MBR directory + shard trees).
+        snapshot: &'a ShardedSnapshot,
+        /// Exactly one cursor per shard, in shard order.
+        cursors: &'a [TreeCursor<'t>],
+    },
+}
+
+impl<'a, 't> Target<'a, 't> {
+    /// The MBR of all indexed data reachable through this target (the root
+    /// MBR of the single tree, or the union over shard roots). Batch
+    /// executors use this as the Hilbert workspace for ordering queries.
+    pub fn root_mbr(&self) -> Rect {
+        match self {
+            Target::Single(cursor) => cursor.root_mbr(),
+            Target::Sharded { snapshot, .. } => snapshot.root_mbr(),
+        }
+    }
+
+    /// Every cursor this target reads through (one for single-tree targets,
+    /// one per shard otherwise).
+    pub fn cursors(&self) -> impl Iterator<Item = &'a TreeCursor<'t>> {
+        let (single, many) = match self {
+            Target::Single(cursor) => (Some(*cursor), [].as_slice()),
+            Target::Sharded { cursors, .. } => (None, *cursors),
+        };
+        single.into_iter().chain(many.iter())
+    }
+}
 
 /// Which algorithm a [`QueryRequest`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +120,43 @@ impl QueryRequest {
         self
     }
 
+    /// Executes the request against a [`Target`], reusing `scratch`
+    /// (allocation-free in steady state). This is the single execution
+    /// entry point: [`QueryRequest::execute_in`] and
+    /// [`QueryRequest::execute_sharded_in`] are convenience wrappers over
+    /// it, and the batch executor calls it per query. Deterministic: the
+    /// same request against the same target performs the same node accesses
+    /// and returns the same neighbors regardless of which thread runs it.
+    /// Single-tree targets report the default [`ShardRouting`].
+    pub fn execute_on<'s>(
+        &self,
+        planner: &Planner,
+        target: &Target<'_, '_>,
+        scratch: &'s mut QueryScratch,
+    ) -> (Choice, &'s [Neighbor], QueryStats, ShardRouting) {
+        let (choice, resolved) = self.resolve(planner);
+        match target {
+            Target::Single(cursor) => {
+                let (neighbors, stats) =
+                    resolved
+                        .as_dyn()
+                        .k_gnn_in(cursor, &self.group, self.k, scratch);
+                (choice, neighbors, stats, ShardRouting::default())
+            }
+            Target::Sharded { snapshot, cursors } => {
+                let (neighbors, stats, routing) = sharded_k_gnn_in(
+                    resolved.as_dyn(),
+                    snapshot,
+                    cursors,
+                    &self.group,
+                    self.k,
+                    scratch,
+                );
+                (choice, neighbors, stats, routing)
+            }
+        }
+    }
+
     /// Executes the request against the tree behind `cursor`, reusing
     /// `scratch` (allocation-free in steady state). Deterministic: the same
     /// request against the same tree performs the same node accesses and
@@ -85,10 +167,8 @@ impl QueryRequest {
         cursor: &TreeCursor<'_>,
         scratch: &'s mut QueryScratch,
     ) -> (Choice, &'s [Neighbor], QueryStats) {
-        let (choice, resolved) = self.resolve(planner);
-        let (neighbors, stats) = resolved
-            .as_dyn()
-            .k_gnn_in(cursor, &self.group, self.k, scratch);
+        let (choice, neighbors, stats, _) =
+            self.execute_on(planner, &Target::Single(cursor), scratch);
         (choice, neighbors, stats)
     }
 
@@ -122,16 +202,7 @@ impl QueryRequest {
         cursors: &[TreeCursor<'_>],
         scratch: &'s mut QueryScratch,
     ) -> (Choice, &'s [Neighbor], QueryStats, ShardRouting) {
-        let (choice, resolved) = self.resolve(planner);
-        let (neighbors, stats, outcome) = sharded_k_gnn_in(
-            resolved.as_dyn(),
-            snapshot,
-            cursors,
-            &self.group,
-            self.k,
-            scratch,
-        );
-        (choice, neighbors, stats, outcome)
+        self.execute_on(planner, &Target::Sharded { snapshot, cursors }, scratch)
     }
 }
 

@@ -60,6 +60,9 @@ pub struct QueryScratch {
     pub(crate) merge_out: Vec<Neighbor>,
     /// Cross-shard merge: `(lower bound, shard)` visit order.
     pub(crate) shard_order: Vec<(f64, u32)>,
+    /// Batch executor: `(group-MBR Hilbert key, request index)` sort buffer
+    /// (see [`crate::batch`]).
+    pub(crate) batch_order: Vec<(u64, u32)>,
 }
 
 impl QueryScratch {
@@ -79,6 +82,7 @@ impl QueryScratch {
             merge_best: KBestList::new(1),
             merge_out: Vec::new(),
             shard_order: Vec::new(),
+            batch_order: Vec::new(),
         }
     }
 
@@ -122,6 +126,7 @@ impl QueryScratch {
         prof.push(self.merge_best.capacity());
         prof.push(self.merge_out.capacity());
         prof.push(self.shard_order.capacity());
+        prof.push(self.batch_order.capacity());
         prof
     }
 }

@@ -194,6 +194,49 @@ impl LruBuffer {
     }
 }
 
+/// A distinct-page set for batch-scoped physical-read accounting: a dense
+/// bitset over page ids (both backends number pages densely) plus a count.
+///
+/// A batch executor runs many queries through one cursor; every query's
+/// *logical* accesses stay metered per query in [`AccessStats`] (the paper's
+/// NA metric, deterministic per query), while the tracker answers the
+/// batch-level question "how many **distinct** pages did the whole batch
+/// touch?" — the physical reads a shared traversal actually pays, since the
+/// first query to need a page fetches it and the rest of the batch hits it
+/// in memory. Marking is two array ops; inactive tracking is one `Option`
+/// check on the read path.
+#[derive(Debug, Default)]
+struct PageTracker {
+    words: Vec<u64>,
+    unique: u64,
+    active: bool,
+}
+
+impl PageTracker {
+    fn begin(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.unique = 0;
+        self.active = true;
+    }
+
+    fn touch(&mut self, page: u32) {
+        let word = (page / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (page % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.unique += 1;
+        }
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.active = false;
+        self.unique
+    }
+}
+
 /// The storage a cursor reads from.
 #[derive(Clone, Copy)]
 enum Backend<'t> {
@@ -230,6 +273,10 @@ pub struct TreeCursor<'t> {
 struct CursorState {
     stats: AccessStats,
     buffer: Option<LruBuffer>,
+    /// Batch-scoped distinct-page set; `None` until the first
+    /// [`TreeCursor::begin_page_tracking`], then kept allocated (inactive)
+    /// between batches so steady-state batches don't reallocate it.
+    tracker: Option<PageTracker>,
 }
 
 impl<'t> TreeCursor<'t> {
@@ -239,6 +286,7 @@ impl<'t> TreeCursor<'t> {
             state: RefCell::new(CursorState {
                 stats: AccessStats::default(),
                 buffer,
+                tracker: None,
             }),
         }
     }
@@ -282,6 +330,11 @@ impl<'t> TreeCursor<'t> {
             };
             if !hit {
                 state.stats.io += 1;
+            }
+            if let Some(tracker) = state.tracker.as_mut() {
+                if tracker.active {
+                    tracker.touch(id.raw());
+                }
             }
         }
         match self.backend {
@@ -342,6 +395,44 @@ impl<'t> TreeCursor<'t> {
             Backend::Arena(tree) => tree.node_count(),
             Backend::Packed(tree) => tree.node_count(),
         }
+    }
+
+    /// Starts (or restarts) batch-scoped distinct-page tracking: every page
+    /// read from here until [`TreeCursor::finish_page_tracking`] is recorded
+    /// in a dense bitset, and the number of **distinct** pages touched is
+    /// returned by `finish_page_tracking`.
+    ///
+    /// Tracking is an accounting overlay only: it never alters
+    /// [`AccessStats`] — per-query logical/IO counters stay exactly what a
+    /// sequential run of each query would report, which is the determinism
+    /// contract batch executors rely on. The bitset is kept allocated
+    /// (inactive) across batches, so steady-state batches don't reallocate.
+    pub fn begin_page_tracking(&self) {
+        self.state
+            .borrow_mut()
+            .tracker
+            .get_or_insert_with(PageTracker::default)
+            .begin();
+    }
+
+    /// Stops batch-scoped page tracking and returns the number of distinct
+    /// pages read since the matching [`TreeCursor::begin_page_tracking`]
+    /// (`0` when tracking was never started).
+    pub fn finish_page_tracking(&self) -> u64 {
+        self.state
+            .borrow_mut()
+            .tracker
+            .as_mut()
+            .map_or(
+                0,
+                |tracker| {
+                    if tracker.active {
+                        tracker.finish()
+                    } else {
+                        0
+                    }
+                },
+            )
     }
 
     /// Counters accumulated so far.
@@ -498,6 +589,38 @@ mod tests {
         let s = cursor.stats();
         assert_eq!(s.logical, 3);
         assert_eq!(s.io, 1);
+    }
+
+    #[test]
+    fn page_tracking_counts_distinct_pages_without_touching_stats() {
+        let mut tree = RTree::new(RTreeParams::with_capacity(4));
+        for i in 0..50 {
+            tree.insert(LeafEntry::new(PointId(i), Point::new(i as f64, 1.0)));
+        }
+        let packed = tree.freeze();
+        let cursor = packed.cursor();
+        // Inactive tracker: finish with no begin reports zero.
+        assert_eq!(cursor.finish_page_tracking(), 0);
+        cursor.begin_page_tracking();
+        let root = cursor.root();
+        let first_child = match cursor.read(root) {
+            PageRef::Internal(branches) => branches.child(0),
+            PageRef::Leaf(_) => root,
+        };
+        cursor.read(root);
+        cursor.read(root);
+        cursor.read(first_child);
+        let distinct = cursor.finish_page_tracking();
+        let expected = if first_child == root { 1 } else { 2 };
+        assert_eq!(distinct, expected, "repeats collapse to distinct pages");
+        // The overlay never perturbs the per-query access counters.
+        assert_eq!(cursor.stats(), AccessStats { logical: 4, io: 4 });
+        // A second begin resets the bitset: only new reads count.
+        cursor.begin_page_tracking();
+        cursor.read(root);
+        assert_eq!(cursor.finish_page_tracking(), 1);
+        // And finish is idempotent once tracking stopped.
+        assert_eq!(cursor.finish_page_tracking(), 0);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Deprecated shims for the pre-`Submission` submit surface.
+//!
+//! The old entry points — `try_submit`, `submit_points`, `submit_batch`,
+//! and the `ServiceError` name — live here for one release so downstream
+//! code migrates at its own pace. Everything funnels into
+//! [`Service::submit`]; the shims only adapt signatures. This module is
+//! the single place where the deprecation lint is allowed; everywhere else
+//! `-D warnings` keeps new uses of the old API out.
+#![allow(deprecated)]
+
+use crate::{ResponseHandle, Service, Submission, SubmitError};
+use gnn_core::{QueryGroupError, QueryRequest};
+use gnn_geom::Point;
+
+/// Renamed to [`SubmitError`] (one exhaustive error for every submission
+/// path).
+#[deprecated(since = "0.6.0", note = "renamed to `SubmitError`")]
+pub type ServiceError = SubmitError;
+
+impl Service {
+    /// Non-blocking submit, superseded by
+    /// `submit(Submission::request(r).blocking(false))`.
+    ///
+    /// Fails with the request and [`SubmitError::QueueFull`] when the
+    /// routed shard's bounded queue is full, or
+    /// [`SubmitError::WorkerGone`] when every worker of that pool has
+    /// died. The rejected request is handed back by value so the caller
+    /// can retry or drop it without cloning.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `submit(Submission::request(request).blocking(false))`"
+    )]
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(
+        &self,
+        request: QueryRequest,
+    ) -> Result<ResponseHandle, (QueryRequest, ServiceError)> {
+        self.enqueue_single(request, false)
+    }
+
+    /// Convenience submit of raw points with the configured default `k`
+    /// and aggregate, superseded by `submit(Submission::group(points))`.
+    #[deprecated(since = "0.6.0", note = "use `submit(Submission::group(points))`")]
+    pub fn submit_points(&self, points: Vec<Point>) -> Result<ResponseHandle, QueryGroupError> {
+        match self.submit(Submission::group(points)) {
+            Ok(handle) => Ok(handle),
+            Err(SubmitError::BadGroup(e)) => Err(e),
+            // Legacy contract: once the group is valid, submission itself
+            // was infallible — failures surfaced on the handle instead.
+            Err(_) => Ok(ResponseHandle::dead()),
+        }
+    }
+
+    /// Per-request fan-out batch, superseded by
+    /// `submit(Submission::batch(requests))` — which additionally executes
+    /// each shard's sub-batch as one shared-traversal pass.
+    ///
+    /// Returns one handle per request in submission order; a request the
+    /// service could not accept yields a handle reporting
+    /// [`SubmitError::WorkerGone`].
+    #[deprecated(since = "0.6.0", note = "use `submit(Submission::batch(requests))`")]
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = QueryRequest>,
+    ) -> Vec<ResponseHandle> {
+        requests
+            .into_iter()
+            .map(|request| {
+                self.enqueue_single(request, true)
+                    .unwrap_or_else(|_| ResponseHandle::dead())
+            })
+            .collect()
+    }
+}

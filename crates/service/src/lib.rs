@@ -48,11 +48,23 @@
 //! per-shard refreeze → publish lifecycle on a background thread driven by
 //! a dirty-fraction policy; see its docs.
 //!
+//! Submission goes through **one entry point**, [`Service::submit`], which
+//! accepts anything convertible into a [`Submission`]: a prepared
+//! [`QueryRequest`](gnn_core::QueryRequest), the [`Submission::group`]
+//! builder (defaults filled from the [`ServiceConfig`]), or a
+//! [`Submission::batch`] — a burst of correlated queries executed as
+//! **shared-traversal passes**: each shard's sub-batch is sorted by
+//! group-MBR Hilbert key and its upper-level pages are read once for the
+//! whole sub-batch ([`gnn_core::batch`]), while results and per-query node
+//! accesses stay bit-identical to single submissions. The batch ledger
+//! (sub-batches executed, mean batch size, shared-read savings) surfaces
+//! in [`ServiceStats`].
+//!
 //! ```
 //! use gnn_core::{QueryGroup, QueryRequest};
 //! use gnn_geom::{Point, PointId};
 //! use gnn_rtree::{LeafEntry, RTree, RTreeParams};
-//! use gnn_service::{Service, ServiceConfig};
+//! use gnn_service::{Service, ServiceConfig, Submission};
 //! use std::sync::Arc;
 //!
 //! let mut tree = RTree::new(RTreeParams::default());
@@ -61,27 +73,46 @@
 //! }
 //! let snapshot = Arc::new(tree.freeze());
 //! let service = Service::start(snapshot, ServiceConfig::with_workers(2));
+//!
+//! // One query: a plain request converts into a Submission.
 //! let group = QueryGroup::sum(vec![Point::new(3.9, 0.0), Point::new(4.1, 0.0)]).unwrap();
-//! let handle = service.submit(QueryRequest::new(group, 1));
-//! let response = handle.wait().unwrap();
-//! assert_eq!(response.neighbors[0].id, PointId(4));
+//! let handle = service.submit(QueryRequest::new(group, 1)).unwrap();
+//! assert_eq!(handle.wait().unwrap().neighbors[0].id, PointId(4));
+//!
+//! // A hotspot burst: one shared-traversal batch, responses in
+//! // submission order.
+//! let burst: Vec<QueryRequest> = (0..4)
+//!     .map(|i| {
+//!         let q = vec![Point::new(40.0 + i as f64, 0.0)];
+//!         QueryRequest::new(QueryGroup::sum(q).unwrap(), 2)
+//!     })
+//!     .collect();
+//! let responses = service.submit(Submission::batch(burst)).unwrap().wait_all().unwrap();
+//! assert_eq!(responses.len(), 4);
+//!
 //! let stats = service.shutdown();
-//! assert_eq!(stats.queries_served, 1);
+//! assert_eq!(stats.queries_served, 5);
+//! assert_eq!(stats.batches, 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compat;
 mod histogram;
 mod refresh;
+mod submission;
 
+#[allow(deprecated)]
+pub use compat::ServiceError;
 pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
 pub use refresh::{RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update};
+pub use submission::{BatchSubmission, GroupSubmission, Submission, SubmitError};
 
+use gnn_core::batch::{execute_batch_in, BatchAccounting};
 use gnn_core::sharded::primary_shard;
-use gnn_core::{Aggregate, Planner, QueryGroup, QueryGroupError, QueryRequest, QueryResponse};
+use gnn_core::{Aggregate, Planner, QueryGroup, QueryRequest, QueryResponse, Target};
 use gnn_core::{QueryScratch, QueryStats, ShardRouting};
-use gnn_geom::Point;
 use gnn_rtree::{PackedRTree, ShardedSnapshot, TreeCursor};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,6 +120,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use submission::SubmissionKind;
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone, Copy)]
@@ -137,49 +169,103 @@ impl ServiceConfig {
     }
 }
 
-/// Why a submission or wait failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServiceError {
-    /// The routed shard's bounded queue was full ([`Service::try_submit`]).
-    QueueFull,
-    /// The worker serving this request disappeared without responding, or
-    /// (on submission) every worker of the routed pool had already died. A
-    /// worker dies only by panicking inside a query; results for other
-    /// requests are unaffected.
-    WorkerGone,
-}
-
-impl fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let msg = match self {
-            ServiceError::QueueFull => "request queue is full",
-            ServiceError::WorkerGone => "worker terminated without responding",
-        };
-        f.write_str(msg)
-    }
-}
-
-impl std::error::Error for ServiceError {}
-
-/// A pending response: redeem with [`ResponseHandle::wait`].
+/// A pending submission's responses: one per submitted request.
+///
+/// A single-request submission is redeemed with [`ResponseHandle::wait`];
+/// a batch with [`ResponseHandle::wait_all`], which returns the responses
+/// **in submission order** no matter which pools, workers, or shared
+/// passes executed them. [`ResponseHandle::poll`] is the non-blocking
+/// variant.
 #[derive(Debug)]
 pub struct ResponseHandle {
-    rx: Receiver<QueryResponse>,
+    rx: Receiver<(u32, QueryResponse)>,
+    /// Responses received so far, indexed by submission position.
+    slots: Vec<Option<QueryResponse>>,
+    received: usize,
 }
 
 impl ResponseHandle {
-    /// Blocks until the query completes and returns its response.
-    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
-        self.rx.recv().map_err(|_| ServiceError::WorkerGone)
+    fn new(rx: Receiver<(u32, QueryResponse)>, expected: usize) -> ResponseHandle {
+        ResponseHandle {
+            rx,
+            slots: (0..expected).map(|_| None).collect(),
+            received: 0,
+        }
     }
 
-    /// Non-blocking poll: `Some` once the response is ready (errors map to
-    /// `Some(Err(WorkerGone))`), `None` while the query is still in flight.
-    pub fn poll(&self) -> Option<Result<QueryResponse, ServiceError>> {
-        match self.rx.try_recv() {
-            Ok(r) => Some(Ok(r)),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::WorkerGone)),
+    /// A handle whose submission was never enqueued: every wait reports
+    /// [`SubmitError::WorkerGone`] (legacy shim semantics).
+    fn dead() -> ResponseHandle {
+        let (_tx, rx) = mpsc::channel();
+        ResponseHandle::new(rx, 1)
+    }
+
+    /// Number of responses this handle will yield (1 for single
+    /// submissions, the batch length for batches, 0 for an empty batch).
+    pub fn expected(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn store(&mut self, index: u32, response: QueryResponse) {
+        let slot = &mut self.slots[index as usize];
+        debug_assert!(slot.is_none(), "duplicate response for index {index}");
+        if slot.is_none() {
+            self.received += 1;
+        }
+        *slot = Some(response);
+    }
+
+    /// Blocks until the **first-submitted** request completes and returns
+    /// its response. The natural redemption for single-request submissions;
+    /// for batches it discards all other responses — use
+    /// [`ResponseHandle::wait_all`] there. Fails with
+    /// [`SubmitError::WorkerGone`] when the serving worker died (or the
+    /// handle expects no responses at all).
+    pub fn wait(mut self) -> Result<QueryResponse, SubmitError> {
+        if self.slots.is_empty() {
+            return Err(SubmitError::WorkerGone);
+        }
+        while self.slots[0].is_none() {
+            let (index, response) = self.rx.recv().map_err(|_| SubmitError::WorkerGone)?;
+            self.store(index, response);
+        }
+        Ok(self.slots.swap_remove(0).expect("slot 0 filled"))
+    }
+
+    /// Blocks until every submitted request completes and returns the
+    /// responses in submission order (`out[i]` answers request `i`). An
+    /// empty batch yields an empty vec. Fails with
+    /// [`SubmitError::WorkerGone`] when a serving worker died before
+    /// answering.
+    pub fn wait_all(mut self) -> Result<Vec<QueryResponse>, SubmitError> {
+        while self.received < self.slots.len() {
+            let (index, response) = self.rx.recv().map_err(|_| SubmitError::WorkerGone)?;
+            self.store(index, response);
+        }
+        Ok(self
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Non-blocking poll: `Some(Ok(..))` with the first-submitted request's
+    /// response once **all** expected responses have arrived, `None` while
+    /// any is still in flight, `Some(Err(WorkerGone))` when a worker died.
+    /// Arrived responses are buffered across calls.
+    pub fn poll(&mut self) -> Option<Result<QueryResponse, SubmitError>> {
+        loop {
+            if self.received == self.slots.len() {
+                return match self.slots.first_mut().and_then(Option::take) {
+                    Some(response) => Some(Ok(response)),
+                    None => Some(Err(SubmitError::WorkerGone)),
+                };
+            }
+            match self.rx.try_recv() {
+                Ok((index, response)) => self.store(index, response),
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => return Some(Err(SubmitError::WorkerGone)),
+            }
         }
     }
 }
@@ -241,10 +327,26 @@ impl SnapshotSlot {
     }
 }
 
-/// One unit of work on a shard queue.
+/// One unit of work on a shard queue: a single request, or one shard's
+/// sub-batch of a batch submission. Either occupies **one** queue slot
+/// (`queue_depth` counts jobs, not queries).
+enum Work {
+    /// One query, answered with index 0.
+    Single(QueryRequest),
+    /// A shard-local sub-batch, executed as one shared-traversal pass
+    /// ([`gnn_core::batch::execute_batch_in`]). `indices[i]` is the
+    /// submission-order position request `i` answers to on the reply
+    /// channel.
+    Batch {
+        requests: Vec<QueryRequest>,
+        indices: Vec<u32>,
+    },
+}
+
+/// A queued job plus its reply channel.
 struct Job {
-    request: QueryRequest,
-    reply: mpsc::Sender<QueryResponse>,
+    work: Work,
+    reply: mpsc::Sender<(u32, QueryResponse)>,
     /// When the request entered the queue; response latency is measured
     /// from here, so time spent waiting behind other requests is visible
     /// in the histogram (the open-loop contract).
@@ -262,6 +364,10 @@ struct WorkerCounters {
     busy_nanos: AtomicU64,
     single_shard_hits: AtomicU64,
     shards_consulted: AtomicU64,
+    batches: AtomicU64,
+    batch_queries: AtomicU64,
+    batch_unique_pages: AtomicU64,
+    batch_sequential_pages: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -275,8 +381,25 @@ impl WorkerCounters {
             busy_nanos: AtomicU64::new(0),
             single_shard_hits: AtomicU64::new(0),
             shards_consulted: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            batch_unique_pages: AtomicU64::new(0),
+            batch_sequential_pages: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
+    }
+
+    /// Records the batch-level ledger of one executed sub-batch (per-query
+    /// counters go through [`WorkerCounters::record`] as usual — batch
+    /// execution never changes per-query accounting).
+    fn record_batch(&self, accounting: &BatchAccounting) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries
+            .fetch_add(accounting.queries as u64, Ordering::Relaxed);
+        self.batch_unique_pages
+            .fetch_add(accounting.unique_pages, Ordering::Relaxed);
+        self.batch_sequential_pages
+            .fetch_add(accounting.sequential_pages, Ordering::Relaxed);
     }
 
     fn record(
@@ -376,6 +499,20 @@ pub struct ServiceStats {
     pub dist_computations: u64,
     /// Served queries that needed only their primary shard.
     pub single_shard_hits: u64,
+    /// Shared-traversal sub-batches executed (each per-shard sub-batch of
+    /// a batch submission counts once).
+    pub batches: u64,
+    /// Queries served through batch execution (`/ batches` = mean batch
+    /// size; also in [`ServiceStats::mean_batch_size`]).
+    pub batch_queries: u64,
+    /// Distinct pages touched across all executed batches — the physical
+    /// reads the shared traversals paid.
+    pub batch_unique_pages: u64,
+    /// Sum of per-query node accesses across all batched queries — what
+    /// those same queries cost executed one by one. The gap to
+    /// `batch_unique_pages` is the shared-read saving
+    /// ([`ServiceStats::shared_read_savings`]).
+    pub batch_sequential_pages: u64,
     /// Per-worker breakdown (length = total workers across pools).
     pub per_worker: Vec<WorkerSnapshot>,
     /// Per-shard routing/serving breakdown (length = shard count).
@@ -393,6 +530,19 @@ impl ServiceStats {
     pub fn single_shard_fraction(&self) -> Option<f64> {
         (self.queries_served > 0)
             .then(|| self.single_shard_hits as f64 / self.queries_served as f64)
+    }
+
+    /// Mean queries per executed sub-batch (`None` before any batch ran).
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.batch_queries as f64 / self.batches as f64)
+    }
+
+    /// Fraction of page reads the shared traversals saved over per-query
+    /// execution: `1 - unique / sequential` across all batches (`None`
+    /// before any batched query ran).
+    pub fn shared_read_savings(&self) -> Option<f64> {
+        (self.batch_sequential_pages > 0)
+            .then(|| 1.0 - self.batch_unique_pages as f64 / self.batch_sequential_pages as f64)
     }
 }
 
@@ -605,86 +755,157 @@ impl Service {
         primary_shard(&request.group, &self.slot.load().0) as usize
     }
 
-    /// Enqueues a request on its routed shard's queue, blocking while that
-    /// queue is full. Returns a handle redeemable for the
-    /// [`QueryResponse`].
+    /// The one submission entry point: accepts anything convertible into a
+    /// [`Submission`] — a plain [`QueryRequest`], the
+    /// [`Submission::group`] builder, or the [`Submission::batch`] builder
+    /// — and returns one [`ResponseHandle`] or one [`SubmitError`].
     ///
-    /// If every worker of the routed pool has died (each one panicked
-    /// inside a query), the request cannot be executed; the returned
-    /// handle then yields [`ServiceError::WorkerGone`] instead of
-    /// panicking the caller.
-    pub fn submit(&self, request: QueryRequest) -> ResponseHandle {
-        let shard = self.route(&request);
-        let (reply, rx) = mpsc::channel();
-        // `send` fails only when every worker of the pool (and thus the
-        // shared receiver) is gone; dropping the job drops `reply`, which
-        // makes the handle report `WorkerGone`. A `None` sender table
-        // (shutdown already initiated) drops `reply` immediately for the
-        // same clean error.
-        if let Some(sender) = self.sender(shard) {
-            let accepted = sender
-                .send(Job {
-                    request,
-                    reply,
-                    submitted: Instant::now(),
-                })
-                .is_ok();
-            // Count only accepted requests (matches `try_submit`), so
-            // `routed` vs `queries` stays meaningful when a pool dies.
-            if accepted {
-                self.pools[shard].routed.fetch_add(1, Ordering::Relaxed);
+    /// * A **request / group** submission enqueues one job on its routed
+    ///   shard's queue; redeem the handle with [`ResponseHandle::wait`].
+    /// * A **batch** submission routes every request, then enqueues one
+    ///   shared-traversal job per involved shard (each sub-batch is
+    ///   Hilbert-ordered and reads upper-level pages once — see
+    ///   [`gnn_core::batch`]); redeem with [`ResponseHandle::wait_all`],
+    ///   which restores submission order. Results and per-query stats are
+    ///   bit-identical to submitting each request alone.
+    /// * Blocking submissions (the default) wait out backpressure;
+    ///   `.blocking(false)` fails fast with [`SubmitError::QueueFull`].
+    ///
+    /// Errors: [`SubmitError::QueueFull`] (non-blocking, routed queue
+    /// full), [`SubmitError::WorkerGone`] (shutdown initiated or the
+    /// routed pool's workers all died), [`SubmitError::BadGroup`] (a group
+    /// submission's points don't form a valid query group).
+    pub fn submit(&self, submission: impl Into<Submission>) -> Result<ResponseHandle, SubmitError> {
+        let submission = submission.into();
+        let blocking = submission.blocking;
+        match submission.kind {
+            SubmissionKind::Request(request) => {
+                self.enqueue_single(request, blocking).map_err(|(_, e)| e)
             }
+            SubmissionKind::Group(group) => {
+                let request =
+                    group.resolve(self.config.default_k, self.config.default_aggregate)?;
+                self.enqueue_single(request, blocking).map_err(|(_, e)| e)
+            }
+            SubmissionKind::Batch(requests) => self.enqueue_batch(requests, blocking),
         }
-        ResponseHandle { rx }
     }
 
-    /// Non-blocking submit: fails with the request and
-    /// [`ServiceError::QueueFull`] when the routed shard's bounded queue is
-    /// full — the backpressure signal an open-loop load generator counts as
-    /// a drop — or [`ServiceError::WorkerGone`] when every worker of that
-    /// pool has died.
-    // The large `Err` is the point: the rejected request is handed back by
-    // value so the caller can retry or drop it without ever cloning it.
+    /// Enqueues one request as a single job. On failure the request is
+    /// handed back by value (the compat shims preserve the legacy
+    /// "retry without cloning" contract).
     #[allow(clippy::result_large_err)]
-    pub fn try_submit(
+    fn enqueue_single(
         &self,
         request: QueryRequest,
-    ) -> Result<ResponseHandle, (QueryRequest, ServiceError)> {
+        blocking: bool,
+    ) -> Result<ResponseHandle, (QueryRequest, SubmitError)> {
         let shard = self.route(&request);
         let Some(sender) = self.sender(shard) else {
-            return Err((request, ServiceError::WorkerGone));
+            return Err((request, SubmitError::WorkerGone));
         };
         let (reply, rx) = mpsc::channel();
         let job = Job {
-            request,
+            work: Work::Single(request),
             reply,
             submitted: Instant::now(),
         };
-        match sender.try_send(job) {
-            Ok(()) => {
-                self.pools[shard].routed.fetch_add(1, Ordering::Relaxed);
-                Ok(ResponseHandle { rx })
+        let unwrap_single = |work: Work| match work {
+            Work::Single(request) => request,
+            Work::Batch { .. } => unreachable!("single job"),
+        };
+        if blocking {
+            // A blocking `send` fails only when every worker of the pool
+            // (and thus the shared receiver) is gone, or shutdown closed
+            // the table between `sender()` and here.
+            if let Err(mpsc::SendError(job)) = sender.send(job) {
+                return Err((unwrap_single(job.work), SubmitError::WorkerGone));
             }
-            Err(TrySendError::Full(job)) => Err((job.request, ServiceError::QueueFull)),
-            Err(TrySendError::Disconnected(job)) => Err((job.request, ServiceError::WorkerGone)),
+        } else {
+            match sender.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    return Err((unwrap_single(job.work), SubmitError::QueueFull))
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    return Err((unwrap_single(job.work), SubmitError::WorkerGone))
+                }
+            }
         }
+        self.pools[shard].routed.fetch_add(1, Ordering::Relaxed);
+        Ok(ResponseHandle::new(rx, 1))
     }
 
-    /// Convenience: submits `points` as a planner-routed query with the
-    /// configured default `k` and aggregate.
-    pub fn submit_points(&self, points: Vec<Point>) -> Result<ResponseHandle, QueryGroupError> {
-        let group = QueryGroup::with_aggregate(points, self.config.default_aggregate)?;
-        Ok(self.submit(QueryRequest::new(group, self.config.default_k)))
-    }
-
-    /// Enqueues a whole batch (blocking on backpressure), returning handles
-    /// in submission order — so `handles[i]` answers `requests[i]` no
-    /// matter which pools and workers execute what, in which order.
-    pub fn submit_batch(
+    /// Routes a batch into per-shard sub-batches (one slot-load, submission
+    /// order preserved inside each shard) and enqueues one shared-traversal
+    /// job per involved shard.
+    fn enqueue_batch(
         &self,
-        requests: impl IntoIterator<Item = QueryRequest>,
-    ) -> Vec<ResponseHandle> {
-        requests.into_iter().map(|r| self.submit(r)).collect()
+        requests: Vec<QueryRequest>,
+        blocking: bool,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let expected = requests.len();
+        let (reply, rx) = mpsc::channel();
+        if expected == 0 {
+            return Ok(ResponseHandle::new(rx, 0));
+        }
+        // One routing snapshot for the whole batch: every request of the
+        // batch is routed against the same generation.
+        let snapshot = (self.pools.len() > 1).then(|| self.slot.load().0);
+        let mut per_shard: Vec<(Vec<QueryRequest>, Vec<u32>)> =
+            (0..self.pools.len()).map(|_| Default::default()).collect();
+        for (i, request) in requests.into_iter().enumerate() {
+            let shard = match &snapshot {
+                None => 0,
+                Some(snap) => request
+                    .shard_hint
+                    .filter(|&h| (h as usize) < self.pools.len())
+                    .map_or_else(
+                        || primary_shard(&request.group, snap) as usize,
+                        |h| h as usize,
+                    ),
+            };
+            per_shard[shard].0.push(request);
+            per_shard[shard].1.push(i as u32);
+        }
+        // The whole sender table is cloned under one lock acquisition, so
+        // a racing shutdown either rejects the entire batch or lets every
+        // sub-batch in (sends can still lose to a close that lands
+        // mid-loop, which maps to `WorkerGone` like any dead pool).
+        let senders = lock_unpoisoned(&self.senders)
+            .as_ref()
+            .ok_or(SubmitError::WorkerGone)?
+            .clone();
+        let submitted = Instant::now();
+        for (shard, (sub_requests, indices)) in per_shard.into_iter().enumerate() {
+            if sub_requests.is_empty() {
+                continue;
+            }
+            let queries = sub_requests.len() as u64;
+            let job = Job {
+                work: Work::Batch {
+                    requests: sub_requests,
+                    indices,
+                },
+                reply: reply.clone(),
+                submitted,
+            };
+            if blocking {
+                if senders[shard].send(job).is_err() {
+                    return Err(SubmitError::WorkerGone);
+                }
+            } else {
+                match senders[shard].try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => return Err(SubmitError::QueueFull),
+                    Err(TrySendError::Disconnected(_)) => return Err(SubmitError::WorkerGone),
+                }
+            }
+            self.pools[shard]
+                .routed
+                .fetch_add(queries, Ordering::Relaxed);
+        }
+        Ok(ResponseHandle::new(rx, expected))
     }
 
     /// Aggregated counters so far (cheap: atomic loads only — safe to poll
@@ -694,6 +915,8 @@ impl Service {
         let mut per_shard = Vec::with_capacity(self.pools.len());
         let mut latency = LatencySnapshot::empty();
         let mut worker_id = 0usize;
+        let (mut batches, mut batch_queries) = (0u64, 0u64);
+        let (mut batch_unique_pages, mut batch_sequential_pages) = (0u64, 0u64);
         for (shard, pool) in self.pools.iter().enumerate() {
             let mut stats = ShardStats {
                 shard,
@@ -708,6 +931,10 @@ impl Service {
                 stats.queries += c.queries.load(Ordering::Relaxed);
                 stats.single_shard_hits += c.single_shard_hits.load(Ordering::Relaxed);
                 stats.shards_consulted += c.shards_consulted.load(Ordering::Relaxed);
+                batches += c.batches.load(Ordering::Relaxed);
+                batch_queries += c.batch_queries.load(Ordering::Relaxed);
+                batch_unique_pages += c.batch_unique_pages.load(Ordering::Relaxed);
+                batch_sequential_pages += c.batch_sequential_pages.load(Ordering::Relaxed);
                 latency.merge(&c.latency.snapshot());
             }
             per_shard.push(stats);
@@ -719,6 +946,10 @@ impl Service {
             io: per_worker.iter().map(|w| w.io).sum(),
             dist_computations: per_worker.iter().map(|w| w.dist_computations).sum(),
             single_shard_hits: per_shard.iter().map(|s| s.single_shard_hits).sum(),
+            batches,
+            batch_queries,
+            batch_unique_pages,
+            batch_sequential_pages,
             per_worker,
             per_shard,
             latency,
@@ -857,25 +1088,63 @@ fn worker_loop(
                 break Some(job);
             }
             let Job {
-                request,
+                work,
                 reply,
                 submitted,
             } = job;
-            let exec0 = Instant::now();
-            let (choice, neighbors, stats, routing) =
-                request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
-            let response = QueryResponse {
-                choice,
-                neighbors: neighbors.to_vec(),
-                stats,
-                generation,
-                routing,
-            };
-            // `busy` counts execution only; the latency histogram measures
-            // submit → response, so queue wait under overload is visible.
-            counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
-            // The caller may have dropped its handle; that is not an error.
-            let _ = reply.send(response);
+            match work {
+                Work::Single(request) => {
+                    let exec0 = Instant::now();
+                    let (choice, neighbors, stats, routing) =
+                        request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+                    let response = QueryResponse {
+                        choice,
+                        neighbors: neighbors.to_vec(),
+                        stats,
+                        generation,
+                        routing,
+                    };
+                    // `busy` counts execution only; the latency histogram
+                    // measures submit → response, so queue wait under
+                    // overload is visible.
+                    counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
+                    // The caller may have dropped its handle; that is not
+                    // an error.
+                    let _ = reply.send((0, response));
+                }
+                Work::Batch { requests, indices } => {
+                    // One shared-traversal pass over the sub-batch. Every
+                    // query still runs the unchanged per-query algorithm,
+                    // so results and per-query stats (sequential-mode NA)
+                    // are bit-identical to single submissions; only the
+                    // batch ledger (unique vs sequential pages) is new.
+                    let target = Target::Sharded {
+                        snapshot: &snap,
+                        cursors: &cursors,
+                    };
+                    let mut last = Instant::now();
+                    let accounting = execute_batch_in(
+                        &planner,
+                        &target,
+                        &requests,
+                        &mut scratch,
+                        |i, choice, neighbors, stats, routing| {
+                            let now = Instant::now();
+                            let response = QueryResponse {
+                                choice,
+                                neighbors: neighbors.to_vec(),
+                                stats: *stats,
+                                generation,
+                                routing,
+                            };
+                            counters.record(stats, routing, now - last, submitted.elapsed());
+                            last = now;
+                            let _ = reply.send((indices[i], response));
+                        },
+                    );
+                    counters.record_batch(&accounting);
+                }
+            }
         };
         pending = handoff;
         drop(cursors);
@@ -888,8 +1157,8 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gnn_core::{Algo, Mbm};
-    use gnn_geom::PointId;
+    use gnn_core::{Algo, Mbm, Neighbor};
+    use gnn_geom::{Point, PointId};
     use gnn_rtree::{LeafEntry, RTree, RTreeParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -930,6 +1199,7 @@ mod tests {
         let group = random_group(5, 2);
         let response = service
             .submit(QueryRequest::new(group.clone(), 4))
+            .unwrap()
             .wait()
             .unwrap();
         let want = Mbm::best_first().k_gnn(&snap.cursor(), &group, 4);
@@ -942,15 +1212,19 @@ mod tests {
     }
 
     #[test]
-    fn batch_handles_come_back_in_submission_order() {
+    fn batch_responses_come_back_in_submission_order() {
         let snap = snapshot(600, 3);
         let service = Service::start(snap, ServiceConfig::with_workers(4));
         let requests: Vec<QueryRequest> = (0..24)
             .map(|i| QueryRequest::new(random_group(4, 100 + i), 1 + (i as usize % 3)))
             .collect();
-        let handles = service.submit_batch(requests.clone());
-        for (req, handle) in requests.iter().zip(handles) {
-            let r = handle.wait().unwrap();
+        let responses = service
+            .submit(Submission::batch(requests.clone()))
+            .unwrap()
+            .wait_all()
+            .unwrap();
+        assert_eq!(responses.len(), 24);
+        for (req, r) in requests.iter().zip(&responses) {
             assert_eq!(r.neighbors.len(), req.k);
         }
         let stats = service.shutdown();
@@ -963,6 +1237,97 @@ mod tests {
         assert_eq!(stats.per_shard.len(), 1);
         assert_eq!(stats.per_shard[0].routed, 24);
         assert_eq!(stats.single_shard_fraction(), Some(1.0));
+        // Unsharded: the whole batch is one shared-traversal sub-batch.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_queries, 24);
+        assert_eq!(stats.mean_batch_size(), Some(24.0));
+        assert!(stats.batch_unique_pages <= stats.batch_sequential_pages);
+    }
+
+    #[test]
+    fn batched_responses_match_single_submissions_bit_for_bit() {
+        let snap = snapshot(900, 90);
+        let requests: Vec<QueryRequest> = (0..16)
+            .map(|i| QueryRequest::new(random_group(4, 900 + i), 3))
+            .collect();
+        let service = Service::start(Arc::clone(&snap), ServiceConfig::with_workers(2));
+        let singles: Vec<QueryResponse> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).unwrap().wait().unwrap())
+            .collect();
+        let batched = service
+            .submit(Submission::batch(requests))
+            .unwrap()
+            .wait_all()
+            .unwrap();
+        for (i, (single, batch)) in singles.iter().zip(&batched).enumerate() {
+            assert_eq!(single.neighbors, batch.neighbors, "query {i}");
+            assert_eq!(
+                single.stats.data_tree.logical, batch.stats.data_tree.logical,
+                "query {i}: sequential-mode NA"
+            );
+            assert_eq!(single.choice, batch.choice, "query {i}");
+            assert_eq!(single.routing, batch.routing, "query {i}");
+        }
+        let stats = service.shutdown();
+        // Batch ledger covers only the batched half of the traffic.
+        assert_eq!(stats.batch_queries, 16);
+        assert_eq!(stats.queries_served, 32);
+        assert!(stats.shared_read_savings().is_some());
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_responses() {
+        let snap = snapshot(200, 91);
+        let service = Service::start(snap, ServiceConfig::with_workers(1));
+        let handle = service.submit(Submission::batch(Vec::new())).unwrap();
+        assert_eq!(handle.expected(), 0);
+        assert_eq!(handle.wait_all().unwrap(), Vec::new());
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.mean_batch_size(), None);
+        assert_eq!(stats.shared_read_savings(), None);
+    }
+
+    #[test]
+    fn group_submission_resolves_service_defaults() {
+        let snap = snapshot(500, 92);
+        let service = Service::start(
+            snap,
+            ServiceConfig {
+                workers: 1,
+                default_k: 5,
+                default_aggregate: Aggregate::Max,
+                ..ServiceConfig::default()
+            },
+        );
+        // Defaults: configured k and aggregate.
+        let pts = random_group(4, 93).points().to_vec();
+        let r = service
+            .submit(Submission::group(pts.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.neighbors.len(), 5);
+        // Overrides win, and a pinned algorithm is honored.
+        let r = service
+            .submit(
+                Submission::group(pts)
+                    .k(2)
+                    .aggregate(Aggregate::Sum)
+                    .algo(Algo::Mqm),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.neighbors.len(), 2);
+        assert_eq!(r.choice, gnn_core::Choice::Mqm);
+        // Invalid groups fail at submission, not on the handle.
+        match service.submit(Submission::group(Vec::new())) {
+            Err(SubmitError::BadGroup(_)) => {}
+            other => panic!("expected BadGroup, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]
@@ -976,19 +1341,23 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let handles =
-            service.submit_batch((0..32).map(|i| QueryRequest::new(random_group(4, i), 2)));
+        let handle = service
+            .submit(Submission::batch(
+                (0..32).map(|i| QueryRequest::new(random_group(4, i), 2)),
+            ))
+            .unwrap();
         // Shut down immediately: every already-queued request must still be
         // answered.
         let stats = service.shutdown();
         assert_eq!(stats.queries_served, 32);
-        for h in handles {
-            assert_eq!(h.wait().unwrap().neighbors.len(), 2);
+        for r in handle.wait_all().unwrap() {
+            assert_eq!(r.neighbors.len(), 2);
         }
     }
 
     #[test]
-    fn submit_points_uses_configured_defaults() {
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_legacy_behavior() {
         let snap = snapshot(400, 5);
         let service = Service::start(
             snap,
@@ -999,10 +1368,24 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
+        // submit_points: configured defaults, QueryGroupError on bad input.
         let pts = random_group(4, 9).points().to_vec();
         let r = service.submit_points(pts).unwrap().wait().unwrap();
         assert_eq!(r.neighbors.len(), 3);
         assert!(service.submit_points(Vec::new()).is_err());
+        // submit_batch: per-request handles in submission order.
+        let handles =
+            service.submit_batch((0..4).map(|i| QueryRequest::new(random_group(4, 40 + i), 2)));
+        assert_eq!(handles.len(), 4);
+        for h in handles {
+            assert_eq!(h.wait().unwrap().neighbors.len(), 2);
+        }
+        // try_submit: hands the request back on failure.
+        service.initiate_shutdown();
+        match service.try_submit(QueryRequest::new(random_group(4, 44), 1)) {
+            Err((req, ServiceError::WorkerGone)) => assert_eq!(req.k, 1),
+            other => panic!("expected WorkerGone, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]
@@ -1017,6 +1400,7 @@ mod tests {
         ] {
             let r = service
                 .submit(QueryRequest::with_algo(random_group(4, 7), 2, algo))
+                .unwrap()
                 .wait()
                 .unwrap();
             assert_eq!(r.choice, want, "{algo:?}");
@@ -1027,7 +1411,9 @@ mod tests {
     fn poll_eventually_returns() {
         let snap = snapshot(300, 7);
         let service = Service::start(snap, ServiceConfig::with_workers(1));
-        let handle = service.submit(QueryRequest::new(random_group(3, 8), 1));
+        let mut handle = service
+            .submit(QueryRequest::new(random_group(3, 8), 1))
+            .unwrap();
         let mut spins = 0u64;
         let r = loop {
             if let Some(r) = handle.poll() {
@@ -1046,6 +1432,7 @@ mod tests {
         let service = Service::start(snap, ServiceConfig::with_workers(2));
         let r = service
             .submit(QueryRequest::new(random_group(3, 9), 5))
+            .unwrap()
             .wait()
             .unwrap();
         assert!(r.neighbors.is_empty());
@@ -1063,6 +1450,7 @@ mod tests {
 
         let r1 = service
             .submit(QueryRequest::new(group.clone(), 3))
+            .unwrap()
             .wait()
             .unwrap();
         assert_eq!(r1.generation, 1);
@@ -1078,6 +1466,7 @@ mod tests {
         // the new snapshot and tagged with its generation.
         let r2 = service
             .submit(QueryRequest::new(group.clone(), 3))
+            .unwrap()
             .wait()
             .unwrap();
         assert_eq!(r2.generation, 2);
@@ -1100,6 +1489,7 @@ mod tests {
             assert_eq!(service.publish(Arc::clone(snap)), i as u64 + 1);
             let r = service
                 .submit(QueryRequest::new(group.clone(), 2))
+                .unwrap()
                 .wait()
                 .unwrap();
             assert_eq!(r.generation, i as u64 + 1, "publish {i}");
@@ -1121,19 +1511,39 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let accepted =
-            service.submit_batch((0..16).map(|i| QueryRequest::new(random_group(4, 50 + i), 2)));
+        let accepted = service
+            .submit(Submission::batch(
+                (0..16).map(|i| QueryRequest::new(random_group(4, 50 + i), 2)),
+            ))
+            .unwrap();
         service.initiate_shutdown();
-        // Post-close submissions fail cleanly on both entry points.
-        let late = service.submit(QueryRequest::new(random_group(4, 99), 1));
-        assert_eq!(late.wait(), Err(ServiceError::WorkerGone));
-        match service.try_submit(QueryRequest::new(random_group(4, 98), 1)) {
-            Err((_, ServiceError::WorkerGone)) => {}
-            other => panic!("expected WorkerGone, got {:?}", other.map(|_| ())),
-        }
+        // Post-close submissions fail cleanly, blocking or not.
+        assert_eq!(
+            service
+                .submit(QueryRequest::new(random_group(4, 99), 1))
+                .err(),
+            Some(SubmitError::WorkerGone)
+        );
+        assert_eq!(
+            service
+                .submit(
+                    Submission::request(QueryRequest::new(random_group(4, 98), 1)).blocking(false)
+                )
+                .err(),
+            Some(SubmitError::WorkerGone)
+        );
+        assert_eq!(
+            service
+                .submit(Submission::batch([QueryRequest::new(
+                    random_group(4, 97),
+                    1
+                )]))
+                .err(),
+            Some(SubmitError::WorkerGone)
+        );
         // Everything accepted before the close is answered exactly once.
-        for h in accepted {
-            assert_eq!(h.wait().unwrap().neighbors.len(), 2);
+        for r in accepted.wait_all().unwrap() {
+            assert_eq!(r.neighbors.len(), 2);
         }
         let stats = service.shutdown();
         assert_eq!(stats.queries_served, 16);
@@ -1157,17 +1567,16 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let outcomes: Vec<Result<QueryResponse, ServiceError>> = std::thread::scope(|s| {
+        let outcomes: Vec<Result<QueryResponse, SubmitError>> = std::thread::scope(|s| {
             let mut submitters = Vec::new();
             for t in 0..3u64 {
                 let service = &service;
                 submitters.push(s.spawn(move || {
-                    let requests =
-                        (0..40).map(|i| QueryRequest::new(random_group(4, 1000 + t * 100 + i), 1));
-                    let handles = service.submit_batch(requests);
-                    handles
-                        .into_iter()
-                        .map(ResponseHandle::wait)
+                    (0..40)
+                        .map(|i| {
+                            let request = QueryRequest::new(random_group(4, 1000 + t * 100 + i), 1);
+                            service.submit(request).and_then(ResponseHandle::wait)
+                        })
                         .collect::<Vec<_>>()
                 }));
             }
@@ -1195,7 +1604,7 @@ mod tests {
         for o in &outcomes {
             match o {
                 Ok(r) => assert_eq!(r.neighbors.len(), 1),
-                Err(e) => assert_eq!(*e, ServiceError::WorkerGone),
+                Err(e) => assert_eq!(*e, SubmitError::WorkerGone),
             }
         }
     }
@@ -1241,7 +1650,7 @@ mod tests {
             let (choice, want, stats, routing) =
                 request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
             let want = want.to_vec();
-            let r = service.submit(request).wait().unwrap();
+            let r = service.submit(request).unwrap().wait().unwrap();
             assert_eq!(r.choice, choice, "query {i}");
             assert_eq!(r.neighbors, want, "query {i}");
             assert_eq!(
@@ -1258,6 +1667,55 @@ mod tests {
             "every request routed to exactly one pool"
         );
         assert_eq!(stats.queries_served, 24);
+    }
+
+    #[test]
+    fn sharded_batch_splits_into_per_shard_sub_batches() {
+        let snap = sharded_snapshot(3000, 4, 85);
+        let service = Service::start_sharded(Arc::clone(&snap), ServiceConfig::with_workers(4));
+        // Queries centered in every shard, interleaved, so the batch
+        // fans out into one sub-batch per shard.
+        let mut requests = Vec::new();
+        for round in 0..3 {
+            for mbr in snap.directory() {
+                let c = mbr.center();
+                let g = QueryGroup::sum(vec![
+                    c,
+                    Point::new(c.x + 0.3 + round as f64 * 0.1, c.y + 0.2),
+                ])
+                .unwrap();
+                requests.push(QueryRequest::new(g, 2));
+            }
+        }
+        // Reference: each request alone through the sequential merge.
+        let planner = Planner::new();
+        let mut scratch = QueryScratch::new();
+        let cursors: Vec<_> = snap.shards().iter().map(|s| s.cursor()).collect();
+        let reference: Vec<(Vec<Neighbor>, u64)> = requests
+            .iter()
+            .map(|r| {
+                let (_, n, stats, _) =
+                    r.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+                (n.to_vec(), stats.data_tree.logical)
+            })
+            .collect();
+        let responses = service
+            .submit(Submission::batch(requests.clone()))
+            .unwrap()
+            .wait_all()
+            .unwrap();
+        for (i, ((want, want_na), got)) in reference.iter().zip(&responses).enumerate() {
+            assert_eq!(&got.neighbors, want, "query {i}");
+            assert_eq!(got.stats.data_tree.logical, *want_na, "query {i}: NA");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries_served, 12);
+        assert_eq!(stats.batch_queries, 12);
+        assert_eq!(stats.batches, 4, "one sub-batch per shard");
+        assert_eq!(stats.mean_batch_size(), Some(3.0));
+        for s in &stats.per_shard {
+            assert_eq!(s.routed, 3, "shard {}", s.shard);
+        }
     }
 
     #[test]
@@ -1291,7 +1749,7 @@ mod tests {
         assert_eq!(service.route(&out_of_range), natural);
         // A hinted submission still returns the exact answer (the merge
         // consults whatever shards the bounds demand).
-        let r = service.submit(hinted).wait().unwrap();
+        let r = service.submit(hinted).unwrap().wait().unwrap();
         assert!(!r.neighbors.is_empty());
         let stats = service.shutdown();
         assert_eq!(stats.per_shard[2].routed, 1);
@@ -1308,7 +1766,7 @@ mod tests {
             let g = QueryGroup::sum(vec![c, Point::new(c.x + 0.2, c.y + 0.2)]).unwrap();
             let req = QueryRequest::new(g, 1);
             assert_eq!(service.route(&req), s, "shard {s}");
-            let r = service.submit(req).wait().unwrap();
+            let r = service.submit(req).unwrap().wait().unwrap();
             assert_eq!(r.routing.primary as usize, s);
         }
         let stats = service.shutdown();
@@ -1329,6 +1787,7 @@ mod tests {
         assert!(Arc::ptr_eq(&service.sharded_snapshot(), &second));
         let r = service
             .submit(QueryRequest::new(random_group(4, 77), 2))
+            .unwrap()
             .wait()
             .unwrap();
         assert_eq!(r.generation, 2);

@@ -1,0 +1,240 @@
+//! The unified submission surface: one entry point, one error enum.
+//!
+//! Everything a caller can hand to [`Service::submit`](crate::Service::submit)
+//! is (convertible into) a [`Submission`]: a prepared [`QueryRequest`], a
+//! builder-described group query ([`Submission::group`]), or a
+//! shared-traversal batch ([`Submission::batch`]). Each builder accepts
+//! `.blocking(false)` to turn backpressure into a
+//! [`SubmitError::QueueFull`] instead of blocking — the open-loop
+//! load-generator contract — and every failure mode comes back through the
+//! single exhaustive [`SubmitError`].
+//!
+//! ```
+//! use gnn_geom::Point;
+//! use gnn_service::Submission;
+//!
+//! // A group query with explicit k; unset fields use the service defaults.
+//! let single = Submission::group(vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]).k(4);
+//! # let _ = single;
+//! ```
+
+use gnn_core::{Aggregate, Algo, QueryGroup, QueryGroupError, QueryRequest};
+use gnn_geom::Point;
+use std::fmt;
+
+/// Why a submission (or a wait on its handle) failed. The single error
+/// surface of the serving API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A non-blocking submission found the routed shard's bounded queue
+    /// full — the backpressure signal an open-loop load generator counts
+    /// as a drop. Retry, shed, or submit blocking.
+    QueueFull,
+    /// The service is shutting down, the routed pool's workers have all
+    /// died (a worker dies only by panicking inside a query), or a worker
+    /// disappeared before answering. Results for other requests are
+    /// unaffected.
+    WorkerGone,
+    /// The submission's point set does not form a valid query group
+    /// (e.g. empty).
+    BadGroup(QueryGroupError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("request queue is full"),
+            SubmitError::WorkerGone => f.write_str("worker terminated without responding"),
+            SubmitError::BadGroup(e) => write!(f, "invalid query group: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<QueryGroupError> for SubmitError {
+    fn from(e: QueryGroupError) -> Self {
+        SubmitError::BadGroup(e)
+    }
+}
+
+/// One unit of work for [`Service::submit`](crate::Service::submit): a
+/// single request, a group query, or a shared-traversal batch.
+///
+/// Constructed through [`Submission::request`], the [`Submission::group`] /
+/// [`Submission::batch`] builders, or `From<QueryRequest>` — and
+/// [`Service::submit`](crate::Service::submit) takes `impl Into<Submission>`,
+/// so builders and plain requests are passed directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    pub(crate) kind: SubmissionKind,
+    pub(crate) blocking: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SubmissionKind {
+    /// A fully prepared request.
+    Request(QueryRequest),
+    /// A group query resolved against the service defaults at submit time.
+    Group(GroupSubmission),
+    /// A shared-traversal batch (see [`gnn_core::batch`]): routed into
+    /// per-shard sub-batches, each executed as one Hilbert-ordered pass.
+    Batch(Vec<QueryRequest>),
+}
+
+impl Submission {
+    /// A submission of one prepared [`QueryRequest`], blocking on
+    /// backpressure (equivalent to the `From<QueryRequest>` impl; chain
+    /// [`Submission::blocking`] to change that).
+    pub fn request(request: QueryRequest) -> Submission {
+        Submission {
+            kind: SubmissionKind::Request(request),
+            blocking: true,
+        }
+    }
+
+    /// Starts a group-query submission from raw points. `k`, aggregate,
+    /// algorithm, and shard hint are optional — unset fields fall back to
+    /// the service's configured defaults at submission time; an invalid
+    /// point set fails with [`SubmitError::BadGroup`].
+    pub fn group(points: Vec<Point>) -> GroupSubmission {
+        GroupSubmission {
+            points,
+            k: None,
+            aggregate: None,
+            algo: Algo::Auto,
+            shard_hint: None,
+            blocking: true,
+        }
+    }
+
+    /// Starts a batch submission: the requests are routed to their shards,
+    /// each shard's sub-batch is executed as **one shared-traversal pass**
+    /// (Hilbert-ordered, upper-level pages read once — see
+    /// [`gnn_core::batch`]), and the returned handle yields every response,
+    /// indexed by submission order
+    /// ([`ResponseHandle::wait_all`](crate::ResponseHandle::wait_all)).
+    pub fn batch(requests: impl IntoIterator<Item = QueryRequest>) -> BatchSubmission {
+        BatchSubmission {
+            requests: requests.into_iter().collect(),
+            blocking: true,
+        }
+    }
+
+    /// Sets whether the submission blocks on a full queue (`true`, the
+    /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
+    pub fn blocking(mut self, blocking: bool) -> Submission {
+        self.blocking = blocking;
+        self
+    }
+}
+
+impl From<QueryRequest> for Submission {
+    fn from(request: QueryRequest) -> Self {
+        Submission::request(request)
+    }
+}
+
+/// Builder for a group-query [`Submission`] (see [`Submission::group`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSubmission {
+    points: Vec<Point>,
+    k: Option<usize>,
+    aggregate: Option<Aggregate>,
+    algo: Algo,
+    shard_hint: Option<u32>,
+    blocking: bool,
+}
+
+impl GroupSubmission {
+    /// Sets `k` (defaults to the service's `default_k`).
+    pub fn k(mut self, k: usize) -> GroupSubmission {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the aggregate function (defaults to the service's
+    /// `default_aggregate`).
+    pub fn aggregate(mut self, aggregate: Aggregate) -> GroupSubmission {
+        self.aggregate = Some(aggregate);
+        self
+    }
+
+    /// Pins the algorithm instead of planner routing.
+    pub fn algo(mut self, algo: Algo) -> GroupSubmission {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets a shard-routing hint (see [`QueryRequest::shard_hint`]).
+    pub fn shard_hint(mut self, shard: u32) -> GroupSubmission {
+        self.shard_hint = Some(shard);
+        self
+    }
+
+    /// Sets whether the submission blocks on a full queue (`true`, the
+    /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
+    pub fn blocking(mut self, blocking: bool) -> GroupSubmission {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Resolves the builder into a prepared request, filling unset fields
+    /// from the service defaults.
+    pub(crate) fn resolve(
+        self,
+        default_k: usize,
+        default_aggregate: Aggregate,
+    ) -> Result<QueryRequest, QueryGroupError> {
+        let group =
+            QueryGroup::with_aggregate(self.points, self.aggregate.unwrap_or(default_aggregate))?;
+        Ok(QueryRequest {
+            group,
+            k: self.k.unwrap_or(default_k),
+            algo: self.algo,
+            shard_hint: self.shard_hint,
+        })
+    }
+}
+
+/// Builder for a batch [`Submission`] (see [`Submission::batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSubmission {
+    requests: Vec<QueryRequest>,
+    blocking: bool,
+}
+
+impl BatchSubmission {
+    /// Sets whether the submission blocks on a full queue (`true`, the
+    /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
+    ///
+    /// For a non-blocking batch, sub-batches already queued when a later
+    /// sub-batch hits a full queue still execute; their responses are
+    /// discarded along with the failed handle. Treat a non-blocking batch
+    /// rejection as dropping the whole batch.
+    pub fn blocking(mut self, blocking: bool) -> BatchSubmission {
+        self.blocking = blocking;
+        self
+    }
+}
+
+impl From<GroupSubmission> for Submission {
+    fn from(group: GroupSubmission) -> Self {
+        // Deferred resolution: the builder is carried whole so the service
+        // can fill unset fields from its configured defaults at submit
+        // time.
+        Submission {
+            blocking: group.blocking,
+            kind: SubmissionKind::Group(group),
+        }
+    }
+}
+
+impl From<BatchSubmission> for Submission {
+    fn from(batch: BatchSubmission) -> Self {
+        Submission {
+            blocking: batch.blocking,
+            kind: SubmissionKind::Batch(batch.requests),
+        }
+    }
+}

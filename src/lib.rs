@@ -63,9 +63,10 @@ pub use gnn_service as service;
 /// One-stop imports for typical GNN usage.
 pub mod prelude {
     pub use gnn_core::{
-        Aggregate, Algo, Choice, FileGnnAlgorithm, Fmbm, Fmqm, Gcp, GnnResult, Mbm, MbmStream,
-        MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup, QueryRequest, QueryResponse,
-        QueryScratch, QueryStats, ShardRouting, Spm, Traversal,
+        execute_batch_in, Aggregate, Algo, BatchAccounting, Choice, FileGnnAlgorithm, Fmbm, Fmqm,
+        Gcp, GnnResult, Mbm, MbmStream, MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup,
+        QueryRequest, QueryResponse, QueryScratch, QueryStats, ShardRouting, Spm, Target,
+        Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
@@ -73,6 +74,7 @@ pub mod prelude {
         LeafEntry, PackedRTree, RTree, RTreeParams, ShardedSnapshot, ShardedTree, TreeCursor,
     };
     pub use gnn_service::{
-        RefreshDriver, RefreshPolicy, Service, ServiceConfig, ServiceStats, Update,
+        RefreshDriver, RefreshPolicy, ResponseHandle, Service, ServiceConfig, ServiceStats,
+        Submission, SubmitError, Update,
     };
 }

@@ -90,10 +90,16 @@ fn every_generation_matches_its_sequential_reference() {
         let generation = phase as u64 + 1;
         assert_eq!(service.generation(), generation);
         let want = reference(&snapshot, query_chunk, k);
-        let handles =
-            service.submit_batch(query_chunk.iter().map(|g| QueryRequest::new(g.clone(), k)));
-        for (i, h) in handles.into_iter().enumerate() {
-            let r = h.wait().expect("query served");
+        // One shared-traversal batch per phase: a batch job loads the
+        // snapshot once, so it is served entirely on one generation.
+        let responses = service
+            .submit(Submission::batch(
+                query_chunk.iter().map(|g| QueryRequest::new(g.clone(), k)),
+            ))
+            .expect("batch submitted")
+            .wait_all()
+            .expect("batch served");
+        for (i, r) in responses.iter().enumerate() {
             assert_eq!(
                 r.generation, generation,
                 "phase {phase} query {i}: wrong generation tag"
@@ -180,6 +186,7 @@ fn in_flight_queries_complete_across_continuous_publishing() {
             (0..200)
                 .map(|_| {
                     svc.submit(QueryRequest::new(group.clone(), k))
+                        .expect("query submitted")
                         .wait()
                         .expect("query served")
                 })

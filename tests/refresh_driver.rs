@@ -89,7 +89,10 @@ fn continuous_refresh_stays_pinnable_per_generation() {
         match &e.op {
             MixedOp::Query { points } => {
                 let request = QueryRequest::new(QueryGroup::sum(points.clone()).unwrap(), 4);
-                pending.push((request.clone(), service.submit(request.clone())));
+                pending.push((
+                    request.clone(),
+                    service.submit(request.clone()).expect("query submitted"),
+                ));
                 requests.push(request);
             }
             MixedOp::Insert { id, point } => {
@@ -282,6 +285,7 @@ fn refreshed_data_becomes_queryable() {
     loop {
         let r = service
             .submit(QueryRequest::new(group.clone(), 1))
+            .expect("query submitted")
             .wait()
             .expect("query served");
         if r.neighbors.first().map(|n| n.id) == Some(PointId(424_242)) {

@@ -85,7 +85,10 @@ fn interleaved_workload_is_identical_on_1_2_and_8_workers() {
                 ..ServiceConfig::default()
             },
         );
-        let handles = service.submit_batch(requests.iter().cloned());
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).expect("query submitted"))
+            .collect();
         let mut na_total = 0u64;
         for (i, handle) in handles.into_iter().enumerate() {
             let r = handle.wait().expect("query served");
@@ -138,7 +141,14 @@ fn service_agrees_with_planner_run_many_collect() {
         .sum();
 
     let service = Service::start(Arc::clone(&snapshot), ServiceConfig::with_workers(8));
-    let handles = service.submit_batch(groups.iter().map(|g| QueryRequest::new(g.clone(), k)));
+    let handles: Vec<_> = groups
+        .iter()
+        .map(|g| {
+            service
+                .submit(QueryRequest::new(g.clone(), k))
+                .expect("query submitted")
+        })
+        .collect();
     let mut service_na = 0u64;
     for (handle, (choice, want)) in handles.into_iter().zip(&sequential) {
         let r = handle.wait().unwrap();
@@ -195,14 +205,25 @@ fn eight_worker_throughput_scales_when_cores_allow() {
     planner.run_many(&cursor, &groups, k, &mut scratch, |_, _, _, _| {});
     let seq_qps = groups.len() as f64 / t0.elapsed().as_secs_f64();
 
-    // 8-worker service (warmed the same way).
+    // 8-worker service (warmed the same way). Per-request submissions:
+    // this measures worker scaling, which a shared-traversal batch would
+    // serialize onto one worker.
     let service = Service::start(Arc::clone(&snapshot), ServiceConfig::with_workers(8));
-    for h in service.submit_batch(groups.iter().map(|g| QueryRequest::new(g.clone(), k))) {
+    let submit_all = || -> Vec<_> {
+        groups
+            .iter()
+            .map(|g| {
+                service
+                    .submit(QueryRequest::new(g.clone(), k))
+                    .expect("query submitted")
+            })
+            .collect()
+    };
+    for h in submit_all() {
         h.wait().unwrap();
     }
     let t0 = std::time::Instant::now();
-    let handles = service.submit_batch(groups.iter().map(|g| QueryRequest::new(g.clone(), k)));
-    for h in handles {
+    for h in submit_all() {
         h.wait().unwrap();
     }
     let svc_qps = groups.len() as f64 / t0.elapsed().as_secs_f64();
