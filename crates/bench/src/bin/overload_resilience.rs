@@ -1,0 +1,98 @@
+//! The overload-resilience experiment: a 2-worker pool under a fixed-seed
+//! arrival ramp past saturation — no deadlines, deadlines with load
+//! shedding, and deadlines plus a seeded 1% injected panic rate.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin overload_resilience
+//! cargo run -p gnn-bench --release --bin overload_resilience -- --quick --json BENCH_overload.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller paced schedule (smoke / CI run)
+//! * `--json PATH`  write the `gnn-overload-bench/1` report (the committed
+//!   `BENCH_overload.json` at the repo root is a `--quick --json` run)
+//!
+//! The exit code gates the resilience claims: every reply accounted for
+//! and bit-identical to the sequential reference where served, shedding
+//! engages past saturation and bounds the served p99 below the no-deadline
+//! tail, and goodput under a 1% injected panic rate stays within 5% of the
+//! fault-free deadline cell.
+
+use gnn_bench::run_overload_resilience;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_overload.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[overload_resilience] building PP snapshot + running (quick={quick})...");
+    let report = run_overload_resilience(quick);
+
+    println!(
+        "== overload resilience ({} queries x {} passes, ramp {:.0}->{:.0} q/s, {} workers, \
+         +{:.1}ms/query, deadline {:.1}ms, host cores: {}) ==",
+        report.queries,
+        report.passes,
+        report.start_qps,
+        report.end_qps,
+        report.workers,
+        report.injected_latency_ms,
+        report.deadline_ms,
+        report.host_parallelism
+    );
+    println!(
+        "{:<16} {:>7} {:>6} {:>7} {:>8} {:>10} {:>9} {:>9} {:>9}",
+        "cell", "served", "shed", "panics", "respawns", "goodput", "p50_us", "p99_us", "ok"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<16} {:>7} {:>6} {:>7} {:>8} {:>8.0}/s {:>9.0} {:>9.0} {:>9}",
+            c.name,
+            c.served,
+            c.shed,
+            c.panicked,
+            c.respawns,
+            c.goodput_qps,
+            c.p50_us,
+            c.p99_us,
+            if c.all_replies_accounted && c.matches_reference {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !report.gate_passes() {
+        eprintln!(
+            "[overload_resilience] GATE FAILED: lost/wrong replies, shedding \
+             never engaged, unbounded tail, or goodput collapsed under panics"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1616,6 +1616,404 @@ pub fn run_mixed_traffic(quick: bool) -> RefreezeReport {
     }
 }
 
+/// One load-shedding configuration of the overload experiment.
+#[derive(Debug, Clone)]
+pub struct OverloadCell {
+    /// Cell name: `no_deadline`, `deadline`, or `deadline_panics`.
+    pub name: String,
+    /// Queries answered with a normal response.
+    pub served: usize,
+    /// Queries shed at dequeue (`DeadlineExceeded`).
+    pub shed: u64,
+    /// Queries answered `WorkerPanicked` (injected faults).
+    pub panicked: u64,
+    /// Worker serving-state rebuilds; equals `panicked` in steady state.
+    pub respawns: u64,
+    /// Served queries that finished past their deadline (SLO misses, not
+    /// errors).
+    pub deadline_missed: u64,
+    /// `shed / submitted`.
+    pub shed_fraction: f64,
+    /// Normal responses per second over the whole cell (submission ramp +
+    /// drain) — the goodput the resilience gates compare.
+    pub goodput_qps: f64,
+    /// Median latency of served queries (µs, submit → response).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// Whether every submitted query resolved to exactly one outcome and
+    /// the service's fault ledger agrees with the per-handle tally
+    /// (`served + shed + panicked == submitted`, `respawns == panics`).
+    pub all_replies_accounted: bool,
+    /// Whether every served response was bit-identical (ids + distance
+    /// bits) to the sequential reference — faults and shedding must never
+    /// perturb a query they didn't touch.
+    pub matches_reference: bool,
+}
+
+impl OverloadCell {
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"served\":{},\"shed\":{},\"panicked\":{},\"respawns\":{},\
+             \"deadline_missed\":{},\"shed_fraction\":{:.4},\"goodput_qps\":{:.1},\
+             \"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
+             \"all_replies_accounted\":{},\"matches_reference\":{}}}",
+            json_str(&self.name),
+            self.served,
+            self.shed,
+            self.panicked,
+            self.respawns,
+            self.deadline_missed,
+            self.shed_fraction,
+            self.goodput_qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.all_replies_accounted,
+            self.matches_reference,
+        )
+    }
+}
+
+/// The overload-resilience report (written to `BENCH_overload.json`).
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Whether the quick (reduced query count) mode was used.
+    pub quick: bool,
+    /// Dataset name.
+    pub dataset: String,
+    /// Queries submitted per pass of each cell.
+    pub queries: usize,
+    /// Paced replays of the arrival schedule each cell served. Passes are
+    /// interleaved round-robin across the cells so host-load drift hits
+    /// every cell alike; cell counts are totals across passes.
+    pub passes: usize,
+    /// Query group cardinality.
+    pub n: usize,
+    /// Query MBR area fraction.
+    pub area: f64,
+    /// Neighbors retrieved per query.
+    pub k: usize,
+    /// Worker threads serving each cell.
+    pub workers: usize,
+    /// `std::thread::available_parallelism()` of the host.
+    pub host_parallelism: usize,
+    /// Arrival rate at the first query (queries/sec).
+    pub start_qps: f64,
+    /// Arrival rate at the last query — past the pool's saturation point.
+    pub end_qps: f64,
+    /// Latency injected before every query executes (the saturation knob),
+    /// milliseconds.
+    pub injected_latency_ms: f64,
+    /// Queue-wait deadline of the `deadline*` cells, milliseconds.
+    pub deadline_ms: f64,
+    /// Seeded panic rate of the `deadline_panics` cell.
+    pub panic_rate: f64,
+    /// One cell per configuration.
+    pub cells: Vec<OverloadCell>,
+}
+
+impl OverloadReport {
+    /// The `gnn-overload-bench/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(OverloadCell::to_json).collect();
+        format!(
+            "{{\n\"schema\":\"gnn-overload-bench/1\",\n\"quick\":{},\n\"dataset\":{},\n\
+             \"queries\":{},\n\"passes\":{},\n\"n\":{},\n\"area\":{},\n\"k\":{},\n\"workers\":{},\n\
+             \"host_parallelism\":{},\n\"ramp\":{{\"start_qps\":{:.1},\"end_qps\":{:.1}}},\n\
+             \"injected_latency_ms\":{:.1},\n\"deadline_ms\":{:.1},\n\"panic_rate\":{},\n\
+             \"cells\":[\n{}\n]\n}}\n",
+            self.quick,
+            json_str(&self.dataset),
+            self.queries,
+            self.passes,
+            self.n,
+            self.area,
+            self.k,
+            self.workers,
+            self.host_parallelism,
+            self.start_qps,
+            self.end_qps,
+            self.injected_latency_ms,
+            self.deadline_ms,
+            self.panic_rate,
+            cells.join(",\n"),
+        )
+    }
+
+    /// The resilience claims the `overload_resilience` binary's exit code
+    /// gates:
+    ///
+    /// 1. every cell accounts for every reply, and every served response
+    ///    matches the sequential reference bit for bit;
+    /// 2. the `deadline` cell sheds (the ramp really saturates the pool);
+    /// 3. shedding bounds the tail: p99 of served queries under deadlines
+    ///    beats the no-deadline p99;
+    /// 4. the `deadline_panics` cell sees injected panics, and respawning
+    ///    keeps its goodput within 5% of the fault-free deadline cell.
+    pub fn gate_passes(&self) -> bool {
+        let cell = |name: &str| self.cells.iter().find(|c| c.name == name);
+        let (Some(base), Some(dl), Some(faulty)) = (
+            cell("no_deadline"),
+            cell("deadline"),
+            cell("deadline_panics"),
+        ) else {
+            return false;
+        };
+        self.cells
+            .iter()
+            .all(|c| c.all_replies_accounted && c.matches_reference)
+            && dl.shed > 0
+            && dl.p99_us < base.p99_us
+            && faulty.panicked >= 1
+            && faulty.served as f64 >= 0.95 * dl.served as f64
+    }
+}
+
+/// The overload-resilience experiment behind `BENCH_overload.json`: what
+/// happens to a 2-worker pool when the arrival rate ramps past its
+/// capacity, with and without request deadlines, and with a seeded 1%
+/// panic rate on top?
+///
+/// Every query sleeps an injected [`FaultPlan::with_query_latency`] before
+/// executing, giving the pool a known capacity of roughly
+/// `workers / latency` ≈ 400 q/s; the fixed-seed
+/// [`gnn_datasets::overload_arrivals`] ramp starts below that and ends
+/// far above it. Three cells submit the identical paced schedule, replayed
+/// for several passes interleaved round-robin across the cells (slow
+/// periods of a noisy host hit every cell equally, so the cross-cell
+/// goodput comparison sees common-mode noise cancel):
+///
+/// * **`no_deadline`** — queues grow without bound past saturation; every
+///   query is eventually served, at unbounded tail latency;
+/// * **`deadline`** — a per-request queue-wait deadline sheds expired
+///   requests at dequeue with a typed `DeadlineExceeded`, bounding the
+///   tail of what is served;
+/// * **`deadline_panics`** — additionally injects seeded panics into 1% of
+///   executions ([`FaultPlan::seeded_panics`]); supervision answers each
+///   as a typed `WorkerPanicked` and respawns the worker's serving state.
+///
+/// Every served response in every cell is checked bit-for-bit against the
+/// sequential reference, and the per-handle outcome tally is reconciled
+/// with the service's fault ledger — under overload and injected faults,
+/// replies may be shed or failed but never lost, duplicated, or wrong.
+pub fn run_overload_resilience(quick: bool) -> OverloadReport {
+    use gnn_service::{
+        silence_injected_panics, FaultPlan, QueryError, Service, ServiceConfig, SubmitError,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    silence_injected_panics();
+
+    let n = 64usize;
+    let area = 0.08f64;
+    let k = defaults::K;
+    let count = if quick { 300 } else { 1000 };
+    let workers = 2usize;
+    // Millisecond-scale timescale on purpose: the 5ms injected latency
+    // pins capacity at ~400 q/s, and a 30ms deadline keeps OS scheduling
+    // jitter (single-digit ms on a loaded 1-core host) small relative to
+    // the shed threshold — the serve/shed split must be decided by the
+    // schedule, not by the noise.
+    let (start_qps, end_qps) = (160.0f64, 1_200.0f64);
+    let injected = Duration::from_millis(5);
+    let deadline = Duration::from_millis(30);
+    let panic_rate = 0.01f64;
+    // Seed chosen so the 1% schedule fires within each worker's first
+    // handful of executions (worker 0: attempts 1 and 59; worker 1: 5 and
+    // 20). A seed can legitimately have a long empty prefix, and the gate
+    // needs panics >= 1 even when heavy shedding (a loaded host) shrinks
+    // the per-worker execution count.
+    let seed = 316u64;
+
+    let pts = Dataset::Pp.points(false);
+    let tree = build_tree(&pts);
+    let snapshot = Arc::new(tree.freeze());
+
+    let arrivals = gnn_datasets::overload_arrivals(
+        tree.root_mbr(),
+        QuerySpec {
+            n,
+            area_fraction: area,
+        },
+        count,
+        start_qps,
+        end_qps,
+        seed,
+    );
+    let groups: Vec<QueryGroup> = arrivals
+        .iter()
+        .map(|a| QueryGroup::sum(a.points.clone()).expect("valid workload query"))
+        .collect();
+    let offsets: Vec<Duration> = arrivals
+        .iter()
+        .map(|a| Duration::from_nanos(a.offset_nanos))
+        .collect();
+
+    // Sequential reference fingerprints: a served query must return these
+    // exact bits no matter what was injected around it.
+    let planner = gnn_core::Planner::new();
+    let cursor = snapshot.cursor();
+    let mut scratch = QueryScratch::new();
+    let fingerprint = |ns: &[gnn_core::Neighbor]| -> Vec<(u64, u64)> {
+        ns.iter().map(|x| (x.id.0, x.dist.to_bits())).collect()
+    };
+    let mut reference: Vec<Vec<(u64, u64)>> = Vec::with_capacity(count);
+    planner.run_many(&cursor, &groups, k, &mut scratch, |_, _, ns, _| {
+        reference.push(fingerprint(ns));
+    });
+
+    // Each cell keeps one service alive across every pass: counters,
+    // latency histograms, and the seeded panic schedule (per-worker
+    // attempt numbers) all accumulate, and the final reconciliation
+    // checks the grand totals.
+    struct CellRun {
+        name: &'static str,
+        with_deadline: bool,
+        service: Service,
+        served: usize,
+        shed: u64,
+        panicked: u64,
+        answered: usize,
+        matches: bool,
+        busy: Duration,
+    }
+    let latency_plan = FaultPlan::none().with_query_latency(injected);
+    let start = |plan: FaultPlan| {
+        Service::start(
+            Arc::clone(&snapshot),
+            ServiceConfig {
+                workers,
+                // Deep enough that submission never blocks: overload is
+                // absorbed by deadline shedding, not submit backpressure,
+                // keeping the generator honestly open-loop.
+                queue_depth: count.max(256),
+                fault_plan: plan,
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    let mut runs = [
+        ("no_deadline", false, latency_plan.clone()),
+        ("deadline", true, latency_plan.clone()),
+        (
+            "deadline_panics",
+            true,
+            latency_plan.seeded_panics(panic_rate, seed),
+        ),
+    ]
+    .map(|(name, with_deadline, plan)| CellRun {
+        name,
+        with_deadline,
+        service: start(plan),
+        served: 0,
+        shed: 0,
+        panicked: 0,
+        answered: 0,
+        matches: true,
+        busy: Duration::ZERO,
+    });
+
+    let run_pass = |cell: &mut CellRun| {
+        let t0 = Instant::now();
+        let mut handles = Vec::with_capacity(count);
+        for (group, offset) in groups.iter().zip(&offsets) {
+            let due = t0 + *offset;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let mut request = gnn_core::QueryRequest::new(group.clone(), k);
+            if cell.with_deadline {
+                request = request.with_deadline(deadline);
+            }
+            handles.push(cell.service.submit(request).expect("overload submit"));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.wait() {
+                Ok(r) => {
+                    cell.served += 1;
+                    cell.answered += 1;
+                    if fingerprint(&r.neighbors) != reference[i] {
+                        cell.matches = false;
+                    }
+                }
+                Err(SubmitError::Query(QueryError::DeadlineExceeded)) => {
+                    cell.shed += 1;
+                    cell.answered += 1;
+                }
+                Err(SubmitError::Query(QueryError::WorkerPanicked)) => {
+                    cell.panicked += 1;
+                    cell.answered += 1;
+                }
+                Err(_) => {}
+            }
+        }
+        cell.busy += t0.elapsed();
+    };
+
+    // Round-robin: pass p of every cell runs before pass p+1 of any cell.
+    let passes = 3usize;
+    for _ in 0..passes {
+        for cell in runs.iter_mut() {
+            run_pass(cell);
+        }
+    }
+
+    let total = (count * passes) as u64;
+    let cells: Vec<OverloadCell> = runs
+        .into_iter()
+        .map(|cell| {
+            let stats = cell.service.shutdown();
+            let us = |d: Option<Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+            let all_replies_accounted = cell.answered as u64 == total
+                && cell.served as u64 + cell.shed + cell.panicked == total
+                && stats.faults.shed == cell.shed
+                && stats.faults.panics == cell.panicked
+                && stats.faults.respawns == stats.faults.panics;
+            OverloadCell {
+                name: cell.name.into(),
+                served: cell.served,
+                shed: cell.shed,
+                panicked: cell.panicked,
+                respawns: stats.faults.respawns,
+                deadline_missed: stats.faults.deadline_missed,
+                shed_fraction: cell.shed as f64 / total as f64,
+                goodput_qps: cell.served as f64 / cell.busy.as_secs_f64(),
+                p50_us: us(stats.latency.p50()),
+                p95_us: us(stats.latency.p95()),
+                p99_us: us(stats.latency.p99()),
+                all_replies_accounted,
+                matches_reference: cell.matches,
+            }
+        })
+        .collect();
+
+    OverloadReport {
+        quick,
+        dataset: "PP".into(),
+        queries: count,
+        passes,
+        n,
+        area,
+        k,
+        workers,
+        host_parallelism: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        start_qps,
+        end_qps,
+        injected_latency_ms: injected.as_secs_f64() * 1e3,
+        deadline_ms: deadline.as_secs_f64() * 1e3,
+        panic_rate,
+        cells,
+    }
+}
+
 /// Memory-resident algorithms compared in §5.1.
 pub fn memory_algorithms() -> Vec<(String, Box<dyn MemoryGnnAlgorithm>)> {
     vec![
@@ -1891,6 +2289,40 @@ mod tests {
         assert!(json.contains("\"schema\":\"gnn-refreeze-bench/1\""));
         assert!(json.contains("\"snapshots_equal\":true"));
         assert!(json.contains("\"matches_generation_reference\":true"));
+    }
+
+    #[test]
+    fn overload_report_is_sound_and_exports() {
+        // Pins the deterministic invariants of the overload experiment:
+        // every reply accounted for, every served response bit-identical
+        // to the sequential reference, and the report round-trips to the
+        // documented schema. The latency-ordering and goodput gates are
+        // machine-dependent — the `overload_resilience` binary gates on
+        // them in the overload-smoke CI job.
+        let r = run_overload_resilience(true);
+        assert_eq!(r.cells.len(), 3);
+        let total = (r.queries * r.passes) as u64;
+        for c in &r.cells {
+            assert!(c.all_replies_accounted, "lost replies in {}: {c:?}", c.name);
+            assert!(c.matches_reference, "wrong bits in {}: {c:?}", c.name);
+            assert_eq!(
+                c.served as u64 + c.shed + c.panicked,
+                total,
+                "outcome tally of {} does not cover the schedule",
+                c.name
+            );
+        }
+        // Without deadlines nothing is shed and nothing is injected: every
+        // query of every pass is eventually served.
+        assert_eq!(r.cells[0].served as u64, total);
+        assert_eq!(r.cells[0].panicked, 0);
+        // The panics cell must see its injected faults and survive them.
+        assert!(r.cells[2].panicked >= 1, "seeded panics never fired");
+        assert_eq!(r.cells[2].respawns, r.cells[2].panicked);
+        let json = r.to_json();
+        assert!(json.contains("\"schema\":\"gnn-overload-bench/1\""));
+        assert!(json.contains("\"matches_reference\":true"));
+        assert!(json.contains("\"name\":\"deadline_panics\""));
     }
 
     #[test]

@@ -103,6 +103,27 @@ pub fn execute_batch_in(
     target: &Target<'_, '_>,
     requests: &[QueryRequest],
     scratch: &mut QueryScratch,
+    sink: impl FnMut(usize, Choice, &[Neighbor], &QueryStats, ShardRouting),
+) -> BatchAccounting {
+    execute_batch_hooked(planner, target, requests, scratch, |_| {}, sink)
+}
+
+/// [`execute_batch_in`] with a `before(index)` hook invoked immediately
+/// before each request executes (in Hilbert-schedule order, with the
+/// request's submission index).
+///
+/// The hook exists for supervised serving engines: a worker that wraps the
+/// batch in `catch_unwind` needs to know *which* request was in flight when
+/// a panic unwound out, so it can answer that one request with a typed
+/// error and resume the rest. The hook must not touch the tree or the
+/// scratch — it observes the schedule, it does not participate in it — so
+/// results stay bit-identical to [`execute_batch_in`].
+pub fn execute_batch_hooked(
+    planner: &Planner,
+    target: &Target<'_, '_>,
+    requests: &[QueryRequest],
+    scratch: &mut QueryScratch,
+    mut before: impl FnMut(usize),
     mut sink: impl FnMut(usize, Choice, &[Neighbor], &QueryStats, ShardRouting),
 ) -> BatchAccounting {
     let mapper = HilbertMapper::new(target.root_mbr());
@@ -127,6 +148,7 @@ pub fn execute_batch_in(
     };
     for &(_key, index) in &order {
         let request = &requests[index as usize];
+        before(index as usize);
         let (choice, neighbors, stats, routing) = request.execute_on(planner, target, scratch);
         accounting.sequential_pages += stats.data_tree.logical;
         sink(index as usize, choice, neighbors, &stats, routing);

@@ -72,7 +72,7 @@ pub mod sharded;
 mod spm;
 
 pub use aggregate::Aggregate;
-pub use batch::{execute_batch_in, BatchAccounting};
+pub use batch::{execute_batch_hooked, execute_batch_in, BatchAccounting};
 pub use best_list::KBestList;
 pub use engine::{Choice, Planner};
 pub use fmbm::Fmbm;

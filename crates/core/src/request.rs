@@ -15,6 +15,7 @@ use crate::sharded::{sharded_k_gnn_in, ShardRouting};
 use crate::{Aggregate, Mbm, MemoryGnnAlgorithm, Mqm, QueryGroup, Spm};
 use gnn_geom::Rect;
 use gnn_rtree::{ShardedSnapshot, TreeCursor};
+use std::time::Duration;
 
 /// Where a [`QueryRequest`] (or a batch of them) executes: a single tree
 /// behind one cursor, or a [`ShardedSnapshot`] behind one cursor per shard.
@@ -91,6 +92,17 @@ pub struct QueryRequest {
     /// cross-shard merge still consults whatever shards the bounds demand),
     /// only queue placement changes.
     pub shard_hint: Option<u32>,
+    /// Optional service-relative deadline: the budget from submission until
+    /// the request **starts executing**. A serving engine checks it at
+    /// dequeue and sheds an already-expired request with a typed error
+    /// instead of executing it, turning overload from unbounded queue
+    /// latency into bounded, observable shedding. `None` (the default)
+    /// means "execute no matter how stale". Execution itself is never
+    /// interrupted — results of non-shed queries are unaffected by the
+    /// deadline, which is what keeps determinism pinnable under load
+    /// shedding. Ignored by the direct execution entry points
+    /// ([`QueryRequest::execute_on`] and friends), which have no queue.
+    pub deadline: Option<Duration>,
 }
 
 impl QueryRequest {
@@ -101,6 +113,7 @@ impl QueryRequest {
             k,
             algo: Algo::Auto,
             shard_hint: None,
+            deadline: None,
         }
     }
 
@@ -111,12 +124,19 @@ impl QueryRequest {
             k,
             algo,
             shard_hint: None,
+            deadline: None,
         }
     }
 
     /// Sets a shard-routing hint (see [`QueryRequest::shard_hint`]).
     pub fn with_shard_hint(mut self, shard: u32) -> Self {
         self.shard_hint = Some(shard);
+        self
+    }
+
+    /// Sets a queue-wait deadline (see [`QueryRequest::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 

@@ -29,7 +29,9 @@ mod mixed;
 mod synthetic;
 mod workload;
 
-pub use arrivals::{batched_arrivals, open_loop_arrivals, Arrival, BatchArrival};
+pub use arrivals::{
+    batched_arrivals, open_loop_arrivals, overload_arrivals, Arrival, BatchArrival,
+};
 pub use mixed::{mixed_traffic, MixedEvent, MixedOp, MixedSpec};
 pub use synthetic::{
     gaussian_clusters, pp_synthetic, ts_synthetic, uniform_points, ClusterSpec, PP_CARDINALITY,

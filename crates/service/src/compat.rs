@@ -1,14 +1,15 @@
-//! Deprecated shims for the pre-`Submission` submit surface.
+//! Deprecated shims for superseded API surfaces.
 //!
 //! The old entry points — `try_submit`, `submit_points`, `submit_batch`,
-//! and the `ServiceError` name — live here for one release so downstream
-//! code migrates at its own pace. Everything funnels into
-//! [`Service::submit`]; the shims only adapt signatures. This module is
-//! the single place where the deprecation lint is allowed; everywhere else
-//! `-D warnings` keeps new uses of the old API out.
+//! the `ServiceError` name, and the panicking `RefreshDriver::shutdown` —
+//! live here for one release so downstream code migrates at its own pace.
+//! Everything funnels into [`Service::submit`] /
+//! [`RefreshDriver::join`]; the shims only adapt signatures. This module
+//! is the single place where the deprecation lint is allowed; everywhere
+//! else `-D warnings` keeps new uses of the old API out.
 #![allow(deprecated)]
 
-use crate::{ResponseHandle, Service, Submission, SubmitError};
+use crate::{RefreshDriver, RefreshOutcome, ResponseHandle, Service, Submission, SubmitError};
 use gnn_core::{QueryGroupError, QueryRequest};
 use gnn_geom::Point;
 
@@ -22,10 +23,10 @@ impl Service {
     /// `submit(Submission::request(r).blocking(false))`.
     ///
     /// Fails with the request and [`SubmitError::QueueFull`] when the
-    /// routed shard's bounded queue is full, or
-    /// [`SubmitError::WorkerGone`] when every worker of that pool has
-    /// died. The rejected request is handed back by value so the caller
-    /// can retry or drop it without cloning.
+    /// routed shard's bounded queue is full, or [`SubmitError::Shutdown`]
+    /// when the service has closed its queues. The rejected request is
+    /// handed back by value so the caller can retry or drop it without
+    /// cloning.
     #[deprecated(
         since = "0.6.0",
         note = "use `submit(Submission::request(request).blocking(false))`"
@@ -57,7 +58,7 @@ impl Service {
     ///
     /// Returns one handle per request in submission order; a request the
     /// service could not accept yields a handle reporting
-    /// [`SubmitError::WorkerGone`].
+    /// [`SubmitError::WorkerDied`].
     #[deprecated(since = "0.6.0", note = "use `submit(Submission::batch(requests))`")]
     pub fn submit_batch(
         &self,
@@ -70,5 +71,14 @@ impl Service {
                     .unwrap_or_else(|_| ResponseHandle::dead())
             })
             .collect()
+    }
+}
+
+impl RefreshDriver {
+    /// The pre-0.7 join: panics on driver failure instead of returning the
+    /// typed [`DriverError`](crate::DriverError).
+    #[deprecated(since = "0.7.0", note = "use `join()`, which returns typed errors")]
+    pub fn shutdown(self) -> RefreshOutcome {
+        self.join().expect("refresh driver failed")
     }
 }

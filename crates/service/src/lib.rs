@@ -99,22 +99,29 @@
 #![warn(missing_docs)]
 
 mod compat;
+mod fault;
 mod histogram;
 mod refresh;
 mod submission;
 
 #[allow(deprecated)]
 pub use compat::ServiceError;
+pub use fault::{silence_injected_panics, FaultLedger, FaultPlan};
 pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
-pub use refresh::{RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update};
-pub use submission::{BatchSubmission, GroupSubmission, Submission, SubmitError};
+pub use refresh::{
+    DriverError, RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update,
+};
+pub use submission::{
+    BatchSubmission, GroupSubmission, QueryError, Submission, SubmitError, WaitError,
+};
 
-use gnn_core::batch::{execute_batch_in, BatchAccounting};
+use gnn_core::batch::{execute_batch_hooked, BatchAccounting};
 use gnn_core::sharded::primary_shard;
 use gnn_core::{Aggregate, Planner, QueryGroup, QueryRequest, QueryResponse, Target};
 use gnn_core::{QueryScratch, QueryStats, ShardRouting};
 use gnn_rtree::{PackedRTree, ShardedSnapshot, TreeCursor};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -123,7 +130,7 @@ use std::time::{Duration, Instant};
 use submission::SubmissionKind;
 
 /// Configuration of a [`Service`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (≥ 1). A single-shard service puts all of them in
     /// one pool; [`Service::start_sharded`] distributes them near-evenly
@@ -142,6 +149,10 @@ pub struct ServiceConfig {
     /// The planner each worker routes [`gnn_core::Algo::Auto`] requests
     /// through.
     pub planner: Planner,
+    /// Deterministic fault injection for tests and resilience benchmarks
+    /// (see [`FaultPlan`]). The default injects nothing and costs one
+    /// emptiness check per query.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -155,6 +166,7 @@ impl Default for ServiceConfig {
             default_k: 8,
             default_aggregate: Aggregate::Sum,
             planner: Planner::new(),
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -172,20 +184,29 @@ impl ServiceConfig {
 /// A pending submission's responses: one per submitted request.
 ///
 /// A single-request submission is redeemed with [`ResponseHandle::wait`];
-/// a batch with [`ResponseHandle::wait_all`], which returns the responses
-/// **in submission order** no matter which pools, workers, or shared
-/// passes executed them. [`ResponseHandle::poll`] is the non-blocking
-/// variant.
+/// a batch with [`ResponseHandle::wait_all`] (responses **in submission
+/// order** no matter which pools, workers, or shared passes executed them)
+/// or [`ResponseHandle::wait_each`] (per-request outcomes, so one faulted
+/// query does not hide the rest). [`ResponseHandle::poll`] and
+/// [`ResponseHandle::wait_timeout`] / [`ResponseHandle::wait_deadline`]
+/// are the non-blocking / bounded-blocking variants.
+///
+/// Every accepted request resolves to exactly one outcome — a response or
+/// a typed [`QueryError`] (panic, deadline shed) — so redeeming a handle
+/// never hangs on a fault.
 #[derive(Debug)]
 pub struct ResponseHandle {
-    rx: Receiver<(u32, QueryResponse)>,
-    /// Responses received so far, indexed by submission position.
-    slots: Vec<Option<QueryResponse>>,
+    rx: Receiver<(u32, Result<QueryResponse, QueryError>)>,
+    /// Outcomes received so far, indexed by submission position.
+    slots: Vec<Option<Result<QueryResponse, QueryError>>>,
     received: usize,
 }
 
 impl ResponseHandle {
-    fn new(rx: Receiver<(u32, QueryResponse)>, expected: usize) -> ResponseHandle {
+    fn new(
+        rx: Receiver<(u32, Result<QueryResponse, QueryError>)>,
+        expected: usize,
+    ) -> ResponseHandle {
         ResponseHandle {
             rx,
             slots: (0..expected).map(|_| None).collect(),
@@ -194,7 +215,7 @@ impl ResponseHandle {
     }
 
     /// A handle whose submission was never enqueued: every wait reports
-    /// [`SubmitError::WorkerGone`] (legacy shim semantics).
+    /// [`SubmitError::WorkerDied`] (legacy shim semantics).
     fn dead() -> ResponseHandle {
         let (_tx, rx) = mpsc::channel();
         ResponseHandle::new(rx, 1)
@@ -206,65 +227,191 @@ impl ResponseHandle {
         self.slots.len()
     }
 
-    fn store(&mut self, index: u32, response: QueryResponse) {
+    fn store(&mut self, index: u32, outcome: Result<QueryResponse, QueryError>) {
         let slot = &mut self.slots[index as usize];
         debug_assert!(slot.is_none(), "duplicate response for index {index}");
         if slot.is_none() {
             self.received += 1;
         }
-        *slot = Some(response);
+        *slot = Some(outcome);
+    }
+
+    /// The first typed per-query error in submission order, or
+    /// [`SubmitError::WorkerDied`] when there is none (a reply channel
+    /// that died still owing responses).
+    fn first_failure(&self) -> SubmitError {
+        self.slots
+            .iter()
+            .find_map(|slot| match slot {
+                Some(Err(e)) => Some(SubmitError::Query(*e)),
+                _ => None,
+            })
+            .unwrap_or(SubmitError::WorkerDied)
+    }
+
+    /// Takes the first-submitted request's outcome once every expected
+    /// response has arrived.
+    fn take_first(&mut self) -> Result<QueryResponse, SubmitError> {
+        match self.slots.first_mut().and_then(Option::take) {
+            Some(Ok(response)) => Ok(response),
+            Some(Err(e)) => Err(SubmitError::Query(e)),
+            None => Err(SubmitError::WorkerDied),
+        }
     }
 
     /// Blocks until the **first-submitted** request completes and returns
     /// its response. The natural redemption for single-request submissions;
     /// for batches it discards all other responses — use
     /// [`ResponseHandle::wait_all`] there. Fails with
-    /// [`SubmitError::WorkerGone`] when the serving worker died (or the
-    /// handle expects no responses at all).
+    /// [`SubmitError::Query`] when the request was answered with a typed
+    /// per-query error (panic, deadline shed), or
+    /// [`SubmitError::WorkerDied`] when the serving worker disappeared
+    /// before answering (or the handle expects no responses at all).
     pub fn wait(mut self) -> Result<QueryResponse, SubmitError> {
         if self.slots.is_empty() {
-            return Err(SubmitError::WorkerGone);
+            return Err(SubmitError::WorkerDied);
         }
         while self.slots[0].is_none() {
-            let (index, response) = self.rx.recv().map_err(|_| SubmitError::WorkerGone)?;
-            self.store(index, response);
+            let (index, outcome) = self.rx.recv().map_err(|_| SubmitError::WorkerDied)?;
+            self.store(index, outcome);
         }
-        Ok(self.slots.swap_remove(0).expect("slot 0 filled"))
+        match self.slots.swap_remove(0).expect("slot 0 filled") {
+            Ok(response) => Ok(response),
+            Err(e) => Err(SubmitError::Query(e)),
+        }
     }
 
-    /// Blocks until every submitted request completes and returns the
+    /// Blocks until every submitted request resolves and returns the
     /// responses in submission order (`out[i]` answers request `i`). An
-    /// empty batch yields an empty vec. Fails with
-    /// [`SubmitError::WorkerGone`] when a serving worker died before
-    /// answering.
-    pub fn wait_all(mut self) -> Result<Vec<QueryResponse>, SubmitError> {
+    /// empty batch yields an empty vec.
+    ///
+    /// If **any** request failed — a typed [`QueryError`] or a dead reply
+    /// channel — the successful responses are **not** discarded: the
+    /// [`WaitError`] hands them back in `received` (indexed by submission
+    /// order) alongside the first failure. Use
+    /// [`ResponseHandle::wait_each`] to get each request's own outcome
+    /// instead.
+    pub fn wait_all(mut self) -> Result<Vec<QueryResponse>, WaitError> {
+        let mut channel_died = false;
         while self.received < self.slots.len() {
-            let (index, response) = self.rx.recv().map_err(|_| SubmitError::WorkerGone)?;
-            self.store(index, response);
+            match self.rx.recv() {
+                Ok((index, outcome)) => self.store(index, outcome),
+                Err(_) => {
+                    channel_died = true;
+                    break;
+                }
+            }
         }
-        Ok(self
-            .slots
+        let typed = self.slots.iter().find_map(|slot| match slot {
+            Some(Err(e)) => Some(SubmitError::Query(*e)),
+            _ => None,
+        });
+        let error = match typed {
+            Some(e) => Some(e),
+            None if channel_died => Some(SubmitError::WorkerDied),
+            None => None,
+        };
+        match error {
+            None => Ok(self
+                .slots
+                .into_iter()
+                .map(|slot| match slot.expect("all slots filled") {
+                    Ok(response) => response,
+                    Err(_) => unreachable!("typed errors handled above"),
+                })
+                .collect()),
+            Some(error) => Err(WaitError {
+                received: self
+                    .slots
+                    .into_iter()
+                    .map(|slot| slot.and_then(Result::ok))
+                    .collect(),
+                error,
+            }),
+        }
+    }
+
+    /// Blocks until every submitted request resolves and returns **each**
+    /// request's outcome in submission order: `Ok(response)`,
+    /// [`SubmitError::Query`] for a typed per-query error, or
+    /// [`SubmitError::WorkerDied`] for a request whose reply channel died
+    /// unanswered. The redemption to use when partial results are the
+    /// point — one panicked or shed query never hides the others.
+    pub fn wait_each(mut self) -> Vec<Result<QueryResponse, SubmitError>> {
+        while self.received < self.slots.len() {
+            match self.rx.recv() {
+                Ok((index, outcome)) => self.store(index, outcome),
+                Err(_) => break,
+            }
+        }
+        self.slots
             .into_iter()
-            .map(|slot| slot.expect("all slots filled"))
-            .collect())
+            .map(|slot| match slot {
+                Some(Ok(response)) => Ok(response),
+                Some(Err(e)) => Err(SubmitError::Query(e)),
+                None => Err(SubmitError::WorkerDied),
+            })
+            .collect()
+    }
+
+    /// Bounded-blocking wait: like [`ResponseHandle::poll`], but blocks up
+    /// to `timeout` for the outstanding responses. `None` when the timeout
+    /// expires first — the handle stays usable and everything that did
+    /// arrive stays buffered, so callers can keep extending the wait.
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<Result<QueryResponse, SubmitError>> {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            // A timeout beyond the representable range is an unbounded
+            // wait for any practical purpose; clamp to a year out.
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(31_536_000));
+        self.wait_deadline(deadline)
+    }
+
+    /// Bounded-blocking wait against an absolute deadline: `Some` with the
+    /// first-submitted request's outcome once **all** expected responses
+    /// have resolved, `None` when `deadline` passes first (arrived
+    /// responses stay buffered; the handle stays usable),
+    /// `Some(Err(..))` when the reply channel died. The caller-side
+    /// companion of [`QueryRequest::deadline`]: the worker bounds queue
+    /// staleness, this bounds the caller's wait.
+    pub fn wait_deadline(
+        &mut self,
+        deadline: Instant,
+    ) -> Option<Result<QueryResponse, SubmitError>> {
+        loop {
+            if self.received == self.slots.len() {
+                return Some(self.take_first());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok((index, outcome)) => self.store(index, outcome),
+                Err(mpsc::RecvTimeoutError::Timeout) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Some(Err(self.first_failure()))
+                }
+            }
+        }
     }
 
     /// Non-blocking poll: `Some(Ok(..))` with the first-submitted request's
-    /// response once **all** expected responses have arrived, `None` while
-    /// any is still in flight, `Some(Err(WorkerGone))` when a worker died.
-    /// Arrived responses are buffered across calls.
+    /// response once **all** expected responses have resolved, `None` while
+    /// any is still in flight, `Some(Err(..))` on a typed per-query error
+    /// or a dead worker. Arrived responses are buffered across calls.
     pub fn poll(&mut self) -> Option<Result<QueryResponse, SubmitError>> {
         loop {
             if self.received == self.slots.len() {
-                return match self.slots.first_mut().and_then(Option::take) {
-                    Some(response) => Some(Ok(response)),
-                    None => Some(Err(SubmitError::WorkerGone)),
-                };
+                return Some(self.take_first());
             }
             match self.rx.try_recv() {
-                Ok((index, response)) => self.store(index, response),
+                Ok((index, outcome)) => self.store(index, outcome),
                 Err(mpsc::TryRecvError::Empty) => return None,
-                Err(mpsc::TryRecvError::Disconnected) => return Some(Err(SubmitError::WorkerGone)),
+                Err(mpsc::TryRecvError::Disconnected) => return Some(Err(self.first_failure())),
             }
         }
     }
@@ -346,7 +493,7 @@ enum Work {
 /// A queued job plus its reply channel.
 struct Job {
     work: Work,
-    reply: mpsc::Sender<(u32, QueryResponse)>,
+    reply: mpsc::Sender<(u32, Result<QueryResponse, QueryError>)>,
     /// When the request entered the queue; response latency is measured
     /// from here, so time spent waiting behind other requests is visible
     /// in the histogram (the open-loop contract).
@@ -368,6 +515,10 @@ struct WorkerCounters {
     batch_queries: AtomicU64,
     batch_unique_pages: AtomicU64,
     batch_sequential_pages: AtomicU64,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -385,7 +536,20 @@ impl WorkerCounters {
             batch_queries: AtomicU64::new(0),
             batch_unique_pages: AtomicU64::new(0),
             batch_sequential_pages: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn fault_ledger(&self) -> FaultLedger {
+        FaultLedger {
+            panics: self.panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
         }
     }
 
@@ -513,6 +677,11 @@ pub struct ServiceStats {
     /// `batch_unique_pages` is the shared-read saving
     /// ([`ServiceStats::shared_read_savings`]).
     pub batch_sequential_pages: u64,
+    /// Fault ledger: panics, respawns, shed requests, and missed deadlines
+    /// across all workers (see [`FaultLedger`]). `faults.panics` counts
+    /// queries answered with [`QueryError::WorkerPanicked`] — they are
+    /// **not** in `queries_served`.
+    pub faults: FaultLedger,
     /// Per-worker breakdown (length = total workers across pools).
     pub per_worker: Vec<WorkerSnapshot>,
     /// Per-shard routing/serving breakdown (length = shard count).
@@ -616,10 +785,13 @@ impl Service {
                 let slot = Arc::clone(&slot);
                 let rx = Arc::clone(&rx);
                 let planner = config.planner;
+                let fault = config.fault_plan.clone();
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("gnn-worker-{shard}-{worker_id}"))
-                        .spawn(move || worker_loop(&slot, &rx, planner, &counter))
+                        .spawn(move || {
+                            worker_loop(&slot, &rx, planner, &counter, worker_id, &fault)
+                        })
                         .expect("spawn worker thread"),
                 );
                 worker_id += 1;
@@ -772,9 +944,11 @@ impl Service {
     ///   `.blocking(false)` fails fast with [`SubmitError::QueueFull`].
     ///
     /// Errors: [`SubmitError::QueueFull`] (non-blocking, routed queue
-    /// full), [`SubmitError::WorkerGone`] (shutdown initiated or the
-    /// routed pool's workers all died), [`SubmitError::BadGroup`] (a group
-    /// submission's points don't form a valid query group).
+    /// full), [`SubmitError::Shutdown`] (shutdown already initiated),
+    /// [`SubmitError::BadGroup`] (a group submission's points don't form a
+    /// valid query group). Per-query failures — a worker panic, a deadline
+    /// shed — are **not** submission errors: they come back through the
+    /// handle as typed [`QueryError`] outcomes.
     pub fn submit(&self, submission: impl Into<Submission>) -> Result<ResponseHandle, SubmitError> {
         let submission = submission.into();
         let blocking = submission.blocking;
@@ -802,7 +976,7 @@ impl Service {
     ) -> Result<ResponseHandle, (QueryRequest, SubmitError)> {
         let shard = self.route(&request);
         let Some(sender) = self.sender(shard) else {
-            return Err((request, SubmitError::WorkerGone));
+            return Err((request, SubmitError::Shutdown));
         };
         let (reply, rx) = mpsc::channel();
         let job = Job {
@@ -815,11 +989,12 @@ impl Service {
             Work::Batch { .. } => unreachable!("single job"),
         };
         if blocking {
-            // A blocking `send` fails only when every worker of the pool
-            // (and thus the shared receiver) is gone, or shutdown closed
-            // the table between `sender()` and here.
+            // A blocking `send` fails only when the shared receiver is
+            // gone: shutdown closed the table between `sender()` and here
+            // and the pool drained out (supervised workers never abandon
+            // the receiver on a panic).
             if let Err(mpsc::SendError(job)) = sender.send(job) {
-                return Err((unwrap_single(job.work), SubmitError::WorkerGone));
+                return Err((unwrap_single(job.work), SubmitError::Shutdown));
             }
         } else {
             match sender.try_send(job) {
@@ -828,7 +1003,7 @@ impl Service {
                     return Err((unwrap_single(job.work), SubmitError::QueueFull))
                 }
                 Err(TrySendError::Disconnected(job)) => {
-                    return Err((unwrap_single(job.work), SubmitError::WorkerGone))
+                    return Err((unwrap_single(job.work), SubmitError::Shutdown))
                 }
             }
         }
@@ -871,10 +1046,10 @@ impl Service {
         // The whole sender table is cloned under one lock acquisition, so
         // a racing shutdown either rejects the entire batch or lets every
         // sub-batch in (sends can still lose to a close that lands
-        // mid-loop, which maps to `WorkerGone` like any dead pool).
+        // mid-loop, which maps to `Shutdown` like the up-front check).
         let senders = lock_unpoisoned(&self.senders)
             .as_ref()
-            .ok_or(SubmitError::WorkerGone)?
+            .ok_or(SubmitError::Shutdown)?
             .clone();
         let submitted = Instant::now();
         for (shard, (sub_requests, indices)) in per_shard.into_iter().enumerate() {
@@ -892,13 +1067,13 @@ impl Service {
             };
             if blocking {
                 if senders[shard].send(job).is_err() {
-                    return Err(SubmitError::WorkerGone);
+                    return Err(SubmitError::Shutdown);
                 }
             } else {
                 match senders[shard].try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => return Err(SubmitError::QueueFull),
-                    Err(TrySendError::Disconnected(_)) => return Err(SubmitError::WorkerGone),
+                    Err(TrySendError::Disconnected(_)) => return Err(SubmitError::Shutdown),
                 }
             }
             self.pools[shard]
@@ -917,6 +1092,7 @@ impl Service {
         let mut worker_id = 0usize;
         let (mut batches, mut batch_queries) = (0u64, 0u64);
         let (mut batch_unique_pages, mut batch_sequential_pages) = (0u64, 0u64);
+        let mut faults = FaultLedger::default();
         for (shard, pool) in self.pools.iter().enumerate() {
             let mut stats = ShardStats {
                 shard,
@@ -935,6 +1111,7 @@ impl Service {
                 batch_queries += c.batch_queries.load(Ordering::Relaxed);
                 batch_unique_pages += c.batch_unique_pages.load(Ordering::Relaxed);
                 batch_sequential_pages += c.batch_sequential_pages.load(Ordering::Relaxed);
+                faults = faults.merged(c.fault_ledger());
                 latency.merge(&c.latency.snapshot());
             }
             per_shard.push(stats);
@@ -950,6 +1127,7 @@ impl Service {
             batch_queries,
             batch_unique_pages,
             batch_sequential_pages,
+            faults,
             per_worker,
             per_shard,
             latency,
@@ -966,7 +1144,7 @@ impl Service {
 
     /// Closes every shard queue from `&self` without joining the workers:
     /// submissions from this point on fail cleanly
-    /// ([`ServiceError::WorkerGone`] / a handle that reports it), while
+    /// ([`SubmitError::Shutdown`]), while
     /// every request accepted **before** the close is still drained and
     /// answered exactly once — and no snapshot can be published past the
     /// close ([`Service::try_publish_sharded`]). Callable from any thread —
@@ -993,9 +1171,9 @@ impl Service {
         self.initiate_shutdown();
         for pool in &mut self.pools {
             for handle in pool.workers.drain(..) {
-                // A panicked worker already delivered its error to the
-                // affected handle (dropped reply channel → `WorkerGone`);
-                // joining must not poison shutdown for healthy workers.
+                // Supervised workers answer the in-flight request before
+                // rebuilding their state, so a panic never leaves a handle
+                // hanging; joining must not poison shutdown regardless.
                 let _ = handle.join();
             }
         }
@@ -1021,6 +1199,32 @@ impl fmt::Debug for Service {
     }
 }
 
+/// Applies the fault plan at the execution point of a worker's `nth`
+/// attempt (1-based): the injected per-query latency, then the injected
+/// panic. Runs **inside** the supervision `catch_unwind`, before the
+/// algorithm — a non-faulted query's execution is untouched.
+fn inject_fault(fault: &FaultPlan, worker: usize, nth: u64) {
+    if fault.is_empty() {
+        return;
+    }
+    // A panicking query crashes *instead of* executing, so it fires before
+    // the injected latency — the latency models execution cost, which a
+    // crashed query never completes.
+    if fault.should_panic(worker, nth) {
+        panic!("injected fault: worker {worker} query {nth}");
+    }
+    if let Some(latency) = fault.injected_latency() {
+        std::thread::sleep(latency);
+    }
+}
+
+/// Whether a dequeued request's deadline has already expired. If so, the
+/// worker answers [`QueryError::DeadlineExceeded`] instead of executing —
+/// load shedding at the dequeue point, where queue staleness is known.
+fn expired(deadline: Option<Duration>, submitted: Instant) -> bool {
+    deadline.is_some_and(|d| submitted.elapsed() >= d)
+}
+
 /// The worker body: per-shard cursors + one scratch + planner per thread.
 /// The scratch is reused for the thread's whole lifetime — steady-state
 /// queries allocate only their response vectors — while the cursors are
@@ -1029,11 +1233,23 @@ impl fmt::Debug for Service {
 /// [`QueryRequest::execute_sharded_in`]: a single-shard snapshot follows
 /// the exact single-tree path, a partitioned one the best-first cross-shard
 /// merge.
+///
+/// **Supervision:** every query executes inside `catch_unwind`. A panic —
+/// injected by the [`FaultPlan`] or real — answers the in-flight request
+/// with [`QueryError::WorkerPanicked`], rebuilds the worker's serving
+/// state (fresh scratch + cursors: nothing a panic may have left
+/// mid-mutation survives), bumps the fault ledger, and keeps serving on
+/// the same thread. Pool capacity and per-shard availability are invariant
+/// under panics, and no `wait()` ever hangs on one. Panics unwind out of
+/// the algorithm only; the snapshot itself is immutable and shared, so no
+/// tree state can be corrupted.
 fn worker_loop(
     slot: &SnapshotSlot,
     rx: &Mutex<Receiver<Job>>,
     planner: Planner,
     counters: &WorkerCounters,
+    worker_id: usize,
+    fault: &FaultPlan,
 ) {
     let mut scratch = QueryScratch::new();
     let (mut snap, mut generation) = slot.load();
@@ -1041,8 +1257,11 @@ fn worker_loop(
     // it executes on the snapshot current at its dequeue, never dropped.
     let mut pending: Option<Job> = None;
     let mut warmed = false;
+    // Execution attempts by this worker, 1-based: the fault plan's query
+    // coordinate. Counts every execution start, including ones that panic.
+    let mut attempts = 0u64;
     loop {
-        let cursors: Vec<TreeCursor<'_>> = snap.shards().iter().map(|s| s.cursor()).collect();
+        let mut cursors: Vec<TreeCursor<'_>> = snap.shards().iter().map(|s| s.cursor()).collect();
         // Self-warm before serving: one canned query sizes the scratch's
         // core buffers, so a worker's very first real request does not pay
         // the cold-start allocations inside a caller's latency measurement.
@@ -1094,55 +1313,163 @@ fn worker_loop(
             } = job;
             match work {
                 Work::Single(request) => {
+                    // Shed at dequeue: a request whose deadline expired in
+                    // queue is answered typed instead of executed.
+                    if expired(request.deadline, submitted) {
+                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply.send((0, Err(QueryError::DeadlineExceeded)));
+                        continue;
+                    }
+                    let deadline = request.deadline;
+                    attempts += 1;
                     let exec0 = Instant::now();
-                    let (choice, neighbors, stats, routing) =
-                        request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
-                    let response = QueryResponse {
-                        choice,
-                        neighbors: neighbors.to_vec(),
-                        stats,
-                        generation,
-                        routing,
-                    };
-                    // `busy` counts execution only; the latency histogram
-                    // measures submit → response, so queue wait under
-                    // overload is visible.
-                    counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
-                    // The caller may have dropped its handle; that is not
-                    // an error.
-                    let _ = reply.send((0, response));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        inject_fault(fault, worker_id, attempts);
+                        let (choice, neighbors, stats, routing) =
+                            request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+                        let response = QueryResponse {
+                            choice,
+                            neighbors: neighbors.to_vec(),
+                            stats,
+                            generation,
+                            routing,
+                        };
+                        (response, stats, routing)
+                    }));
+                    match outcome {
+                        Ok((response, stats, routing)) => {
+                            // `busy` counts execution only; the latency
+                            // histogram measures submit → response, so
+                            // queue wait under overload is visible.
+                            counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
+                            if deadline.is_some_and(|d| submitted.elapsed() > d) {
+                                counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // The caller may have dropped its handle; that
+                            // is not an error.
+                            let _ = reply.send((0, Ok(response)));
+                        }
+                        Err(_) => {
+                            counters.panics.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply.send((0, Err(QueryError::WorkerPanicked)));
+                            // Respawn in place: nothing the panic may have
+                            // left mid-mutation survives into the next
+                            // query.
+                            scratch = QueryScratch::new();
+                            cursors = snap.shards().iter().map(|s| s.cursor()).collect();
+                            counters.respawns.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
-                Work::Batch { requests, indices } => {
+                Work::Batch {
+                    requests,
+                    indices: all_indices,
+                } => {
+                    // Shed expired members up front (typed, per request);
+                    // the survivors run as shared-traversal passes.
+                    let mut batch_requests = Vec::with_capacity(requests.len());
+                    let mut indices = Vec::with_capacity(all_indices.len());
+                    for (request, index) in requests.into_iter().zip(all_indices) {
+                        if expired(request.deadline, submitted) {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply.send((index, Err(QueryError::DeadlineExceeded)));
+                        } else {
+                            batch_requests.push(request);
+                            indices.push(index);
+                        }
+                    }
                     // One shared-traversal pass over the sub-batch. Every
                     // query still runs the unchanged per-query algorithm,
                     // so results and per-query stats (sequential-mode NA)
                     // are bit-identical to single submissions; only the
                     // batch ledger (unique vs sequential pages) is new.
-                    let target = Target::Sharded {
-                        snapshot: &snap,
-                        cursors: &cursors,
-                    };
-                    let mut last = Instant::now();
-                    let accounting = execute_batch_in(
-                        &planner,
-                        &target,
-                        &requests,
-                        &mut scratch,
-                        |i, choice, neighbors, stats, routing| {
-                            let now = Instant::now();
-                            let response = QueryResponse {
-                                choice,
-                                neighbors: neighbors.to_vec(),
-                                stats: *stats,
-                                generation,
-                                routing,
+                    //
+                    // Panic-resume: a pass that panics answers the
+                    // in-flight query with a typed error, rebuilds the
+                    // worker state, and re-runs the unanswered remainder
+                    // as a fresh shared pass — every other query of the
+                    // batch is answered exactly once. An aborted pass
+                    // contributes nothing to the batch ledger (its page
+                    // overlay died with the cursors); the resumed
+                    // remainder accounts as the pass that completed.
+                    while !batch_requests.is_empty() {
+                        let mut answered = vec![false; batch_requests.len()];
+                        let mut current: Option<usize> = None;
+                        let mut pass_attempts = attempts;
+                        let mut last = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let target = Target::Sharded {
+                                snapshot: &snap,
+                                cursors: &cursors,
                             };
-                            counters.record(stats, routing, now - last, submitted.elapsed());
-                            last = now;
-                            let _ = reply.send((indices[i], response));
-                        },
-                    );
-                    counters.record_batch(&accounting);
+                            execute_batch_hooked(
+                                &planner,
+                                &target,
+                                &batch_requests,
+                                &mut scratch,
+                                |i| {
+                                    current = Some(i);
+                                    pass_attempts += 1;
+                                    inject_fault(fault, worker_id, pass_attempts);
+                                },
+                                |i, choice, neighbors, stats, routing| {
+                                    let now = Instant::now();
+                                    let response = QueryResponse {
+                                        choice,
+                                        neighbors: neighbors.to_vec(),
+                                        stats: *stats,
+                                        generation,
+                                        routing,
+                                    };
+                                    counters.record(
+                                        stats,
+                                        routing,
+                                        now - last,
+                                        submitted.elapsed(),
+                                    );
+                                    last = now;
+                                    if batch_requests[i]
+                                        .deadline
+                                        .is_some_and(|d| submitted.elapsed() > d)
+                                    {
+                                        counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    answered[i] = true;
+                                    let _ = reply.send((indices[i], Ok(response)));
+                                },
+                            )
+                        }));
+                        attempts = pass_attempts;
+                        match outcome {
+                            Ok(accounting) => {
+                                counters.record_batch(&accounting);
+                                break;
+                            }
+                            Err(_) => {
+                                counters.panics.fetch_add(1, Ordering::Relaxed);
+                                // The in-flight query (per the before-hook)
+                                // is the victim; if the pass died before
+                                // any hook fired, charge the first
+                                // unanswered query so the loop always
+                                // makes progress.
+                                let victim = current
+                                    .filter(|&i| !answered[i])
+                                    .or_else(|| answered.iter().position(|&a| !a));
+                                if let Some(v) = victim {
+                                    answered[v] = true;
+                                    let _ =
+                                        reply.send((indices[v], Err(QueryError::WorkerPanicked)));
+                                }
+                                scratch = QueryScratch::new();
+                                cursors = snap.shards().iter().map(|s| s.cursor()).collect();
+                                counters.respawns.fetch_add(1, Ordering::Relaxed);
+                                let mut keep = answered.iter().map(|&a| !a);
+                                batch_requests.retain(|_| keep.next().unwrap());
+                                let mut keep = answered.iter().map(|&a| !a);
+                                indices.retain(|_| keep.next().unwrap());
+                            }
+                        }
+                    }
                 }
             }
         };
@@ -1383,8 +1710,8 @@ mod tests {
         // try_submit: hands the request back on failure.
         service.initiate_shutdown();
         match service.try_submit(QueryRequest::new(random_group(4, 44), 1)) {
-            Err((req, ServiceError::WorkerGone)) => assert_eq!(req.k, 1),
-            other => panic!("expected WorkerGone, got {:?}", other.map(|_| ())),
+            Err((req, ServiceError::Shutdown)) => assert_eq!(req.k, 1),
+            other => panic!("expected Shutdown, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -1522,7 +1849,7 @@ mod tests {
             service
                 .submit(QueryRequest::new(random_group(4, 99), 1))
                 .err(),
-            Some(SubmitError::WorkerGone)
+            Some(SubmitError::Shutdown)
         );
         assert_eq!(
             service
@@ -1530,7 +1857,7 @@ mod tests {
                     Submission::request(QueryRequest::new(random_group(4, 98), 1)).blocking(false)
                 )
                 .err(),
-            Some(SubmitError::WorkerGone)
+            Some(SubmitError::Shutdown)
         );
         assert_eq!(
             service
@@ -1539,7 +1866,7 @@ mod tests {
                     1
                 )]))
                 .err(),
-            Some(SubmitError::WorkerGone)
+            Some(SubmitError::Shutdown)
         );
         // Everything accepted before the close is answered exactly once.
         for r in accepted.wait_all().unwrap() {
@@ -1556,7 +1883,7 @@ mod tests {
         // that must hold for every interleaving: each submitted request
         // resolves to exactly one outcome — a response (iff it was accepted
         // before the close; the count must equal the workers' served
-        // counter) or a clean `WorkerGone` error. Nothing hangs, nothing
+        // counter) or a clean `Shutdown` error. Nothing hangs, nothing
         // is answered twice, nothing is silently dropped.
         let snap = snapshot(600, 60);
         let service = Service::start(
@@ -1604,7 +1931,7 @@ mod tests {
         for o in &outcomes {
             match o {
                 Ok(r) => assert_eq!(r.neighbors.len(), 1),
-                Err(e) => assert_eq!(*e, SubmitError::WorkerGone),
+                Err(e) => assert_eq!(*e, SubmitError::Shutdown),
             }
         }
     }

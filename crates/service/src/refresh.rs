@@ -14,10 +14,12 @@
 //!
 //! Shutdown hygiene is part of the contract:
 //!
-//! * [`RefreshDriver::shutdown`] closes the update channel, lets the thread
+//! * [`RefreshDriver::join`] closes the update channel, lets the thread
 //!   drain and apply every accepted update, performs one final flush
 //!   refresh (so no accepted update is silently dropped), joins the thread,
-//!   and hands back the tree plus the whole published snapshot history;
+//!   and hands back the tree plus the whole published snapshot history — or
+//!   a typed [`DriverError`] when the driver panicked or a refreeze failed,
+//!   instead of re-panicking in the caller;
 //! * publishes go through [`Service::try_publish_sharded`], which is
 //!   serialized against [`Service::initiate_shutdown`] — once the service
 //!   has closed its queues, a racing refresh is *dropped*, never published:
@@ -32,9 +34,41 @@
 use crate::{lock_unpoisoned, Service};
 use gnn_geom::{Point, PointId};
 use gnn_rtree::{LeafEntry, ShardedSnapshot, ShardedTree};
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Why a [`RefreshDriver`] run ended without an outcome. Returned by
+/// [`RefreshDriver::join`] — driver failure is a typed result at the join
+/// point, not a re-panic in the caller's thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// The driver thread panicked. The tree and snapshot history died with
+    /// it; the service keeps serving its last published generation.
+    Panicked,
+    /// The driver's `cycle`-th refreeze (1-based) failed and the run was
+    /// aborted. Injectable through
+    /// [`FaultPlan::fail_refreeze`](crate::FaultPlan::fail_refreeze) on the
+    /// service's configuration.
+    RefreezeFailed {
+        /// The 1-based refreeze cycle that failed.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Panicked => f.write_str("refresh driver thread panicked"),
+            DriverError::RefreezeFailed { cycle } => {
+                write!(f, "refreeze cycle {cycle} failed; driver aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// One mutation for the [`RefreshDriver`] to apply to its sharded tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,7 +142,7 @@ pub struct RefreshOutcome {
 #[derive(Debug)]
 pub struct RefreshDriver {
     tx: Option<Sender<Update>>,
-    handle: Option<JoinHandle<RefreshOutcome>>,
+    handle: Option<JoinHandle<Result<RefreshOutcome, DriverError>>>,
     /// Mirrors the thread's counters for cheap mid-run observation.
     applied: Arc<Mutex<RefreshStats>>,
 }
@@ -151,8 +185,8 @@ impl RefreshDriver {
     }
 
     /// Enqueues an update for the driver to apply. Returns `false` once the
-    /// driver thread is gone (only possible after [`RefreshDriver::shutdown`]
-    /// or a driver panic).
+    /// driver thread is gone (after [`RefreshDriver::join`], a refreeze
+    /// failure, or a driver panic).
     pub fn apply(&self, update: Update) -> bool {
         self.tx.as_ref().is_some_and(|tx| tx.send(update).is_ok())
     }
@@ -165,18 +199,16 @@ impl RefreshDriver {
 
     /// Closes the update channel, waits for the thread to drain every
     /// accepted update and perform its final flush refresh, and returns the
-    /// tree, the published snapshot history, and the counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the driver thread itself panicked.
-    pub fn shutdown(mut self) -> RefreshOutcome {
+    /// tree, the published snapshot history, and the counters — or a typed
+    /// [`DriverError`] when the driver panicked or a refreeze cycle failed.
+    /// Never panics on driver failure: the error surfaces as a value at
+    /// the one place a caller can handle it.
+    pub fn join(mut self) -> Result<RefreshOutcome, DriverError> {
         self.tx.take();
-        self.handle
-            .take()
-            .expect("driver joined once")
-            .join()
-            .expect("refresh driver thread panicked")
+        match self.handle.take().expect("driver joined once").join() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(DriverError::Panicked),
+        }
     }
 }
 
@@ -209,11 +241,14 @@ fn driver_loop(
     policy: RefreshPolicy,
     rx: &Receiver<Update>,
     shared: &Mutex<RefreshStats>,
-) -> RefreshOutcome {
+) -> Result<RefreshOutcome, DriverError> {
     let mut last = service.sharded_snapshot();
     let mut snapshots = vec![Arc::clone(&last)];
     let mut stats = RefreshStats::default();
     let mut pending = 0usize;
+    // Refreeze cycles attempted, 1-based: the fault plan's coordinate for
+    // injected refreeze failures.
+    let mut cycles = 0u64;
     // Blocking receive: the policy is purely update-driven (pending counts
     // and dirty fractions only change when an update arrives), and a close
     // of the channel wakes the receiver immediately — an idle driver costs
@@ -229,7 +264,18 @@ fn driver_loop(
         }
         if pending >= policy.max_pending || tree.max_dirty_fraction(&last) >= policy.dirty_fraction
         {
-            refresh(&tree, service, &mut last, &mut snapshots, &mut stats);
+            cycles += 1;
+            if let Err(e) = refresh(
+                &tree,
+                service,
+                &mut last,
+                &mut snapshots,
+                &mut stats,
+                cycles,
+            ) {
+                *lock_unpoisoned(shared) = stats;
+                return Err(e);
+            }
             pending = 0;
         }
         *lock_unpoisoned(shared) = stats;
@@ -239,25 +285,43 @@ fn driver_loop(
         // the service already closed, in which case the refresh is
         // *dropped*, never published (`try_publish_sharded` is serialized
         // against the close).
-        refresh(&tree, service, &mut last, &mut snapshots, &mut stats);
+        cycles += 1;
+        if let Err(e) = refresh(
+            &tree,
+            service,
+            &mut last,
+            &mut snapshots,
+            &mut stats,
+            cycles,
+        ) {
+            *lock_unpoisoned(shared) = stats;
+            return Err(e);
+        }
     }
     *lock_unpoisoned(shared) = stats;
-    RefreshOutcome {
+    Ok(RefreshOutcome {
         tree,
         snapshots,
         stats,
-    }
+    })
 }
 
 /// One refreeze + publish cycle. `last` chains: even a dropped (post-close)
-/// refresh keeps the incremental baseline current for the next cycle.
+/// refresh keeps the incremental baseline current for the next cycle. A
+/// cycle the service's [`FaultPlan`](crate::FaultPlan) marks as failing
+/// aborts the run with [`DriverError::RefreezeFailed`] — the injected
+/// stand-in for a refreeze hitting resource exhaustion.
 fn refresh(
     tree: &ShardedTree,
     service: &Service,
     last: &mut Arc<ShardedSnapshot>,
     snapshots: &mut Vec<Arc<ShardedSnapshot>>,
     stats: &mut RefreshStats,
-) {
+    cycle: u64,
+) -> Result<(), DriverError> {
+    if service.config().fault_plan.refreeze_fails(cycle) {
+        return Err(DriverError::RefreezeFailed { cycle });
+    }
     let next = Arc::new(tree.refreeze_all(last));
     if service.try_publish_sharded(Arc::clone(&next)).is_some() {
         snapshots.push(Arc::clone(&next));
@@ -266,6 +330,7 @@ fn refresh(
         stats.skipped_publishes += 1;
     }
     *last = next;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -324,7 +389,7 @@ mod tests {
             spins += 1;
             assert!(spins < 100_000_000, "updates never published");
         }
-        let outcome = driver.shutdown();
+        let outcome = driver.join().expect("driver run failed");
         assert_eq!(outcome.stats.applied, 50);
         assert_eq!(outcome.stats.missed_removes, 0);
         assert!(outcome.stats.published >= 1);
@@ -358,7 +423,7 @@ mod tests {
                 Point::new(1.0 + i as f64, 2.0),
             )));
         }
-        let outcome = driver.shutdown();
+        let outcome = driver.join().expect("driver run failed");
         assert_eq!(outcome.stats.applied, 10);
         assert_eq!(outcome.stats.published, 1, "exactly the final flush");
         assert_eq!(outcome.snapshots.last().unwrap().len(), 410);
@@ -375,7 +440,7 @@ mod tests {
             id: PointId(999_999),
             point: Point::new(3.0, 3.0),
         });
-        let outcome = driver.shutdown();
+        let outcome = driver.join().expect("driver run failed");
         assert_eq!(outcome.stats.missed_removes, 1);
         assert_eq!(outcome.tree.len(), 100);
         drop(service);
@@ -386,7 +451,7 @@ mod tests {
         let (service, driver) = start_pair(100, 2, 4, RefreshPolicy::default());
         let stats = driver.stats();
         assert_eq!(stats.applied, 0);
-        let outcome = driver.shutdown();
+        let outcome = driver.join().expect("driver run failed");
         assert_eq!(outcome.stats.published, 0, "no updates, no publishes");
         drop(service);
     }

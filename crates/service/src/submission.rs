@@ -18,9 +18,43 @@
 //! # let _ = single;
 //! ```
 
-use gnn_core::{Aggregate, Algo, QueryGroup, QueryGroupError, QueryRequest};
+use gnn_core::{Aggregate, Algo, QueryGroup, QueryGroupError, QueryRequest, QueryResponse};
 use gnn_geom::Point;
 use std::fmt;
+use std::time::Duration;
+
+/// A typed per-query failure delivered **through a [`ResponseHandle`]**:
+/// the request was accepted, but the serving engine could not (or chose
+/// not to) produce a result for it. Other requests — including the rest of
+/// the same batch — are unaffected; a query error is a response, never a
+/// lost reply.
+///
+/// [`ResponseHandle`]: crate::ResponseHandle
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The worker panicked while executing this query. The supervisor
+    /// answers the in-flight request with this error, respawns the
+    /// worker's state (fresh cursors + scratch), and keeps serving — pool
+    /// capacity is invariant under panics. Counted in the fault ledger
+    /// ([`FaultLedger::panics`](crate::FaultLedger)).
+    WorkerPanicked,
+    /// The request's [`deadline`](QueryRequest::deadline) had already
+    /// expired when a worker dequeued it, so it was shed instead of
+    /// executed — the bounded-staleness contract under overload. Counted
+    /// in [`FaultLedger::shed`](crate::FaultLedger).
+    DeadlineExceeded,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::WorkerPanicked => f.write_str("worker panicked while executing the query"),
+            QueryError::DeadlineExceeded => f.write_str("request deadline expired in queue; shed"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Why a submission (or a wait on its handle) failed. The single error
 /// surface of the serving API.
@@ -30,22 +64,58 @@ pub enum SubmitError {
     /// full — the backpressure signal an open-loop load generator counts
     /// as a drop. Retry, shed, or submit blocking.
     QueueFull,
-    /// The service is shutting down, the routed pool's workers have all
-    /// died (a worker dies only by panicking inside a query), or a worker
-    /// disappeared before answering. Results for other requests are
-    /// unaffected.
+    /// The service refused the submission because
+    /// [`initiate_shutdown`](crate::Service::initiate_shutdown) /
+    /// [`shutdown`](crate::Service::shutdown) already closed the queues —
+    /// the orderly-drain signal. Requests accepted before the close are
+    /// still answered.
+    Shutdown,
+    /// A worker disappeared before answering: the reply channel died with
+    /// responses still owed. With supervision this indicates a dropped
+    /// job during teardown (or a legacy dead handle), not a panic — a
+    /// panic inside a query comes back as
+    /// [`SubmitError::Query`]`(`[`QueryError::WorkerPanicked`]`)` instead.
+    WorkerDied,
+    /// Superseded by the [`SubmitError::Shutdown`] / [`SubmitError::WorkerDied`]
+    /// split; no longer produced.
+    #[deprecated(
+        since = "0.7.0",
+        note = "split into `SubmitError::Shutdown` (orderly drain) and \
+                `SubmitError::WorkerDied` (failure); no longer produced"
+    )]
     WorkerGone,
     /// The submission's point set does not form a valid query group
     /// (e.g. empty).
     BadGroup(QueryGroupError),
+    /// The request was accepted but answered with a typed per-query error
+    /// (panic or deadline shed) instead of a result.
+    Query(QueryError),
+}
+
+impl SubmitError {
+    /// Whether the error means the service (or the serving worker) is
+    /// unavailable — an orderly [`SubmitError::Shutdown`] or a
+    /// [`SubmitError::WorkerDied`] failure — as opposed to backpressure,
+    /// a bad request, or a typed per-query error.
+    #[allow(deprecated)]
+    pub fn is_unavailable(&self) -> bool {
+        matches!(
+            self,
+            SubmitError::Shutdown | SubmitError::WorkerDied | SubmitError::WorkerGone
+        )
+    }
 }
 
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::QueueFull => f.write_str("request queue is full"),
-            SubmitError::WorkerGone => f.write_str("worker terminated without responding"),
+            SubmitError::Shutdown => f.write_str("service is shutting down"),
+            SubmitError::WorkerDied => f.write_str("worker terminated without responding"),
+            #[allow(deprecated)]
+            SubmitError::WorkerGone => f.write_str("worker gone"),
             SubmitError::BadGroup(e) => write!(f, "invalid query group: {e}"),
+            SubmitError::Query(e) => write!(f, "query failed: {e}"),
         }
     }
 }
@@ -57,6 +127,45 @@ impl From<QueryGroupError> for SubmitError {
         SubmitError::BadGroup(e)
     }
 }
+
+impl From<QueryError> for SubmitError {
+    fn from(e: QueryError) -> Self {
+        SubmitError::Query(e)
+    }
+}
+
+/// A batch wait that could not complete — but did not lose what it had:
+/// every response received before the failure is handed back in
+/// `received`, indexed by submission order.
+///
+/// Returned by [`ResponseHandle::wait_all`](crate::ResponseHandle::wait_all)
+/// when any request of the batch resolved to a typed [`QueryError`] or the
+/// reply channel died. `error` is the **first** failure in submission
+/// order; a `None` slot in `received` belongs to a request that failed or
+/// was never answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitError {
+    /// Successful responses collected before/around the failure, indexed
+    /// by submission position (`received[i]` answers request `i`).
+    pub received: Vec<Option<QueryResponse>>,
+    /// The first failure, in submission order: a typed per-query error
+    /// ([`SubmitError::Query`]) or [`SubmitError::WorkerDied`].
+    pub error: SubmitError,
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let got = self.received.iter().filter(|s| s.is_some()).count();
+        write!(
+            f,
+            "batch wait failed ({got}/{} responses received): {}",
+            self.received.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for WaitError {}
 
 /// One unit of work for [`Service::submit`](crate::Service::submit): a
 /// single request, a group query, or a shared-traversal batch.
@@ -104,6 +213,7 @@ impl Submission {
             aggregate: None,
             algo: Algo::Auto,
             shard_hint: None,
+            deadline: None,
             blocking: true,
         }
     }
@@ -127,6 +237,23 @@ impl Submission {
         self.blocking = blocking;
         self
     }
+
+    /// Sets a queue-wait deadline on every request of this submission (see
+    /// [`QueryRequest::deadline`]): a request still queued when the budget
+    /// expires is shed with [`QueryError::DeadlineExceeded`] instead of
+    /// executed.
+    pub fn deadline(mut self, deadline: Duration) -> Submission {
+        match &mut self.kind {
+            SubmissionKind::Request(request) => request.deadline = Some(deadline),
+            SubmissionKind::Group(group) => group.deadline = Some(deadline),
+            SubmissionKind::Batch(requests) => {
+                for request in requests {
+                    request.deadline = Some(deadline);
+                }
+            }
+        }
+        self
+    }
 }
 
 impl From<QueryRequest> for Submission {
@@ -143,6 +270,7 @@ pub struct GroupSubmission {
     aggregate: Option<Aggregate>,
     algo: Algo,
     shard_hint: Option<u32>,
+    deadline: Option<Duration>,
     blocking: bool,
 }
 
@@ -172,6 +300,12 @@ impl GroupSubmission {
         self
     }
 
+    /// Sets a queue-wait deadline (see [`QueryRequest::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> GroupSubmission {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Sets whether the submission blocks on a full queue (`true`, the
     /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
     pub fn blocking(mut self, blocking: bool) -> GroupSubmission {
@@ -193,6 +327,7 @@ impl GroupSubmission {
             k: self.k.unwrap_or(default_k),
             algo: self.algo,
             shard_hint: self.shard_hint,
+            deadline: self.deadline,
         })
     }
 }
@@ -214,6 +349,18 @@ impl BatchSubmission {
     /// rejection as dropping the whole batch.
     pub fn blocking(mut self, blocking: bool) -> BatchSubmission {
         self.blocking = blocking;
+        self
+    }
+
+    /// Sets a queue-wait deadline on every request of the batch (see
+    /// [`QueryRequest::deadline`]). Sheds apply per request: expired
+    /// members are answered with
+    /// [`QueryError::DeadlineExceeded`] while the rest of the sub-batch
+    /// still executes as one shared pass.
+    pub fn deadline(mut self, deadline: Duration) -> BatchSubmission {
+        for request in &mut self.requests {
+            request.deadline = Some(deadline);
+        }
         self
     }
 }

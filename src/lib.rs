@@ -74,7 +74,8 @@ pub mod prelude {
         LeafEntry, PackedRTree, RTree, RTreeParams, ShardedSnapshot, ShardedTree, TreeCursor,
     };
     pub use gnn_service::{
-        RefreshDriver, RefreshPolicy, ResponseHandle, Service, ServiceConfig, ServiceStats,
-        Submission, SubmitError, Update,
+        DriverError, FaultLedger, FaultPlan, QueryError, RefreshDriver, RefreshPolicy,
+        ResponseHandle, Service, ServiceConfig, ServiceStats, Submission, SubmitError, Update,
+        WaitError,
     };
 }

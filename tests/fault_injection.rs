@@ -1,0 +1,362 @@
+//! Fault-tolerance contracts under deterministic fault injection: a worker
+//! panic is a **typed response** ([`QueryError::WorkerPanicked`]) for
+//! exactly the query that was in flight, never a hung wait or a lost
+//! reply; the supervisor rebuilds the worker's serving state so pool
+//! capacity is invariant; expired requests are shed at dequeue with
+//! [`QueryError::DeadlineExceeded`]; and every query a fault did *not*
+//! touch stays bit-identical to the sequential reference — on any worker
+//! count, sharded or not, and across a mid-batch panic-resume.
+
+use gnn::core::QueryScratch;
+use gnn::datasets::{query_workload, QuerySpec};
+use gnn::prelude::*;
+use gnn::service::QueryError;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fingerprint(neighbors: &[Neighbor]) -> Vec<(u64, u64)> {
+    neighbors
+        .iter()
+        .map(|n| (n.id.0, n.dist.to_bits()))
+        .collect()
+}
+
+fn base_points(n: usize, seed: u64) -> Vec<Point> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
+        .collect()
+}
+
+fn tree_of(pts: &[Point]) -> RTree {
+    RTree::bulk_load(
+        RTreeParams::default(),
+        pts.iter()
+            .enumerate()
+            .map(|(i, &p)| LeafEntry::new(PointId(i as u64), p)),
+    )
+}
+
+fn workload(workspace: Rect, count: usize, seed: u64) -> Vec<QueryRequest> {
+    let spec = QuerySpec {
+        n: 8,
+        area_fraction: 0.06,
+    };
+    query_workload(workspace, spec, count, seed)
+        .into_iter()
+        .map(|pts| QueryRequest::new(QueryGroup::sum(pts).unwrap(), 4))
+        .collect()
+}
+
+/// Sequential per-request reference on the service's own sharded target —
+/// the exact code path a worker runs, minus threads and faults.
+fn references(snapshot: &ShardedSnapshot, requests: &[QueryRequest]) -> Vec<Vec<(u64, u64)>> {
+    let planner = Planner::new();
+    let cursors: Vec<TreeCursor<'_>> = snapshot.shards().iter().map(|s| s.cursor()).collect();
+    let mut scratch = QueryScratch::new();
+    requests
+        .iter()
+        .map(|r| {
+            let (_, neighbors, _, _) =
+                r.execute_sharded_in(&planner, snapshot, &cursors, &mut scratch);
+            fingerprint(neighbors)
+        })
+        .collect()
+}
+
+fn sharded_snapshot(tree: &RTree, shards: usize) -> Arc<ShardedSnapshot> {
+    if shards == 1 {
+        Arc::new(ShardedSnapshot::single(Arc::new(tree.freeze())))
+    } else {
+        Arc::new(tree.freeze().partition(shards))
+    }
+}
+
+/// The tentpole matrix: every worker panics on its 2nd executed query, on
+/// 1/2/8 workers x {unsharded, 4 shards}. Every handle resolves to exactly
+/// one outcome (no hangs, no lost replies), every normal response is
+/// bit-identical to the sequential reference, the ledger agrees with the
+/// per-handle tally, and a second full round proves respawned workers kept
+/// the pool at full capacity.
+#[test]
+fn worker_panics_are_typed_and_respawn_restores_capacity() {
+    gnn::service::silence_injected_panics();
+    let pts = base_points(8_000, 21);
+    let tree = tree_of(&pts);
+    let count = 48usize;
+
+    for shards in [1usize, 4] {
+        let snapshot = sharded_snapshot(&tree, shards);
+        let requests = workload(tree.root_mbr(), count, 900 + shards as u64);
+        let reference = references(&snapshot, &requests);
+
+        for workers in [1usize, 2, 8] {
+            // One panic point per worker: ids are global across shard
+            // pools, so this covers every pool of the sharded services.
+            let spawned = workers.max(shards); // start_sharded: >= 1 per pool
+            let mut plan = FaultPlan::none();
+            for w in 0..spawned {
+                plan = plan.panic_on(w, 2);
+            }
+            let service = Service::start_sharded(
+                Arc::clone(&snapshot),
+                ServiceConfig {
+                    workers,
+                    fault_plan: plan,
+                    ..ServiceConfig::default()
+                },
+            );
+
+            let mut ok = 0u64;
+            let mut panicked = 0u64;
+            for round in 0..2 {
+                let handles: Vec<_> = requests
+                    .iter()
+                    .map(|r| service.submit(r.clone()).expect("submit"))
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    match h.wait() {
+                        Ok(r) => {
+                            ok += 1;
+                            assert_eq!(
+                                fingerprint(&r.neighbors),
+                                reference[i],
+                                "query {i} diverged (round {round}, {workers} workers, \
+                                 {shards} shards)"
+                            );
+                        }
+                        Err(SubmitError::Query(QueryError::WorkerPanicked)) => panicked += 1,
+                        Err(e) => panic!("unexpected outcome for query {i}: {e:?}"),
+                    }
+                }
+            }
+
+            let stats = service.shutdown();
+            // Exactly one outcome per submitted query, across both rounds.
+            assert_eq!(
+                ok + panicked,
+                2 * count as u64,
+                "lost or duplicated replies"
+            );
+            // 96 queries over at most 8 workers: some worker must reach
+            // its 2nd execution, and each point fires at most once.
+            assert!(panicked >= 1, "no injected panic fired");
+            assert!(panicked <= spawned as u64, "a panic point fired twice");
+            assert_eq!(stats.faults.panics, panicked, "ledger vs handle tally");
+            assert_eq!(stats.faults.respawns, panicked, "capacity not restored");
+            assert_eq!(stats.queries_served, ok, "served count excludes panics");
+        }
+    }
+}
+
+/// Satellite (d): a shared-traversal batch whose K-th executed query
+/// panics must answer every other query exactly once — the aborted pass's
+/// survivors are re-run as a fresh pass, bit-identical to the reference.
+#[test]
+fn mid_batch_panic_answers_every_other_query_exactly_once() {
+    gnn::service::silence_injected_panics();
+    let pts = base_points(6_000, 33);
+    let tree = tree_of(&pts);
+    let snapshot = sharded_snapshot(&tree, 1);
+    let requests = workload(tree.root_mbr(), 8, 1234);
+    let reference = references(&snapshot, &requests);
+
+    let service = Service::start_sharded(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 1,
+            fault_plan: FaultPlan::none().panic_on(0, 3),
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service
+        .submit(Submission::batch(requests.clone()))
+        .expect("batch submitted");
+    let outcomes = handle.wait_each();
+    assert_eq!(outcomes.len(), 8);
+    let mut panicked = 0u64;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(r) => assert_eq!(
+                fingerprint(&r.neighbors),
+                reference[i],
+                "batch member {i} diverged after the panic-resume"
+            ),
+            Err(SubmitError::Query(QueryError::WorkerPanicked)) => panicked += 1,
+            Err(e) => panic!("unexpected outcome for batch member {i}: {e:?}"),
+        }
+    }
+    assert_eq!(panicked, 1, "exactly the in-flight query fails");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.faults.panics, 1);
+    assert_eq!(stats.faults.respawns, 1);
+    assert_eq!(stats.queries_served, 7);
+}
+
+/// Satellite (c): `wait_all` on a batch with one failed member returns the
+/// partial responses alongside the typed error instead of discarding them.
+#[test]
+fn wait_all_hands_back_partial_responses_on_failure() {
+    gnn::service::silence_injected_panics();
+    let pts = base_points(5_000, 55);
+    let tree = tree_of(&pts);
+    let snapshot = sharded_snapshot(&tree, 1);
+    let requests = workload(tree.root_mbr(), 8, 77);
+    let reference = references(&snapshot, &requests);
+
+    let service = Service::start_sharded(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 1,
+            fault_plan: FaultPlan::none().panic_on(0, 5),
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service
+        .submit(Submission::batch(requests))
+        .expect("batch submitted");
+    let err = handle.wait_all().expect_err("one member panicked");
+    assert_eq!(
+        err.error,
+        SubmitError::Query(QueryError::WorkerPanicked),
+        "typed per-query error surfaces as the batch error"
+    );
+    assert_eq!(err.received.len(), 8);
+    assert_eq!(err.received.iter().filter(|r| r.is_some()).count(), 7);
+    for (i, r) in err.received.iter().enumerate() {
+        if let Some(r) = r {
+            assert_eq!(fingerprint(&r.neighbors), reference[i]);
+        }
+    }
+    service.shutdown();
+}
+
+/// Deadlines shed expired requests at dequeue with a typed error: behind a
+/// slow worker (injected latency far past the deadline), everything that
+/// waited in the queue is shed, and every request still gets exactly one
+/// outcome.
+#[test]
+fn expired_requests_are_shed_with_typed_error() {
+    let pts = base_points(4_000, 88);
+    let tree = tree_of(&pts);
+    let snapshot = sharded_snapshot(&tree, 1);
+    let requests = workload(tree.root_mbr(), 4, 5);
+
+    let service = Service::start_sharded(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 1,
+            fault_plan: FaultPlan::none().with_query_latency(Duration::from_millis(20)),
+            ..ServiceConfig::default()
+        },
+    );
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            service
+                .submit(r.clone().with_deadline(Duration::from_millis(1)))
+                .expect("submit")
+        })
+        .collect();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => served += 1,
+            Err(SubmitError::Query(QueryError::DeadlineExceeded)) => shed += 1,
+            Err(e) => panic!("unexpected outcome: {e:?}"),
+        }
+    }
+    assert_eq!(served + shed, 4, "every request resolves exactly once");
+    // The 20ms execution ahead of them expires everything that queued;
+    // only a request dequeued before its 1ms budget elapsed can be served.
+    assert!(shed >= 3, "queue-expired requests must be shed, got {shed}");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.faults.shed, shed);
+    // Anything served was dequeued in time but finished ~20ms late: the
+    // SLO-miss counter sees it, the error path does not.
+    assert_eq!(stats.faults.deadline_missed, served);
+    assert_eq!(stats.queries_served, served);
+}
+
+/// `wait_timeout` returns `None` while the response is still pending and
+/// delivers the same response on a later call — a timeout never consumes
+/// or corrupts the reply.
+#[test]
+fn wait_timeout_times_out_then_delivers() {
+    let pts = base_points(4_000, 99);
+    let tree = tree_of(&pts);
+    let snapshot = sharded_snapshot(&tree, 1);
+    let requests = workload(tree.root_mbr(), 1, 6);
+    let reference = references(&snapshot, &requests);
+
+    let service = Service::start_sharded(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            workers: 1,
+            fault_plan: FaultPlan::none().with_query_latency(Duration::from_millis(60)),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut handle = service.submit(requests[0].clone()).expect("submit");
+    assert!(
+        handle.wait_timeout(Duration::from_millis(5)).is_none(),
+        "a 5ms wait cannot outlast a 60ms execution"
+    );
+    let r = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("response arrives")
+        .expect("query served");
+    assert_eq!(fingerprint(&r.neighbors), reference[0]);
+    service.shutdown();
+}
+
+/// Satellite (a): an injected refreeze failure stops the driver, and
+/// `join` reports it as a typed [`DriverError`] instead of panicking.
+#[test]
+fn refresh_driver_join_reports_refreeze_failure() {
+    let entries: Vec<LeafEntry> = base_points(3_000, 44)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| LeafEntry::new(PointId(i as u64), p))
+        .collect();
+    let sharded_tree = ShardedTree::build(RTreeParams::with_capacity(16), entries, 2);
+    let initial = Arc::new(sharded_tree.freeze_all());
+    let service = Arc::new(Service::start_sharded(
+        Arc::clone(&initial),
+        ServiceConfig {
+            workers: 2,
+            fault_plan: FaultPlan::none().fail_refreeze(1),
+            ..ServiceConfig::default()
+        },
+    ));
+    let driver = RefreshDriver::start(
+        sharded_tree,
+        Arc::clone(&service),
+        gnn::service::RefreshPolicy::default(),
+    );
+    // One accepted update forces a refreeze (at the latest, the join-time
+    // flush) — which the plan fails on cycle 1.
+    assert!(driver.apply(Update::Insert(LeafEntry::new(
+        PointId(999_999),
+        Point::new(1.0, 2.0),
+    ))));
+    let err = driver.join().expect_err("refreeze failure must surface");
+    assert_eq!(err, gnn::service::DriverError::RefreezeFailed { cycle: 1 });
+    // The serving side is unaffected: the failed refreeze published
+    // nothing and the service still answers.
+    let requests = workload(Rect::from_corners(0.0, 0.0, 1000.0, 1000.0), 1, 7);
+    let r = service
+        .submit(requests[0].clone())
+        .expect("submit after driver failure")
+        .wait()
+        .expect("query served");
+    assert!(!r.neighbors.is_empty());
+    Arc::try_unwrap(service)
+        .expect("driver released its service handle")
+        .shutdown();
+}

@@ -131,7 +131,7 @@ fn continuous_refresh_stays_pinnable_per_generation() {
         .map(|(_, h)| h.wait().expect("query served"))
         .collect();
 
-    let outcome = driver.shutdown();
+    let outcome = driver.join().expect("driver run failed");
     assert_eq!(outcome.stats.applied, 900);
     assert_eq!(outcome.stats.missed_removes, 0, "replay desync");
     assert!(
@@ -222,7 +222,7 @@ fn no_publish_after_service_queue_close() {
             Point::new((i % 983) as f64, (i % 977) as f64),
         ))));
     }
-    let outcome = driver.shutdown();
+    let outcome = driver.join().expect("driver run failed");
 
     assert_eq!(
         service.generation(),
@@ -296,7 +296,7 @@ fn refreshed_data_becomes_queryable() {
         std::thread::yield_now();
         assert!(spins < 10_000_000, "inserted point never became queryable");
     }
-    driver.shutdown();
+    driver.join().expect("driver run failed");
     Arc::try_unwrap(service)
         .expect("driver released its service handle")
         .shutdown();
