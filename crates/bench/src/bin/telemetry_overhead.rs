@@ -1,0 +1,104 @@
+//! The telemetry-overhead experiment: the §5.1 service workload served
+//! twice by identical 4-worker services — telemetry off (no flight
+//! recorder, no traces) and telemetry on (flight recorder, per-query
+//! traces, a 25 ms background stats logger) — with interleaved min-of-5
+//! passes.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin telemetry_overhead
+//! cargo run -p gnn-bench --release --bin telemetry_overhead -- --quick --json BENCH_telemetry.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller timed batch (smoke / CI run)
+//! * `--json PATH`  write the `gnn-telemetry-bench/1` report (the committed
+//!   `BENCH_telemetry.json` at the repo root is a `--quick --json` run)
+//!
+//! The exit code gates the observability claims: telemetry never changes
+//! results (both cells bit-identical to the sequential reference), traces
+//! appear exactly where requested and agree with the responses' own stats,
+//! the stage histograms are populated, and telemetry-on throughput stays
+//! within 3% of telemetry-off.
+
+use gnn_bench::run_telemetry_overhead;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_telemetry.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[telemetry_overhead] building PP snapshot + running (quick={quick})...");
+    let report = run_telemetry_overhead(quick);
+
+    println!(
+        "== telemetry overhead ({} queries, n={}, k={}, {} workers, host cores: {}) ==",
+        report.queries, report.n, report.k, report.workers, report.host_parallelism
+    );
+    println!(
+        "{:<5} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8} {:>7} {:>6}",
+        "mode", "qps", "p50_us", "p95_us", "p99_us", "events", "dropped", "traced", "ok"
+    );
+    for c in [&report.off, &report.on] {
+        println!(
+            "{:<5} {:>8.0}/s {:>9.0} {:>9.0} {:>9.0} {:>8} {:>8} {:>7} {:>6}",
+            c.mode,
+            c.qps,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.flight_events,
+            c.flight_dropped,
+            c.traced,
+            if c.matches_sequential && c.traces_consistent {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+    println!(
+        "throughput ratio on/off: {:.4} (gate: >= 0.97)",
+        report.throughput_ratio()
+    );
+    println!("per-stage quantiles (telemetry on):");
+    for s in &report.on.stages {
+        println!(
+            "  {:<11} p50 {:>8.0}us  p95 {:>8.0}us  p99 {:>8.0}us  (n={})",
+            s.stage, s.p50_us, s.p95_us, s.p99_us, s.count
+        );
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !report.gate_passes() {
+        eprintln!(
+            "[telemetry_overhead] GATE FAILED: results diverged, traces \
+             missing/wrong, empty stage histograms, or telemetry overhead \
+             exceeded 3%"
+        );
+        std::process::exit(1);
+    }
+}

@@ -81,7 +81,7 @@ pub use gcp::{Gcp, GCP_DEFAULT_HEAP_LIMIT};
 pub use mbm::{Mbm, MbmScratch, MbmStream};
 pub use mqm::Mqm;
 pub use query::{QueryGroup, QueryGroupError};
-pub use request::{Algo, QueryRequest, QueryResponse, Target};
+pub use request::{Algo, QueryRequest, QueryResponse, QueryTrace, Target};
 pub use result::{GnnResult, Neighbor, QueryStats};
 pub use scratch::QueryScratch;
 pub use sharded::ShardRouting;

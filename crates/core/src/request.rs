@@ -103,6 +103,14 @@ pub struct QueryRequest {
     /// shedding. Ignored by the direct execution entry points
     /// ([`QueryRequest::execute_on`] and friends), which have no queue.
     pub deadline: Option<Duration>,
+    /// Opt-in per-query trace: when set, a serving engine fills
+    /// [`QueryResponse::trace`] with the request's stage timings and cost
+    /// counters. Zero cost when unset — the worker branches on this flag
+    /// and a trace is a small `Copy` struct inline in the response, so no
+    /// allocation happens on the hot path either way. Tracing never
+    /// changes results, node accesses, or reply accounting. Ignored by
+    /// the direct execution entry points, which have no queue or stages.
+    pub trace: bool,
 }
 
 impl QueryRequest {
@@ -114,6 +122,7 @@ impl QueryRequest {
             algo: Algo::Auto,
             shard_hint: None,
             deadline: None,
+            trace: false,
         }
     }
 
@@ -125,6 +134,7 @@ impl QueryRequest {
             algo,
             shard_hint: None,
             deadline: None,
+            trace: false,
         }
     }
 
@@ -137,6 +147,12 @@ impl QueryRequest {
     /// Sets a queue-wait deadline (see [`QueryRequest::deadline`]).
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests a per-query trace (see [`QueryRequest::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -264,6 +280,30 @@ pub struct QueryResponse {
     /// shards consulted). Unsharded contexts use the default (shard 0,
     /// 1 consulted).
     pub routing: ShardRouting,
+    /// The per-query trace, present exactly when the request opted in with
+    /// [`QueryRequest::with_trace`] and a serving engine (with a queue and
+    /// stages to time) answered it. `None` otherwise — including for
+    /// direct (queueless) execution, which has no stage decomposition.
+    pub trace: Option<QueryTrace>,
+}
+
+/// The opt-in per-query trace a serving engine attaches to a
+/// [`QueryResponse`]: the request's own stage timings plus its cost
+/// counters, in one `Copy` struct (no allocation, on or off). The counters
+/// duplicate [`QueryResponse::stats`] on purpose — a trace is designed to
+/// be logged or shipped on its own, without dragging the full stats along.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Submission → dequeue by the serving worker.
+    pub queue_wait: Duration,
+    /// Execution wall time (includes any injected latency).
+    pub execution: Duration,
+    /// Logical node accesses (the paper's NA metric).
+    pub node_accesses: u64,
+    /// Pages read (simulated I/O).
+    pub pages: u64,
+    /// Distance evaluations (CPU proxy).
+    pub dist_computations: u64,
 }
 
 #[cfg(test)]

@@ -99,27 +99,37 @@
 #![warn(missing_docs)]
 
 mod compat;
+mod export;
 mod fault;
-mod histogram;
 mod refresh;
 mod submission;
 
 #[allow(deprecated)]
 pub use compat::ServiceError;
+pub use export::StatsLogger;
 pub use fault::{silence_injected_panics, FaultLedger, FaultPlan};
-pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
 pub use refresh::{
-    DriverError, RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update,
+    DriverError, PublishRecord, RefreshDriver, RefreshOutcome, RefreshPolicy, RefreshStats, Update,
 };
 pub use submission::{
     BatchSubmission, GroupSubmission, QueryError, Submission, SubmitError, WaitError,
+};
+// The latency histogram moved into `gnn-telemetry` (it is mechanism, not
+// serving policy); these re-exports keep every pre-existing
+// `gnn_service::{LatencyHistogram, ...}` import compiling unchanged. The
+// flight-recorder and stage types surface here too, since `ServiceStats`
+// embeds them.
+pub use gnn_telemetry::{
+    FlightEvent, FlightEventKind, FlightLog, FlightRecorder, LatencyHistogram, LatencySnapshot,
+    RingSnapshot, StageSnapshot, BUCKETS, SOURCE_CONTROL, SOURCE_DRIVER,
 };
 
 use gnn_core::batch::{execute_batch_hooked, BatchAccounting};
 use gnn_core::sharded::primary_shard;
 use gnn_core::{Aggregate, Planner, QueryGroup, QueryRequest, QueryResponse, Target};
-use gnn_core::{QueryScratch, QueryStats, ShardRouting};
+use gnn_core::{QueryScratch, QueryStats, QueryTrace, ShardRouting};
 use gnn_rtree::{PackedRTree, ShardedSnapshot, TreeCursor};
+use gnn_telemetry::StageHistograms;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,6 +163,14 @@ pub struct ServiceConfig {
     /// (see [`FaultPlan`]). The default injects nothing and costs one
     /// emptiness check per query.
     pub fault_plan: FaultPlan,
+    /// Flight-recorder ring capacity **per worker** (plus one control ring
+    /// for publish events and one for the refresh driver). Each retained
+    /// event costs 24 bytes; recording is a handful of atomic stores on
+    /// the worker's own ring. `0` disables the flight recorder entirely
+    /// (recording reduces to one branch) — stage histograms and the
+    /// latency histogram stay on regardless, they are the service's basic
+    /// metrics surface.
+    pub flight_recorder: usize,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +185,7 @@ impl Default for ServiceConfig {
             default_aggregate: Aggregate::Sum,
             planner: Planner::new(),
             fault_plan: FaultPlan::default(),
+            flight_recorder: 256,
         }
     }
 }
@@ -520,10 +539,16 @@ struct WorkerCounters {
     shed: AtomicU64,
     deadline_missed: AtomicU64,
     latency: LatencyHistogram,
+    /// Per-stage decomposition of the end-to-end latency (queue wait /
+    /// execution / reply, plus the shed-wait distribution).
+    stages: StageHistograms,
+    /// This worker's flight-recorder ring (the worker is the single
+    /// producer; [`Service::stats`] snapshots it).
+    flight: FlightRecorder,
 }
 
 impl WorkerCounters {
-    fn new() -> Self {
+    fn new(worker: usize, flight_capacity: usize, epoch: Instant) -> Self {
         WorkerCounters {
             queries: AtomicU64::new(0),
             node_accesses: AtomicU64::new(0),
@@ -541,6 +566,8 @@ impl WorkerCounters {
             shed: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            stages: StageHistograms::new(),
+            flight: FlightRecorder::new(worker as u32, flight_capacity, epoch),
         }
     }
 
@@ -566,10 +593,14 @@ impl WorkerCounters {
             .fetch_add(accounting.sequential_pages, Ordering::Relaxed);
     }
 
+    /// Records one served query: cost counters, the end-to-end latency
+    /// sample, and its queue-wait / execution stage samples (the reply
+    /// stage is recorded separately, around the actual send).
     fn record(
         &self,
         stats: &QueryStats,
         routing: ShardRouting,
+        queue_wait: Duration,
         execution: Duration,
         response: Duration,
     ) {
@@ -589,6 +620,17 @@ impl WorkerCounters {
         self.shards_consulted
             .fetch_add(u64::from(routing.consulted), Ordering::Relaxed);
         self.latency.record(response);
+        self.stages.queue_wait.record(queue_wait);
+        self.stages.execution.record(execution);
+    }
+
+    /// Records a shed request: the fault counter plus its shed-wait
+    /// stage sample and flight-recorder event.
+    fn record_shed(&self, waited: Duration) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.stages.shed_wait.record(waited);
+        self.flight
+            .record(FlightEventKind::Shed, duration_nanos(waited));
     }
 
     fn snapshot(&self, worker: usize, shard: usize) -> WorkerSnapshot {
@@ -626,7 +668,7 @@ pub struct WorkerSnapshot {
 }
 
 /// Point-in-time routing/serving counters of one shard pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
@@ -640,6 +682,10 @@ pub struct ShardStats {
     /// Total shards consulted across this pool's served queries
     /// (`/ queries` = average fan-out of the cross-shard merge).
     pub shards_consulted: u64,
+    /// Response-latency histogram of this pool alone (submit → response,
+    /// same contract as [`ServiceStats::latency`]) — per-shard tail
+    /// percentiles expose a hot shard the merged histogram averages away.
+    pub latency: LatencySnapshot,
 }
 
 /// Aggregated service counters: per-worker and per-shard snapshots, their
@@ -691,6 +737,15 @@ pub struct ServiceStats {
     /// so an overloaded service shows its backlog in the tail percentiles
     /// (the open-loop measurement contract).
     pub latency: LatencySnapshot,
+    /// Stage decomposition of the same served traffic: queue-wait,
+    /// execution, and reply histograms (their counts all equal
+    /// `queries_served`), plus the shed-wait histogram of requests
+    /// answered [`QueryError::DeadlineExceeded`] at dequeue.
+    pub stages: StageSnapshot,
+    /// Merged flight-recorder timeline: every worker's ring plus the
+    /// control ring (publishes) and the refresh driver's ring, sorted by
+    /// timestamp, with the exact count of events dropped to ring overflow.
+    pub flight: FlightLog,
 }
 
 impl ServiceStats {
@@ -736,6 +791,15 @@ pub struct Service {
     slot: Arc<SnapshotSlot>,
     pools: Vec<Pool>,
     config: ServiceConfig,
+    /// Zero point of every flight-recorder timestamp (shared by all rings,
+    /// so the merged timeline is directly comparable across workers).
+    epoch: Instant,
+    /// Control-plane flight ring: [`FlightEventKind::Published`] events
+    /// from the publish entry points (payload = new generation).
+    control: FlightRecorder,
+    /// Refresh-driver flight ring (`RefreezeStart` / `RefreezeEnd`),
+    /// written by the driver thread through [`Service::driver_flight`].
+    driver_flight: FlightRecorder,
 }
 
 impl Service {
@@ -765,6 +829,9 @@ impl Service {
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let shards = snapshot.shard_count();
         let slot = Arc::new(SnapshotSlot::new(snapshot));
+        // One epoch for every flight ring: merged timelines compare
+        // timestamps from different workers directly.
+        let epoch = Instant::now();
         let mut senders = Vec::with_capacity(shards);
         let mut pools = Vec::with_capacity(shards);
         let mut worker_id = 0usize;
@@ -780,7 +847,11 @@ impl Service {
             let mut workers = Vec::with_capacity(pool_workers);
             let mut counters = Vec::with_capacity(pool_workers);
             for _ in 0..pool_workers {
-                let counter = Arc::new(WorkerCounters::new());
+                let counter = Arc::new(WorkerCounters::new(
+                    worker_id,
+                    config.flight_recorder,
+                    epoch,
+                ));
                 counters.push(Arc::clone(&counter));
                 let slot = Arc::clone(&slot);
                 let rx = Arc::clone(&rx);
@@ -802,11 +873,16 @@ impl Service {
                 routed: AtomicU64::new(0),
             });
         }
+        let control = FlightRecorder::new(SOURCE_CONTROL, config.flight_recorder, epoch);
+        let driver_flight = FlightRecorder::new(SOURCE_DRIVER, config.flight_recorder, epoch);
         Service {
             senders: Mutex::new(Some(senders)),
             slot,
             pools,
             config,
+            epoch,
+            control,
+            driver_flight,
         }
     }
 
@@ -830,8 +906,11 @@ impl Service {
             1,
             "publish() is the single-shard entry; use publish_sharded()"
         );
-        self.slot
-            .publish(Arc::new(ShardedSnapshot::single(snapshot)))
+        let generation = self
+            .slot
+            .publish(Arc::new(ShardedSnapshot::single(snapshot)));
+        self.control.record(FlightEventKind::Published, generation);
+        generation
     }
 
     /// Atomically publishes a new sharded snapshot (same swap semantics as
@@ -850,7 +929,9 @@ impl Service {
             self.pools.len(),
             "published snapshot must keep the shard count"
         );
-        self.slot.publish(snapshot)
+        let generation = self.slot.publish(snapshot);
+        self.control.record(FlightEventKind::Published, generation);
+        generation
     }
 
     /// Like [`Service::publish_sharded`], but refuses (returns `None`)
@@ -868,7 +949,22 @@ impl Service {
         );
         let guard = lock_unpoisoned(&self.senders);
         guard.as_ref()?;
-        Some(self.slot.publish(snapshot))
+        let generation = self.slot.publish(snapshot);
+        self.control.record(FlightEventKind::Published, generation);
+        Some(generation)
+    }
+
+    /// The instant every flight-recorder timestamp is measured from
+    /// ([`FlightEvent::ts_nanos`] is nanoseconds since this epoch).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The refresh driver's flight ring (the driver thread is its single
+    /// producer; it shares the service epoch and shows up in the merged
+    /// [`ServiceStats::flight`] timeline as [`SOURCE_DRIVER`]).
+    pub(crate) fn driver_flight(&self) -> &FlightRecorder {
+        &self.driver_flight
     }
 
     /// Generation of the currently published snapshot (starts at 1).
@@ -1083,12 +1179,16 @@ impl Service {
         Ok(ResponseHandle::new(rx, expected))
     }
 
-    /// Aggregated counters so far (cheap: atomic loads only — safe to poll
-    /// from a metrics scraper while traffic runs).
+    /// Aggregated counters so far (cheap: atomic loads plus lock-free ring
+    /// snapshots — safe to poll from a metrics scraper while traffic
+    /// runs). The flight timeline is a point-in-time merge of every ring;
+    /// workers keep recording while it is read.
     pub fn stats(&self) -> ServiceStats {
         let mut per_worker = Vec::new();
         let mut per_shard = Vec::with_capacity(self.pools.len());
         let mut latency = LatencySnapshot::empty();
+        let mut stages = StageSnapshot::empty();
+        let mut rings = Vec::new();
         let mut worker_id = 0usize;
         let (mut batches, mut batch_queries) = (0u64, 0u64);
         let (mut batch_unique_pages, mut batch_sequential_pages) = (0u64, 0u64);
@@ -1100,6 +1200,7 @@ impl Service {
                 queries: 0,
                 single_shard_hits: 0,
                 shards_consulted: 0,
+                latency: LatencySnapshot::empty(),
             };
             for c in &pool.counters {
                 per_worker.push(c.snapshot(worker_id, shard));
@@ -1112,10 +1213,16 @@ impl Service {
                 batch_unique_pages += c.batch_unique_pages.load(Ordering::Relaxed);
                 batch_sequential_pages += c.batch_sequential_pages.load(Ordering::Relaxed);
                 faults = faults.merged(c.fault_ledger());
-                latency.merge(&c.latency.snapshot());
+                stats.latency.merge(&c.latency.snapshot());
+                stages.merge(&c.stages.snapshot());
+                rings.push(c.flight.snapshot());
             }
+            latency.merge(&stats.latency);
             per_shard.push(stats);
         }
+        rings.push(self.control.snapshot());
+        rings.push(self.driver_flight.snapshot());
+        let flight = FlightLog::merge(rings);
         ServiceStats {
             generation: self.slot.generation(),
             queries_served: per_worker.iter().map(|w| w.queries).sum(),
@@ -1131,6 +1238,8 @@ impl Service {
             per_worker,
             per_shard,
             latency,
+            stages,
+            flight,
         }
     }
 
@@ -1225,6 +1334,12 @@ fn expired(deadline: Option<Duration>, submitted: Instant) -> bool {
     deadline.is_some_and(|d| submitted.elapsed() >= d)
 }
 
+/// Saturating nanosecond count of a duration — the flight-recorder payload
+/// encoding for stage timings.
+pub(crate) fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The worker body: per-shard cursors + one scratch + planner per thread.
 /// The scratch is reused for the thread's whole lifetime — steady-state
 /// queries allocate only their response vectors — while the cursors are
@@ -1235,10 +1350,10 @@ fn expired(deadline: Option<Duration>, submitted: Instant) -> bool {
 /// merge.
 ///
 /// **Supervision:** every query executes inside `catch_unwind`. A panic —
-/// injected by the [`FaultPlan`] or real — answers the in-flight request
-/// with [`QueryError::WorkerPanicked`], rebuilds the worker's serving
+/// injected by the [`FaultPlan`] or real — rebuilds the worker's serving
 /// state (fresh scratch + cursors: nothing a panic may have left
-/// mid-mutation survives), bumps the fault ledger, and keeps serving on
+/// mid-mutation survives), bumps the fault ledger, answers the in-flight
+/// request with [`QueryError::WorkerPanicked`], and keeps serving on
 /// the same thread. Pool capacity and per-shard availability are invariant
 /// under panics, and no `wait()` ever hangs on one. Panics unwind out of
 /// the algorithm only; the snapshot itself is immutable and shared, so no
@@ -1313,15 +1428,27 @@ fn worker_loop(
             } = job;
             match work {
                 Work::Single(request) => {
+                    // Queue wait ends here: the request is now being
+                    // processed. The `Enqueued` event is back-stamped with
+                    // the submit instant so the merged timeline shows the
+                    // wait, while the ring stays single-producer.
+                    let queue_wait = submitted.elapsed();
+                    counters
+                        .flight
+                        .record_at(submitted, FlightEventKind::Enqueued, 1);
+                    counters
+                        .flight
+                        .record(FlightEventKind::Dequeued, duration_nanos(queue_wait));
                     // Shed at dequeue: a request whose deadline expired in
                     // queue is answered typed instead of executed.
                     if expired(request.deadline, submitted) {
-                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        counters.record_shed(queue_wait);
                         let _ = reply.send((0, Err(QueryError::DeadlineExceeded)));
                         continue;
                     }
                     let deadline = request.deadline;
                     attempts += 1;
+                    counters.flight.record(FlightEventKind::ExecStart, 1);
                     let exec0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         inject_fault(fault, worker_id, attempts);
@@ -1333,31 +1460,59 @@ fn worker_loop(
                             stats,
                             generation,
                             routing,
+                            // Opt-in trace: a `Copy` struct filled inline —
+                            // no allocation whether requested or not, and
+                            // nothing about execution depended on the flag.
+                            trace: request.trace.then(|| QueryTrace {
+                                queue_wait,
+                                execution: exec0.elapsed(),
+                                node_accesses: stats.data_tree.logical,
+                                pages: stats.data_tree.io,
+                                dist_computations: stats.dist_computations,
+                            }),
                         };
                         (response, stats, routing)
                     }));
                     match outcome {
                         Ok((response, stats, routing)) => {
+                            let execution = exec0.elapsed();
+                            counters
+                                .flight
+                                .record(FlightEventKind::ExecEnd, duration_nanos(execution));
                             // `busy` counts execution only; the latency
                             // histogram measures submit → response, so
                             // queue wait under overload is visible.
-                            counters.record(&stats, routing, exec0.elapsed(), submitted.elapsed());
+                            counters.record(
+                                &stats,
+                                routing,
+                                queue_wait,
+                                execution,
+                                submitted.elapsed(),
+                            );
                             if deadline.is_some_and(|d| submitted.elapsed() > d) {
                                 counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
                             }
                             // The caller may have dropped its handle; that
                             // is not an error.
+                            let sent0 = Instant::now();
                             let _ = reply.send((0, Ok(response)));
+                            counters.stages.reply.record(sent0.elapsed());
                         }
                         Err(_) => {
                             counters.panics.fetch_add(1, Ordering::Relaxed);
-                            let _ = reply.send((0, Err(QueryError::WorkerPanicked)));
-                            // Respawn in place: nothing the panic may have
-                            // left mid-mutation survives into the next
-                            // query.
+                            counters.flight.record(FlightEventKind::Panicked, attempts);
+                            // Respawn in place BEFORE releasing the reply:
+                            // nothing the panic may have left mid-mutation
+                            // survives into the next query, and the caller
+                            // cannot enqueue follow-up work (whose Enqueued
+                            // event back-stamps to submit time) until the
+                            // Respawned event is on the ring — the flight
+                            // timeline stays a strict per-query transcript.
                             scratch = QueryScratch::new();
                             cursors = snap.shards().iter().map(|s| s.cursor()).collect();
                             counters.respawns.fetch_add(1, Ordering::Relaxed);
+                            counters.flight.record(FlightEventKind::Respawned, 0);
+                            let _ = reply.send((0, Err(QueryError::WorkerPanicked)));
                         }
                     }
                 }
@@ -1365,13 +1520,25 @@ fn worker_loop(
                     requests,
                     indices: all_indices,
                 } => {
+                    // Job-level queue wait: every member waited behind the
+                    // same queue slot. One Enqueued/Dequeued event pair per
+                    // job (payload = member count / wait nanos).
+                    let queue_wait = submitted.elapsed();
+                    counters.flight.record_at(
+                        submitted,
+                        FlightEventKind::Enqueued,
+                        requests.len() as u64,
+                    );
+                    counters
+                        .flight
+                        .record(FlightEventKind::Dequeued, duration_nanos(queue_wait));
                     // Shed expired members up front (typed, per request);
                     // the survivors run as shared-traversal passes.
                     let mut batch_requests = Vec::with_capacity(requests.len());
                     let mut indices = Vec::with_capacity(all_indices.len());
                     for (request, index) in requests.into_iter().zip(all_indices) {
                         if expired(request.deadline, submitted) {
-                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            counters.record_shed(queue_wait);
                             let _ = reply.send((index, Err(QueryError::DeadlineExceeded)));
                         } else {
                             batch_requests.push(request);
@@ -1396,7 +1563,25 @@ fn worker_loop(
                         let mut answered = vec![false; batch_requests.len()];
                         let mut current: Option<usize> = None;
                         let mut pass_attempts = attempts;
-                        let mut last = Instant::now();
+                        // Ledger-before-last-reply: the pass's final
+                        // response is stashed here instead of sent from the
+                        // sink, and only flushed **after** `record_batch`.
+                        // Once a caller's `wait_all` returns, the batch
+                        // ledger is therefore already visible to `stats()`
+                        // — no eventual-consistency window. The held query
+                        // is left unanswered on the `answered` map, so a
+                        // (hypothetical) panic after its sink call re-runs
+                        // it in the resumed pass and it is still answered
+                        // exactly once.
+                        type Held = (usize, QueryResponse, QueryStats, ShardRouting, Duration);
+                        let mut held: Option<Held> = None;
+                        let mut sent = 0usize;
+                        let total = batch_requests.len();
+                        counters
+                            .flight
+                            .record(FlightEventKind::ExecStart, total as u64);
+                        let pass0 = Instant::now();
+                        let mut last = pass0;
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             let target = Target::Sharded {
                                 snapshot: &snap,
@@ -1414,20 +1599,34 @@ fn worker_loop(
                                 },
                                 |i, choice, neighbors, stats, routing| {
                                     let now = Instant::now();
+                                    let execution = now - last;
+                                    last = now;
                                     let response = QueryResponse {
                                         choice,
                                         neighbors: neighbors.to_vec(),
                                         stats: *stats,
                                         generation,
                                         routing,
+                                        trace: batch_requests[i].trace.then_some(QueryTrace {
+                                            queue_wait,
+                                            execution,
+                                            node_accesses: stats.data_tree.logical,
+                                            pages: stats.data_tree.io,
+                                            dist_computations: stats.dist_computations,
+                                        }),
                                     };
+                                    sent += 1;
+                                    if sent == total {
+                                        held = Some((i, response, *stats, routing, execution));
+                                        return;
+                                    }
                                     counters.record(
                                         stats,
                                         routing,
-                                        now - last,
+                                        queue_wait,
+                                        execution,
                                         submitted.elapsed(),
                                     );
-                                    last = now;
                                     if batch_requests[i]
                                         .deadline
                                         .is_some_and(|d| submitted.elapsed() > d)
@@ -1435,7 +1634,9 @@ fn worker_loop(
                                         counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
                                     }
                                     answered[i] = true;
+                                    let sent0 = Instant::now();
                                     let _ = reply.send((indices[i], Ok(response)));
+                                    counters.stages.reply.record(sent0.elapsed());
                                 },
                             )
                         }));
@@ -1443,15 +1644,51 @@ fn worker_loop(
                         match outcome {
                             Ok(accounting) => {
                                 counters.record_batch(&accounting);
+                                counters.flight.record(
+                                    FlightEventKind::ExecEnd,
+                                    duration_nanos(pass0.elapsed()),
+                                );
+                                if let Some((i, response, stats, routing, execution)) = held.take()
+                                {
+                                    counters.record(
+                                        &stats,
+                                        routing,
+                                        queue_wait,
+                                        execution,
+                                        submitted.elapsed(),
+                                    );
+                                    if batch_requests[i]
+                                        .deadline
+                                        .is_some_and(|d| submitted.elapsed() > d)
+                                    {
+                                        counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    let sent0 = Instant::now();
+                                    let _ = reply.send((indices[i], Ok(response)));
+                                    counters.stages.reply.record(sent0.elapsed());
+                                }
                                 break;
                             }
                             Err(_) => {
                                 counters.panics.fetch_add(1, Ordering::Relaxed);
+                                counters
+                                    .flight
+                                    .record(FlightEventKind::Panicked, pass_attempts);
+                                // Respawn before releasing the victim's
+                                // reply (same transcript discipline as the
+                                // single-query path).
+                                scratch = QueryScratch::new();
+                                cursors = snap.shards().iter().map(|s| s.cursor()).collect();
+                                counters.respawns.fetch_add(1, Ordering::Relaxed);
+                                counters.flight.record(FlightEventKind::Respawned, 0);
                                 // The in-flight query (per the before-hook)
                                 // is the victim; if the pass died before
                                 // any hook fired, charge the first
                                 // unanswered query so the loop always
-                                // makes progress.
+                                // makes progress. A stashed-but-unflushed
+                                // reply (`held`) is dropped with the pass:
+                                // its query was never marked answered, so
+                                // the resumed pass re-runs it.
                                 let victim = current
                                     .filter(|&i| !answered[i])
                                     .or_else(|| answered.iter().position(|&a| !a));
@@ -1460,9 +1697,6 @@ fn worker_loop(
                                     let _ =
                                         reply.send((indices[v], Err(QueryError::WorkerPanicked)));
                                 }
-                                scratch = QueryScratch::new();
-                                cursors = snap.shards().iter().map(|s| s.cursor()).collect();
-                                counters.respawns.fetch_add(1, Ordering::Relaxed);
                                 let mut keep = answered.iter().map(|&a| !a);
                                 batch_requests.retain(|_| keep.next().unwrap());
                                 let mut keep = answered.iter().map(|&a| !a);

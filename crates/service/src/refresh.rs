@@ -31,13 +31,15 @@
 //! `outcome.snapshots[g - 1]`, so every tagged response can be checked
 //! against the sequential cross-shard reference on that snapshot.
 
-use crate::{lock_unpoisoned, Service};
+use crate::{duration_nanos, lock_unpoisoned, Service};
 use gnn_geom::{Point, PointId};
 use gnn_rtree::{LeafEntry, ShardedSnapshot, ShardedTree};
+use gnn_telemetry::FlightEventKind;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Why a [`RefreshDriver`] run ended without an outcome. Returned by
 /// [`RefreshDriver::join`] — driver failure is a typed result at the join
@@ -122,6 +124,23 @@ pub struct RefreshStats {
     pub skipped_publishes: u64,
 }
 
+/// One refreeze + publish cycle of a driver run: what triggered it, what
+/// it cost, and whether it reached the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishRecord {
+    /// The 1-based refreeze cycle this record describes.
+    pub cycle: u64,
+    /// The generation the publish produced, or `None` when the refresh
+    /// was dropped because the service had initiated shutdown.
+    pub generation: Option<u64>,
+    /// Wall time of the incremental `refreeze_all` for this cycle.
+    pub refreeze: Duration,
+    /// The maximum per-shard dirty fraction at the moment the cycle
+    /// triggered (what the [`RefreshPolicy`] reacted to — or below
+    /// threshold for `max_pending`-triggered and final-flush cycles).
+    pub dirty_fraction: f64,
+}
+
 /// What a finished driver hands back.
 #[derive(Debug)]
 pub struct RefreshOutcome {
@@ -135,6 +154,11 @@ pub struct RefreshOutcome {
     pub snapshots: Vec<Arc<ShardedSnapshot>>,
     /// Run counters.
     pub stats: RefreshStats,
+    /// Per-cycle publish history: refreeze duration and
+    /// dirty-fraction-at-trigger for every completed cycle, in cycle
+    /// order (`publishes.len()` = completed cycles; entries with
+    /// `generation: None` were dropped at shutdown).
+    pub publishes: Vec<PublishRecord>,
 }
 
 /// A background thread running the mutate → refreeze → publish lifecycle
@@ -245,6 +269,7 @@ fn driver_loop(
     let mut last = service.sharded_snapshot();
     let mut snapshots = vec![Arc::clone(&last)];
     let mut stats = RefreshStats::default();
+    let mut publishes = Vec::new();
     let mut pending = 0usize;
     // Refreeze cycles attempted, 1-based: the fault plan's coordinate for
     // injected refreeze failures.
@@ -271,6 +296,7 @@ fn driver_loop(
                 &mut last,
                 &mut snapshots,
                 &mut stats,
+                &mut publishes,
                 cycles,
             ) {
                 *lock_unpoisoned(shared) = stats;
@@ -292,6 +318,7 @@ fn driver_loop(
             &mut last,
             &mut snapshots,
             &mut stats,
+            &mut publishes,
             cycles,
         ) {
             *lock_unpoisoned(shared) = stats;
@@ -303,6 +330,7 @@ fn driver_loop(
         tree,
         snapshots,
         stats,
+        publishes,
     })
 }
 
@@ -311,24 +339,41 @@ fn driver_loop(
 /// cycle the service's [`FaultPlan`](crate::FaultPlan) marks as failing
 /// aborts the run with [`DriverError::RefreezeFailed`] — the injected
 /// stand-in for a refreeze hitting resource exhaustion.
+#[allow(clippy::too_many_arguments)]
 fn refresh(
     tree: &ShardedTree,
     service: &Service,
     last: &mut Arc<ShardedSnapshot>,
     snapshots: &mut Vec<Arc<ShardedSnapshot>>,
     stats: &mut RefreshStats,
+    publishes: &mut Vec<PublishRecord>,
     cycle: u64,
 ) -> Result<(), DriverError> {
     if service.config().fault_plan.refreeze_fails(cycle) {
         return Err(DriverError::RefreezeFailed { cycle });
     }
+    // What the policy saw when this cycle triggered — recorded before the
+    // refreeze resets the dirty state.
+    let dirty_fraction = tree.max_dirty_fraction(last);
+    let flight = service.driver_flight();
+    flight.record(FlightEventKind::RefreezeStart, cycle);
+    let refreeze0 = Instant::now();
     let next = Arc::new(tree.refreeze_all(last));
-    if service.try_publish_sharded(Arc::clone(&next)).is_some() {
+    let refreeze = refreeze0.elapsed();
+    flight.record(FlightEventKind::RefreezeEnd, duration_nanos(refreeze));
+    let generation = service.try_publish_sharded(Arc::clone(&next));
+    if generation.is_some() {
         snapshots.push(Arc::clone(&next));
         stats.published += 1;
     } else {
         stats.skipped_publishes += 1;
     }
+    publishes.push(PublishRecord {
+        cycle,
+        generation,
+        refreeze,
+        dirty_fraction,
+    });
     *last = next;
     Ok(())
 }
@@ -393,6 +438,17 @@ mod tests {
         assert_eq!(outcome.stats.applied, 50);
         assert_eq!(outcome.stats.missed_removes, 0);
         assert!(outcome.stats.published >= 1);
+        // Every completed cycle left a publish record, cycles in order,
+        // each with the generation its publish produced.
+        assert_eq!(
+            outcome.publishes.len() as u64,
+            outcome.stats.published + outcome.stats.skipped_publishes
+        );
+        for (i, record) in outcome.publishes.iter().enumerate() {
+            assert_eq!(record.cycle, i as u64 + 1);
+            assert!(record.generation.is_some(), "no shutdown raced this run");
+            assert!(record.dirty_fraction >= 0.0);
+        }
         assert_eq!(outcome.tree.len(), 550);
         assert_eq!(
             outcome.snapshots.last().unwrap().len(),
@@ -426,6 +482,13 @@ mod tests {
         let outcome = driver.join().expect("driver run failed");
         assert_eq!(outcome.stats.applied, 10);
         assert_eq!(outcome.stats.published, 1, "exactly the final flush");
+        // The flush cycle is in the history: dirty fraction below the
+        // (never-triggering) policy threshold, publish accepted.
+        assert_eq!(outcome.publishes.len(), 1);
+        let record = outcome.publishes[0];
+        assert_eq!(record.cycle, 1);
+        assert!(record.generation.is_some());
+        assert!(record.dirty_fraction < 0.99);
         assert_eq!(outcome.snapshots.last().unwrap().len(), 410);
         assert_eq!(service.sharded_snapshot().len(), 410);
         Arc::try_unwrap(service)

@@ -214,6 +214,7 @@ impl Submission {
             algo: Algo::Auto,
             shard_hint: None,
             deadline: None,
+            trace: false,
             blocking: true,
         }
     }
@@ -271,6 +272,7 @@ pub struct GroupSubmission {
     algo: Algo,
     shard_hint: Option<u32>,
     deadline: Option<Duration>,
+    trace: bool,
     blocking: bool,
 }
 
@@ -306,6 +308,13 @@ impl GroupSubmission {
         self
     }
 
+    /// Requests a per-query trace on the response (see
+    /// [`QueryRequest::trace`]).
+    pub fn trace(mut self) -> GroupSubmission {
+        self.trace = true;
+        self
+    }
+
     /// Sets whether the submission blocks on a full queue (`true`, the
     /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
     pub fn blocking(mut self, blocking: bool) -> GroupSubmission {
@@ -328,6 +337,7 @@ impl GroupSubmission {
             algo: self.algo,
             shard_hint: self.shard_hint,
             deadline: self.deadline,
+            trace: self.trace,
         })
     }
 }

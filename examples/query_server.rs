@@ -17,9 +17,15 @@
 //! [`gnn::datasets::batched_arrivals`]: bursts of hotspot queries arriving
 //! together, submitted through [`Submission::batch`] so each burst runs as
 //! one Hilbert-ordered pass over shared upper-level pages.
+//!
+//! A final overload probe sheds a burst of zero-deadline queries, then the
+//! report prints the telemetry the service kept while serving: per-stage
+//! latency decomposition (queue-wait / execution / reply / shed-wait) and
+//! the tail of the flight recorder's merged postmortem timeline.
 
 use gnn::datasets::{batched_arrivals, open_loop_arrivals, pp_synthetic, HotspotSpec, QuerySpec};
 use gnn::prelude::*;
+use gnn::service::QueryError;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,7 +119,30 @@ fn main() {
         batch_answered += responses.iter().filter(|r| !r.neighbors.is_empty()).count();
     }
 
-    // 5. Report.
+    // 5. An overload probe: a burst of zero-deadline queries. Each is
+    //    already expired by the time a worker dequeues it, so the service
+    //    sheds the whole burst — feeding the shed-wait histogram and
+    //    writing a `shed` tail into the flight recorder.
+    let probe = open_loop_arrivals(snapshot.root_mbr(), spec, 32, 1.0e9, 0xBEEF);
+    let probe_handles: Vec<_> = probe
+        .into_iter()
+        .map(|arrival| {
+            let group = QueryGroup::sum(arrival.points).expect("workload query");
+            service
+                .submit(QueryRequest::new(group, 8).with_deadline(Duration::ZERO))
+                .expect("query submitted")
+        })
+        .collect();
+    let mut shed = 0usize;
+    for handle in probe_handles {
+        match handle.wait() {
+            Err(SubmitError::Query(QueryError::DeadlineExceeded)) => shed += 1,
+            Ok(_) => {}
+            Err(e) => panic!("unexpected probe outcome: {e:?}"),
+        }
+    }
+
+    // 6. Report.
     let stats = service.shutdown();
     let us = |d: Option<Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e6);
     println!(
@@ -152,9 +181,34 @@ fn main() {
             w.busy.as_secs_f64() * 1e3
         );
     }
+    println!("overload probe: {shed}/32 zero-deadline queries shed");
+    println!("stage decomposition:");
+    for (name, s) in stats.stages.named() {
+        println!(
+            "  {:<10} p50 {:>7.0}µs  p95 {:>7.0}µs  p99 {:>7.0}µs  (n={})",
+            name,
+            us(s.p50()),
+            us(s.p95()),
+            us(s.p99()),
+            s.count()
+        );
+    }
+    println!(
+        "flight recorder tail ({} events kept, {} dropped):",
+        stats.flight.events.len(),
+        stats.flight.dropped
+    );
+    let tail = FlightLog {
+        events: stats.flight.tail(12).to_vec(),
+        dropped: 0,
+    };
+    print!("{}", tail.render());
+
     assert_eq!(answered, 200, "every query must return results");
     assert_eq!(
         batch_answered, 192,
         "every batched query must return results"
     );
+    assert_eq!(shed, 32, "every zero-deadline probe query must be shed");
+    assert_eq!(stats.stages.shed_wait.count(), 32);
 }

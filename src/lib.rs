@@ -49,7 +49,8 @@
 //! | [`qfile`] | `gnn-qfile` | paged disk-resident query files |
 //! | [`datasets`] | `gnn-datasets` | PP/TS dataset substitutes, workloads |
 //! | [`core`] | `gnn-core` | MQM, SPM, MBM, GCP, F-MQM, F-MBM |
-//! | [`service`] | `gnn-service` | sharded multi-threaded query serving + latency metrics |
+//! | [`telemetry`] | `gnn-telemetry` | latency histograms, stage decomposition, flight recorder |
+//! | [`service`] | `gnn-service` | sharded multi-threaded query serving + metrics export |
 //! | [`network`] | `gnn-network` | the future-work extension: GNN under network distance |
 
 pub use gnn_core as core;
@@ -59,14 +60,15 @@ pub use gnn_network as network;
 pub use gnn_qfile as qfile;
 pub use gnn_rtree as rtree;
 pub use gnn_service as service;
+pub use gnn_telemetry as telemetry;
 
 /// One-stop imports for typical GNN usage.
 pub mod prelude {
     pub use gnn_core::{
         execute_batch_in, Aggregate, Algo, BatchAccounting, Choice, FileGnnAlgorithm, Fmbm, Fmqm,
         Gcp, GnnResult, Mbm, MbmStream, MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup,
-        QueryRequest, QueryResponse, QueryScratch, QueryStats, ShardRouting, Spm, Target,
-        Traversal,
+        QueryRequest, QueryResponse, QueryScratch, QueryStats, QueryTrace, ShardRouting, Spm,
+        Target, Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
@@ -74,8 +76,11 @@ pub mod prelude {
         LeafEntry, PackedRTree, RTree, RTreeParams, ShardedSnapshot, ShardedTree, TreeCursor,
     };
     pub use gnn_service::{
-        DriverError, FaultLedger, FaultPlan, QueryError, RefreshDriver, RefreshPolicy,
-        ResponseHandle, Service, ServiceConfig, ServiceStats, Submission, SubmitError, Update,
-        WaitError,
+        DriverError, FaultLedger, FaultPlan, PublishRecord, QueryError, RefreshDriver,
+        RefreshPolicy, ResponseHandle, Service, ServiceConfig, ServiceStats, StatsLogger,
+        Submission, SubmitError, Update, WaitError,
+    };
+    pub use gnn_telemetry::{
+        FlightEvent, FlightEventKind, FlightLog, LatencySnapshot, StageSnapshot,
     };
 }
