@@ -2525,6 +2525,459 @@ pub fn run_telemetry_overhead(quick: bool) -> TelemetryReport {
     }
 }
 
+/// One (algorithm, group size) cell of the network experiment:
+/// arena-vs-packed throughput and the per-query expansion counters, with
+/// the packed run checked bit-for-bit against the arena reference.
+#[derive(Debug, Clone)]
+pub struct NetworkAlgoCell {
+    /// Algorithm name ("NET-TA" / "NET-IER").
+    pub algo: String,
+    /// Query group cardinality.
+    pub n: usize,
+    /// Queries/sec of the arena (per-query-allocating) implementation.
+    pub arena_qps: f64,
+    /// Queries/sec of the packed scratch-threaded implementation.
+    pub packed_qps: f64,
+    /// `packed_qps / arena_qps` — the tentpole speedup claim.
+    pub speedup: f64,
+    /// Mean Dijkstra-settled vertices per query.
+    pub settled_per_query: f64,
+    /// Mean edge relaxations per query.
+    pub relaxed_per_query: f64,
+    /// Mean Euclidean-filter R-tree accesses per query (0 for TA).
+    pub rtree_per_query: f64,
+    /// Packed results bit-identical to arena: neighbor ids, distance bits,
+    /// and the settled/relaxed/candidate counters, every query.
+    pub matches_arena: bool,
+}
+
+impl NetworkAlgoCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"algo\":{},\"n\":{},\"arena_qps\":{:.1},\"packed_qps\":{:.1},\
+             \"speedup\":{:.3},\"settled_per_query\":{:.1},\"relaxed_per_query\":{:.1},\
+             \"rtree_per_query\":{:.1},\"matches_arena\":{}}}",
+            json_str(&self.algo),
+            self.n,
+            self.arena_qps,
+            self.packed_qps,
+            self.speedup,
+            self.settled_per_query,
+            self.relaxed_per_query,
+            self.rtree_per_query,
+            self.matches_arena,
+        )
+    }
+}
+
+/// One service cell of the network experiment: the trip workload served
+/// through `Service::start_network` on a worker count, checked bit-for-bit
+/// against the sequential packed reference.
+#[derive(Debug, Clone)]
+pub struct NetworkServiceCell {
+    /// Worker threads.
+    pub workers: usize,
+    /// Whether this cell submitted the workload as batches (shared
+    /// submission path) instead of singles.
+    pub batched: bool,
+    /// Queries/sec through the service.
+    pub qps: f64,
+    /// `qps / sequential_qps`.
+    pub speedup_vs_sequential: f64,
+    /// Every response bit-identical to the sequential reference: neighbor
+    /// ids, distance bits, algorithm choice, and the expansion counters
+    /// (settled vertices, relaxed edges, R-tree accesses).
+    pub matches_sequential: bool,
+}
+
+impl NetworkServiceCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"batched\":{},\"qps\":{:.1},\
+             \"speedup_vs_sequential\":{:.3},\"matches_sequential\":{}}}",
+            self.workers,
+            self.batched,
+            self.qps,
+            self.speedup_vs_sequential,
+            self.matches_sequential,
+        )
+    }
+}
+
+/// The full network-GNN serving report behind `BENCH_network.json`.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Whether the quick (reduced) mode was used.
+    pub quick: bool,
+    /// Grid dimensions of the road network.
+    pub grid: (usize, usize),
+    /// Network vertices.
+    pub vertices: usize,
+    /// Network edges.
+    pub edges: usize,
+    /// Data objects (vertices carrying a data point).
+    pub data_objects: usize,
+    /// Queries per sweep cell.
+    pub queries: usize,
+    /// Neighbors retrieved per query.
+    pub k: usize,
+    /// `std::thread::available_parallelism()` of the recording host.
+    pub host_parallelism: usize,
+    /// Group-size sweep: arena vs packed for both algorithms (the TA/IER
+    /// crossover is read off the per-`n` qps columns).
+    pub algo_cells: Vec<NetworkAlgoCell>,
+    /// Queries/sec of the sequential packed reference at the service cell
+    /// shape (the service cells' baseline).
+    pub sequential_qps: f64,
+    /// Service cells at 1/2/8 workers (+ a batched-submission cell).
+    pub service_cells: Vec<NetworkServiceCell>,
+}
+
+impl NetworkReport {
+    /// The `gnn-network-bench/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let algos: Vec<String> = self
+            .algo_cells
+            .iter()
+            .map(NetworkAlgoCell::to_json)
+            .collect();
+        let cells: Vec<String> = self
+            .service_cells
+            .iter()
+            .map(NetworkServiceCell::to_json)
+            .collect();
+        format!(
+            "{{\n\"schema\":\"gnn-network-bench/1\",\n\"quick\":{},\n\
+             \"grid\":[{},{}],\n\"vertices\":{},\n\"edges\":{},\n\"data_objects\":{},\n\
+             \"queries\":{},\n\"k\":{},\n\"host_parallelism\":{},\n\
+             \"algorithms\":[\n{}\n],\n\
+             \"sequential_qps\":{:.1},\n\"service\":[\n{}\n]\n}}\n",
+            self.quick,
+            self.grid.0,
+            self.grid.1,
+            self.vertices,
+            self.edges,
+            self.data_objects,
+            self.queries,
+            self.k,
+            self.host_parallelism,
+            algos.join(",\n"),
+            self.sequential_qps,
+            cells.join(",\n"),
+        )
+    }
+
+    /// The acceptance gate (the `network_throughput` binary's exit code):
+    /// every packed cell bit-identical to the arena reference, every
+    /// service cell bit-identical to the sequential packed reference, and
+    /// the packed implementations not slower than the arena ones on the
+    /// largest group size (10% timing-noise margin — the refactor must not
+    /// cost throughput where it matters most).
+    pub fn gate_passes(&self) -> bool {
+        let max_n = self.algo_cells.iter().map(|c| c.n).max().unwrap_or(0);
+        self.algo_cells.iter().all(|c| c.matches_arena)
+            && self.service_cells.iter().all(|c| c.matches_sequential)
+            && !self.algo_cells.is_empty()
+            && !self.service_cells.is_empty()
+            && self
+                .algo_cells
+                .iter()
+                .filter(|c| c.n == max_n)
+                .all(|c| c.speedup >= 0.9)
+    }
+}
+
+/// The road-network serving experiment behind `BENCH_network.json`: a
+/// perturbed grid road network with data objects on a seeded vertex
+/// subset, swept over query group sizes with both network algorithms —
+/// arena vs packed (`freeze` + `NetworkScratch`), bit-identity enforced —
+/// then the fixed-seed trip workload served through
+/// `Service::start_network` at 1/2/8 workers (singles and batches),
+/// bit-identity against the sequential packed reference enforced per cell.
+/// The per-`n` TA/IER columns record the crossover the planner's
+/// `choose_network` default is judged against.
+pub fn run_network_throughput(quick: bool) -> NetworkReport {
+    use gnn_core::{NetworkQuery, Planner, QueryRequest, Target};
+    use gnn_datasets::{trip_workload, TripSpec};
+    use gnn_network::{NetworkIer, NetworkScratch, NetworkSnapshot, NetworkTa, RoadNetwork};
+    use gnn_service::{Service, ServiceConfig, Submission};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    let (w, h) = if quick { (24, 24) } else { (48, 48) };
+    let count = if quick { 48 } else { 160 };
+    let k = 4usize;
+    let network = RoadNetwork::grid(w, h, 0.25, 0x20040301);
+    // Data objects on ~10% of the vertices, seeded.
+    let mut rng = StdRng::seed_from_u64(0x20040302);
+    let data: Vec<gnn_network::VertexId> = (0..network.vertex_count() as u32)
+        .filter(|_| rng.gen::<f64>() < 0.10)
+        .map(gnn_network::VertexId)
+        .collect();
+    let packed = network.freeze();
+    let backend = Arc::new(NetworkSnapshot::new(packed.clone(), data.clone()));
+
+    let timed = |passes: usize, f: &mut dyn FnMut()| -> std::time::Duration {
+        (0..passes)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .min()
+            .expect("timed passes")
+    };
+
+    // --- Group-size sweep: arena vs packed, TA and IER. ---
+    let mut algo_cells = Vec::new();
+    let mut scratch = NetworkScratch::new();
+    for n in [2usize, 4, 8] {
+        let trips = trip_workload(
+            &network,
+            TripSpec {
+                group_size: n,
+                max_retries: 8,
+            },
+            count,
+            0xBEEF ^ n as u64,
+        );
+        for algo in ["NET-TA", "NET-IER"] {
+            // Reference pass: arena results + counters per query.
+            let mut matches = true;
+            let (mut settled, mut relaxed, mut rtree) = (0u64, 0u64, 0u64);
+            for q in &trips {
+                let arena = match algo {
+                    "NET-TA" => NetworkTa.k_gnn(&network, &data, &q.sources, k, Aggregate::Sum),
+                    _ => NetworkIer.k_gnn(&network, &data, &q.sources, k, Aggregate::Sum),
+                };
+                let (packed_out, packed_stats) = match algo {
+                    "NET-TA" => NetworkTa.k_gnn_in(
+                        &packed,
+                        &data,
+                        &q.sources,
+                        k,
+                        Aggregate::Sum,
+                        &mut scratch,
+                    ),
+                    _ => NetworkIer.k_gnn_in(
+                        &packed,
+                        backend.data_tree(),
+                        &q.sources,
+                        k,
+                        Aggregate::Sum,
+                        &mut scratch,
+                    ),
+                };
+                settled += packed_stats.settled_vertices;
+                relaxed += packed_stats.relaxed_edges;
+                rtree += packed_stats.rtree_accesses;
+                let same_neighbors = arena.neighbors.len() == packed_out.len()
+                    && arena.neighbors.iter().zip(packed_out).all(|(a, p)| {
+                        u64::from(a.vertex.0) == p.id.0 && a.dist.to_bits() == p.dist.to_bits()
+                    });
+                let a = arena.stats;
+                if !same_neighbors
+                    || a.settled_vertices != packed_stats.settled_vertices
+                    || a.relaxed_edges != packed_stats.relaxed_edges
+                    || a.euclidean_candidates != packed_stats.euclidean_candidates
+                    || a.rtree_accesses != packed_stats.rtree_accesses
+                {
+                    matches = false;
+                }
+            }
+            // Timed passes: best of three each, arena first (its per-query
+            // allocations are the thing being measured against).
+            let arena_time = timed(3, &mut || {
+                for q in &trips {
+                    match algo {
+                        "NET-TA" => {
+                            NetworkTa.k_gnn(&network, &data, &q.sources, k, Aggregate::Sum);
+                        }
+                        _ => {
+                            NetworkIer.k_gnn(&network, &data, &q.sources, k, Aggregate::Sum);
+                        }
+                    }
+                }
+            });
+            let packed_time = timed(3, &mut || {
+                for q in &trips {
+                    match algo {
+                        "NET-TA" => {
+                            NetworkTa.k_gnn_in(
+                                &packed,
+                                &data,
+                                &q.sources,
+                                k,
+                                Aggregate::Sum,
+                                &mut scratch,
+                            );
+                        }
+                        _ => {
+                            NetworkIer.k_gnn_in(
+                                &packed,
+                                backend.data_tree(),
+                                &q.sources,
+                                k,
+                                Aggregate::Sum,
+                                &mut scratch,
+                            );
+                        }
+                    }
+                }
+            });
+            let arena_qps = count as f64 / arena_time.as_secs_f64();
+            let packed_qps = count as f64 / packed_time.as_secs_f64();
+            algo_cells.push(NetworkAlgoCell {
+                algo: algo.into(),
+                n,
+                arena_qps,
+                packed_qps,
+                speedup: packed_qps / arena_qps,
+                settled_per_query: settled as f64 / count as f64,
+                relaxed_per_query: relaxed as f64 / count as f64,
+                rtree_per_query: rtree as f64 / count as f64,
+                matches_arena: matches,
+            });
+        }
+    }
+
+    // --- Service cells: the trip workload through Service::start_network. ---
+    let trips = trip_workload(
+        &network,
+        TripSpec {
+            group_size: 4,
+            max_retries: 8,
+        },
+        count,
+        0xCAFE,
+    );
+    let requests: Vec<QueryRequest> = trips
+        .iter()
+        .map(|t| {
+            QueryRequest::new(
+                QueryGroup::sum(t.points.clone()).expect("valid trip group"),
+                k,
+            )
+            .with_network(NetworkQuery::at_vertices(
+                t.sources.iter().map(|v| v.0).collect(),
+            ))
+        })
+        .collect();
+
+    // Sequential packed reference: fingerprints + timing on one scratch.
+    let planner = Planner::new();
+    let mut qscratch = gnn_core::QueryScratch::new();
+    let target = Target::Network(backend.as_ref());
+    type Print = (gnn_core::Choice, Vec<(u64, u64)>, u64, u64, u64);
+    let reference: Vec<Print> = requests
+        .iter()
+        .map(|r| {
+            let (choice, neighbors, stats, _) = r.execute_on(&planner, &target, &mut qscratch);
+            (
+                choice,
+                neighbors
+                    .iter()
+                    .map(|x| (x.id.0, x.dist.to_bits()))
+                    .collect(),
+                stats.settled_vertices,
+                stats.relaxed_edges,
+                stats.data_tree.logical,
+            )
+        })
+        .collect();
+    let sequential_time = timed(3, &mut || {
+        for r in &requests {
+            r.execute_on(&planner, &target, &mut qscratch);
+        }
+    });
+    let sequential_qps = count as f64 / sequential_time.as_secs_f64();
+
+    let check = |responses: &[gnn_core::QueryResponse]| -> bool {
+        responses.len() == reference.len()
+            && responses.iter().zip(&reference).all(|(r, want)| {
+                let got: Vec<(u64, u64)> = r
+                    .neighbors
+                    .iter()
+                    .map(|x| (x.id.0, x.dist.to_bits()))
+                    .collect();
+                r.choice == want.0
+                    && got == want.1
+                    && r.stats.settled_vertices == want.2
+                    && r.stats.relaxed_edges == want.3
+                    && r.stats.data_tree.logical == want.4
+            })
+    };
+
+    let mut service_cells = Vec::new();
+    for (workers, batched) in [(1usize, false), (2, false), (8, false), (2, true)] {
+        let service = Service::start_network(
+            Arc::clone(&backend) as Arc<dyn gnn_core::NetworkBackend>,
+            ServiceConfig {
+                workers,
+                queue_depth: 256,
+                ..ServiceConfig::default()
+            },
+        );
+        let submit_all = |collect: bool| -> Vec<gnn_core::QueryResponse> {
+            if batched {
+                let handle = service
+                    .submit(Submission::batch(requests.clone()))
+                    .expect("network batch submit");
+                let got = handle.wait_all().expect("network batch responses");
+                if collect {
+                    got
+                } else {
+                    Vec::new()
+                }
+            } else {
+                let handles: Vec<_> = requests
+                    .iter()
+                    .map(|r| service.submit(r.clone()).expect("network submit"))
+                    .collect();
+                let got: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| h.wait().expect("network query"))
+                    .collect();
+                if collect {
+                    got
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        let responses = submit_all(true); // warm-up + equivalence pass
+        let elapsed = timed(3, &mut || {
+            submit_all(false);
+        });
+        service.shutdown();
+        let qps = count as f64 / elapsed.as_secs_f64();
+        service_cells.push(NetworkServiceCell {
+            workers,
+            batched,
+            qps,
+            speedup_vs_sequential: qps / sequential_qps,
+            matches_sequential: check(&responses),
+        });
+    }
+
+    NetworkReport {
+        quick,
+        grid: (w, h),
+        vertices: network.vertex_count(),
+        edges: network.edge_count(),
+        data_objects: data.len(),
+        queries: count,
+        k,
+        host_parallelism: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        algo_cells,
+        sequential_qps,
+        service_cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,14 @@ impl Ord for HeapNeighbor {
     }
 }
 
+impl Default for KBestList {
+    /// An empty `k = 1` list — callers that embed a list in reusable scratch
+    /// re-arm it per query with [`KBestList::reset`] anyway.
+    fn default() -> Self {
+        KBestList::new(1)
+    }
+}
+
 impl KBestList {
     /// A list retaining the best `k` neighbors.
     ///

@@ -29,6 +29,12 @@ pub enum Choice {
     Fmqm,
     /// File minimum bounding method (disk, many groups).
     Fmbm,
+    /// Network threshold algorithm (network targets; concurrent Dijkstra
+    /// expansion, one stream per query vertex).
+    NetworkTa,
+    /// Network incremental Euclidean restriction (network targets;
+    /// Euclidean MBM filter over the data vertices + exact refinement).
+    NetworkIer,
 }
 
 impl std::fmt::Display for Choice {
@@ -39,6 +45,8 @@ impl std::fmt::Display for Choice {
             Choice::Mqm => "MQM",
             Choice::Fmqm => "F-MQM",
             Choice::Fmbm => "F-MBM",
+            Choice::NetworkTa => "NET-TA",
+            Choice::NetworkIer => "NET-IER",
         };
         f.write_str(s)
     }
@@ -83,6 +91,15 @@ impl Planner {
         } else {
             Choice::Fmbm
         }
+    }
+
+    /// The choice for a network-distance query: IER. Its Euclidean filter
+    /// prunes the candidate set to a handful of refinements on every
+    /// workload measured so far (`BENCH_network.json` records the TA
+    /// crossover study); TA remains requestable explicitly via
+    /// [`crate::Algo::NetworkTa`].
+    pub fn choose_network(&self, _group: &QueryGroup) -> Choice {
+        Choice::NetworkIer
     }
 
     /// Plans and runs a memory-resident k-GNN query.

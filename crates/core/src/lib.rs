@@ -54,6 +54,7 @@
 
 mod aggregate;
 pub mod assignment;
+pub mod backend;
 pub mod baseline;
 pub mod batch;
 mod best_list;
@@ -72,6 +73,7 @@ pub mod sharded;
 mod spm;
 
 pub use aggregate::Aggregate;
+pub use backend::{NetworkBackend, NetworkQuery};
 pub use batch::{execute_batch_hooked, execute_batch_in, BatchAccounting};
 pub use best_list::KBestList;
 pub use engine::{Choice, Planner};

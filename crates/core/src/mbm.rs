@@ -380,8 +380,9 @@ impl MbmScratch {
 
     /// Every internal buffer capacity (for the no-regrowth tests — any
     /// buffer omitted here could silently reintroduce steady-state
-    /// allocations).
-    pub(crate) fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
+    /// allocations). Public so scratches that embed an `MbmScratch` (e.g.
+    /// `gnn-network`'s) can fold it into their own profiles.
+    pub fn capacity_profile(&self) -> impl Iterator<Item = usize> + '_ {
         [
             self.heap.capacity(),
             self.bounds.capacity(),

@@ -8,6 +8,7 @@
 //! returns bit-identical results and node accesses to the sequential
 //! reference" true by construction rather than by testing luck.
 
+use crate::backend::{NetworkBackend, NetworkQuery};
 use crate::engine::{Choice, Planner};
 use crate::result::{Neighbor, QueryStats};
 use crate::scratch::QueryScratch;
@@ -37,6 +38,12 @@ pub enum Target<'a, 't> {
         /// Exactly one cursor per shard, in shard order.
         cursors: &'a [TreeCursor<'t>],
     },
+    /// A non-Euclidean distance domain (e.g. `gnn-network`'s packed road
+    /// graph snapshot). The backend answers requests end to end through
+    /// [`NetworkBackend::execute_network`]; requests may pin their source
+    /// vertices with [`QueryRequest::with_network`], otherwise the backend
+    /// snaps the group's points onto the domain.
+    Network(&'a dyn NetworkBackend),
 }
 
 impl<'a, 't> Target<'a, 't> {
@@ -47,15 +54,18 @@ impl<'a, 't> Target<'a, 't> {
         match self {
             Target::Single(cursor) => cursor.root_mbr(),
             Target::Sharded { snapshot, .. } => snapshot.root_mbr(),
+            Target::Network(backend) => backend.root_mbr(),
         }
     }
 
     /// Every cursor this target reads through (one for single-tree targets,
-    /// one per shard otherwise).
+    /// one per shard; network backends meter their own index accesses, so
+    /// none here).
     pub fn cursors(&self) -> impl Iterator<Item = &'a TreeCursor<'t>> {
         let (single, many) = match self {
             Target::Single(cursor) => (Some(*cursor), [].as_slice()),
             Target::Sharded { cursors, .. } => (None, *cursors),
+            Target::Network(_) => (None, [].as_slice()),
         };
         single.into_iter().chain(many.iter())
     }
@@ -75,6 +85,15 @@ pub enum Algo {
     Spm,
     /// Force MBM (query-MBR pruned single traversal).
     Mbm,
+    /// Force the network threshold algorithm (concurrent Dijkstra
+    /// expansion). Only meaningful on [`Target::Network`]; Euclidean
+    /// targets fall back to MBM, which the returned [`Choice`] makes
+    /// observable.
+    NetworkTa,
+    /// Force network incremental Euclidean restriction (Euclidean MBM
+    /// filter + exact network refinement). Only meaningful on
+    /// [`Target::Network`]; Euclidean targets fall back to MBM.
+    NetworkIer,
 }
 
 /// One memory-resident k-GNN query in transportable form.
@@ -111,6 +130,11 @@ pub struct QueryRequest {
     /// changes results, node accesses, or reply accounting. Ignored by
     /// the direct execution entry points, which have no queue or stages.
     pub trace: bool,
+    /// The network-domain payload: present exactly when this request is
+    /// meant for a [`Target::Network`] backend (it pins or snaps the
+    /// group's source vertices there). Euclidean targets ignore it — the
+    /// group's points and aggregate already say everything they need.
+    pub network: Option<NetworkQuery>,
 }
 
 impl QueryRequest {
@@ -123,6 +147,7 @@ impl QueryRequest {
             shard_hint: None,
             deadline: None,
             trace: false,
+            network: None,
         }
     }
 
@@ -135,7 +160,14 @@ impl QueryRequest {
             shard_hint: None,
             deadline: None,
             trace: false,
+            network: None,
         }
+    }
+
+    /// Attaches a network-domain payload (see [`QueryRequest::network`]).
+    pub fn with_network(mut self, network: NetworkQuery) -> Self {
+        self.network = Some(network);
+        self
     }
 
     /// Sets a shard-routing hint (see [`QueryRequest::shard_hint`]).
@@ -170,6 +202,13 @@ impl QueryRequest {
         target: &Target<'_, '_>,
         scratch: &'s mut QueryScratch,
     ) -> (Choice, &'s [Neighbor], QueryStats, ShardRouting) {
+        // Network backends resolve their own algorithm family (TA/IER via
+        // `Planner::choose_network`) — the Euclidean resolution below would
+        // be meaningless for them.
+        if let Target::Network(backend) = target {
+            let (choice, neighbors, stats) = backend.execute_network(self, planner, scratch);
+            return (choice, neighbors, stats, ShardRouting::default());
+        }
         let (choice, resolved) = self.resolve(planner);
         match target {
             Target::Single(cursor) => {
@@ -190,6 +229,7 @@ impl QueryRequest {
                 );
                 (choice, neighbors, stats, routing)
             }
+            Target::Network(_) => unreachable!("handled above"),
         }
     }
 
@@ -222,7 +262,11 @@ impl QueryRequest {
                 (Choice::Spm, ResolvedAlgo::Spm(Spm::best_first()))
             }
             // SPM is SUM-only (Lemma 1); MAX/MIN requests degrade to MBM.
-            Algo::Spm | Algo::Mbm => (Choice::Mbm, ResolvedAlgo::Mbm(Mbm::best_first())),
+            // Network selectors are meaningless on a Euclidean target and
+            // degrade the same way (the Choice makes the fallback visible).
+            Algo::Spm | Algo::Mbm | Algo::NetworkTa | Algo::NetworkIer => {
+                (Choice::Mbm, ResolvedAlgo::Mbm(Mbm::best_first()))
+            }
         }
     }
 

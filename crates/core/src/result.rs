@@ -33,6 +33,12 @@ pub struct QueryStats {
     pub items_pulled: u64,
     /// Peak size of the closest-pair priority queue (GCP only).
     pub heap_watermark: usize,
+    /// Vertices settled by Dijkstra expansion (network-distance backends
+    /// only — the network analog of node accesses, see `gnn-network`).
+    pub settled_vertices: u64,
+    /// Edge relaxations performed by Dijkstra expansion (network-distance
+    /// backends only; CPU proxy of network search).
+    pub relaxed_edges: u64,
     /// True when GCP hit its heap limit and gave up (the paper's "does not
     /// terminate" regime). The reported neighbors are then best-effort, not
     /// exact.

@@ -22,7 +22,9 @@ use crate::result::Neighbor;
 use crate::result::QueryStats;
 use crate::GnnResult;
 use gnn_rtree::NnScratch;
+use std::any::Any;
 use std::collections::HashSet;
+use std::fmt;
 
 /// Reusable storage for GNN queries. Create once, thread through the
 /// `*_in` query entry points, and steady-state queries stop allocating.
@@ -63,6 +65,26 @@ pub struct QueryScratch {
     /// Batch executor: `(group-MBR Hilbert key, request index)` sort buffer
     /// (see [`crate::batch`]).
     pub(crate) batch_order: Vec<(u64, u32)>,
+    /// Opaque per-worker state of a [`crate::NetworkBackend`] (e.g.
+    /// `gnn-network`'s `NetworkScratch`). Core cannot name the concrete
+    /// type (the backend crate depends on core, not vice versa), so the
+    /// slot is type-erased; backends reclaim it with
+    /// [`QueryScratch::take_backend_state`] and downcast.
+    backend_state: BackendState,
+}
+
+/// Type-erased backend scratch slot. A newtype so [`QueryScratch`] keeps
+/// its `Debug` derive (`dyn Any` is not `Debug`).
+#[derive(Default)]
+struct BackendState(Option<Box<dyn Any + Send>>);
+
+impl fmt::Debug for BackendState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("BackendState(occupied)"),
+            None => f.write_str("BackendState(empty)"),
+        }
+    }
 }
 
 impl QueryScratch {
@@ -83,7 +105,37 @@ impl QueryScratch {
             merge_out: Vec::new(),
             shard_order: Vec::new(),
             batch_order: Vec::new(),
+            backend_state: BackendState::default(),
         }
+    }
+
+    /// Takes the backend's type-erased per-worker state out of the scratch
+    /// (`None` on the first query through this scratch, or if a different
+    /// backend left an incompatible value — downcast and rebuild then).
+    /// Backends take the box out, run with both the state and the scratch
+    /// borrowable, and put it back with
+    /// [`QueryScratch::put_backend_state`] — the take/put dance is what
+    /// lets the state live *inside* the scratch without aliasing it.
+    pub fn take_backend_state(&mut self) -> Option<Box<dyn Any + Send>> {
+        self.backend_state.0.take()
+    }
+
+    /// Returns the backend state taken by
+    /// [`QueryScratch::take_backend_state`] so the next query on this
+    /// scratch reuses its warmed-up buffers.
+    pub fn put_backend_state(&mut self, state: Box<dyn Any + Send>) {
+        self.backend_state.0 = Some(state);
+    }
+
+    /// Stages externally computed neighbors as this scratch's current
+    /// result, so [`QueryScratch::neighbors`] and the `*_in` calling
+    /// convention (return a slice borrowed from the scratch) work for
+    /// backend-executed queries too. Deliberately returns nothing: the
+    /// caller re-borrows through [`QueryScratch::neighbors`] *after*
+    /// putting its own state back.
+    pub fn stage_neighbors(&mut self, neighbors: &[Neighbor]) {
+        self.out.clear();
+        self.out.extend_from_slice(neighbors);
     }
 
     /// Stages an already-computed result in the scratch so the `*_in`

@@ -19,6 +19,9 @@
 //! queries, each with `n` points uniformly distributed in a random MBR
 //! covering an `M`-fraction of the data workspace, plus the workspace
 //! scaling/shifting transforms used by the disk-resident experiments (§5.2).
+//! For the road-network extension, [`trip_workload`] generates fixed-seed
+//! trip-based group queries: each member is sampled partway along its own
+//! shortest-path trip, so query positions follow the network's geometry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ mod arrivals;
 pub mod io;
 mod mixed;
 mod synthetic;
+mod trips;
 mod workload;
 
 pub use arrivals::{
@@ -37,6 +41,7 @@ pub use synthetic::{
     gaussian_clusters, pp_synthetic, ts_synthetic, uniform_points, ClusterSpec, PP_CARDINALITY,
     TS_CARDINALITY,
 };
+pub use trips::{trip_workload, TripQuery, TripSpec};
 pub use workload::{
     centered_subrect, hotspot_query_workload, overlap_shifted_rect, query_workload,
     scale_points_to_rect, HotspotSpec, QuerySpec,

@@ -1,0 +1,180 @@
+//! Trip-based network query workloads.
+//!
+//! The Euclidean workloads (§5.1) draw query points uniformly in random
+//! MBRs; realistic *network* traffic looks different: a group of commuters,
+//! each partway through their own trip, asks where to meet. This module
+//! generates that shape with a fixed seed: every group member gets a random
+//! origin→destination shortest-path **trip** on the road network
+//! ([`gnn_network::shortest_path`]) and a random progress fraction along
+//! it, and the query point is the vertex the member currently occupies.
+//! Positions therefore follow the network's own geometry (members cluster
+//! along through-routes, exactly the locality the packed snap index and the
+//! IER filter see in production), and every query carries its exact source
+//! vertices so serving can skip the snap (`NetworkQuery::at_vertices`) —
+//! or re-derive them from the points, which snaps back to the same
+//! vertices on distinctly-positioned networks.
+
+use gnn_geom::Point;
+use gnn_network::{shortest_path, RoadNetwork, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a trip-based network workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripSpec {
+    /// Group members per query (the paper's `n`): commuters meeting up.
+    pub group_size: usize,
+    /// Re-draw attempts when an origin→destination pair is disconnected
+    /// (relevant on random-geometric networks with isolated components; a
+    /// grid never needs a retry). After the attempts run out the member
+    /// stays at its origin — the workload never fails, it just degrades to
+    /// a zero-length trip.
+    pub max_retries: usize,
+}
+
+impl Default for TripSpec {
+    /// Groups of 4 commuters, 8 re-draw attempts.
+    fn default() -> Self {
+        TripSpec {
+            group_size: 4,
+            max_retries: 8,
+        }
+    }
+}
+
+/// One trip-based group query: each member's current position and the
+/// vertex it occupies (parallel vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripQuery {
+    /// Member positions — feed these to the query group.
+    pub points: Vec<Point>,
+    /// The vertex each member currently occupies — pin these through
+    /// `NetworkQuery::at_vertices` to serve snap-free.
+    pub sources: Vec<VertexId>,
+}
+
+/// Generates `count` trip-based group queries on `network` with a fixed
+/// seed (same network + spec + seed ⇒ identical workload).
+///
+/// Per member: a uniform origin/destination vertex pair, its shortest-path
+/// trip, and a uniform progress fraction; the member sits at the path
+/// vertex where the traveled length first reaches that fraction of the
+/// trip.
+///
+/// # Panics
+///
+/// Panics when `spec.group_size` is zero or the network is empty.
+pub fn trip_workload(
+    network: &RoadNetwork,
+    spec: TripSpec,
+    count: usize,
+    seed: u64,
+) -> Vec<TripQuery> {
+    assert!(spec.group_size > 0, "groups need at least one member");
+    let n = network.vertex_count();
+    assert!(n > 0, "trip workloads need a non-empty network");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut points = Vec::with_capacity(spec.group_size);
+            let mut sources = Vec::with_capacity(spec.group_size);
+            for _ in 0..spec.group_size {
+                let v = trip_position(network, spec.max_retries, &mut rng);
+                points.push(network.position(v));
+                sources.push(v);
+            }
+            TripQuery { points, sources }
+        })
+        .collect()
+}
+
+/// One member's current vertex: a random trip, sampled at a random
+/// progress fraction.
+fn trip_position(network: &RoadNetwork, max_retries: usize, rng: &mut StdRng) -> VertexId {
+    let n = network.vertex_count() as u32;
+    let origin = VertexId(rng.gen_range(0..n));
+    // The progress draw happens unconditionally — before the reachability
+    // retries — so the consumed random stream per member is
+    // retry-independent only in count of *extra* draws, and the workload
+    // stays reproducible for a given network.
+    let progress: f64 = rng.gen();
+    for _ in 0..=max_retries {
+        let dest = VertexId(rng.gen_range(0..n));
+        if dest == origin {
+            continue;
+        }
+        let Some((path, total)) = shortest_path(network, origin, dest) else {
+            continue;
+        };
+        if total <= 0.0 {
+            return origin;
+        }
+        // Walk the path until the traveled length reaches the progress
+        // mark; the member sits at the first vertex past it.
+        let target = progress * total;
+        let mut traveled = 0.0;
+        for w in path.windows(2) {
+            if traveled >= target {
+                return w[0];
+            }
+            let weight = network
+                .neighbors(w[0])
+                .find(|&(u, _)| u == w[1])
+                .map(|(_, weight)| weight)
+                .expect("path edges exist");
+            traveled += weight;
+        }
+        return *path.last().expect("paths are non-empty");
+    }
+    origin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let g = RoadNetwork::grid(8, 8, 0.2, 5);
+        let spec = TripSpec::default();
+        let a = trip_workload(&g, spec, 16, 42);
+        let b = trip_workload(&g, spec, 16, 42);
+        assert_eq!(a, b);
+        let c = trip_workload(&g, spec, 16, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn points_sit_on_their_source_vertices() {
+        let g = RoadNetwork::grid(6, 6, 0.3, 7);
+        for q in trip_workload(&g, TripSpec::default(), 12, 9) {
+            assert_eq!(q.points.len(), q.sources.len());
+            for (p, &v) in q.points.iter().zip(&q.sources) {
+                assert_eq!(*p, g.position(v));
+                assert!(v.index() < g.vertex_count());
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_members_fall_back_to_origin() {
+        // Two 2-vertex islands: every cross-island pair is unreachable, so
+        // after the retries run out the member must sit somewhere valid.
+        let mut g = RoadNetwork::new();
+        let a = g.add_vertex(Point::new(0.0, 0.0));
+        let b = g.add_vertex(Point::new(1.0, 0.0));
+        let c = g.add_vertex(Point::new(10.0, 10.0));
+        let d = g.add_vertex(Point::new(11.0, 10.0));
+        g.add_edge(a, b);
+        g.add_edge(c, d);
+        let spec = TripSpec {
+            group_size: 3,
+            max_retries: 2,
+        };
+        for q in trip_workload(&g, spec, 20, 3) {
+            for &v in &q.sources {
+                assert!(v.index() < g.vertex_count());
+            }
+        }
+    }
+}

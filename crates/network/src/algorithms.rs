@@ -6,9 +6,11 @@
 
 use crate::dijkstra::{single_source_distances, DijkstraStream};
 use crate::graph::{RoadNetwork, VertexId};
+use crate::packed::PackedGraph;
+use crate::scratch::{DijkstraState, NetworkScratch};
 use gnn_core::{Aggregate, KBestList, MbmStream, Neighbor, QueryGroup};
 use gnn_geom::PointId;
-use gnn_rtree::{LeafEntry, RTree, RTreeParams, TreeCursor};
+use gnn_rtree::{LeafEntry, PackedRTree, RTree, RTreeParams, TreeCursor};
 use std::time::{Duration, Instant};
 
 /// One network group nearest neighbor.
@@ -20,11 +22,11 @@ pub struct NetworkNeighbor {
     pub dist: f64,
 }
 
-/// Result and cost counters of a network GNN query.
-#[derive(Debug, Clone, Default)]
-pub struct NetworkGnnResult {
-    /// Up to `k` neighbors in ascending aggregate network distance.
-    pub neighbors: Vec<NetworkNeighbor>,
+/// Cost counters of one network GNN query — shared by the arena results
+/// ([`NetworkGnnResult::stats`]) and the packed `k_gnn_in` entry points,
+/// and the quantities the service-level bit-identity gates compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkGnnStats {
     /// Vertices settled across all Dijkstra expansions (the I/O proxy of
     /// network search \[PZMT03\]).
     pub settled_vertices: u64,
@@ -36,6 +38,16 @@ pub struct NetworkGnnResult {
     pub rtree_accesses: u64,
     /// Wall time of the query.
     pub elapsed: Duration,
+}
+
+/// Result and cost counters of a network GNN query (arena entry points;
+/// the packed variants return borrowed neighbors + [`NetworkGnnStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct NetworkGnnResult {
+    /// Up to `k` neighbors in ascending aggregate network distance.
+    pub neighbors: Vec<NetworkNeighbor>,
+    /// Cost counters.
+    pub stats: NetworkGnnStats,
 }
 
 fn neighbors_from(best: KBestList) -> Vec<NetworkNeighbor> {
@@ -92,6 +104,65 @@ fn probe(
             Some((u, d)) => {
                 thresholds[si] = d;
                 if is_data[u.index()] {
+                    pending.push(u);
+                }
+                if u == v {
+                    return Some(d);
+                }
+            }
+        }
+    }
+}
+
+/// [`aggregate_over_queries`] against packed Dijkstra states — identical
+/// fold order, so aggregates carry the same floating-point bits.
+fn aggregate_over_queries_packed(
+    graph: &PackedGraph,
+    states: &mut [DijkstraState],
+    v: VertexId,
+    aggregate: Aggregate,
+) -> f64 {
+    let mut acc = aggregate.identity();
+    for s in states.iter_mut() {
+        let d = s.distance_to(graph, v).unwrap_or(f64::INFINITY);
+        acc = aggregate.fold(acc, d);
+        if acc.is_infinite() && aggregate != Aggregate::Min {
+            // Unreachable from some query point: Sum/Max can never recover.
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+/// [`probe`] against packed Dijkstra states: runs stream `si` until `v`
+/// settles, updating thresholds and sweeping data vertices into `pending`.
+/// The epoch-stamped `data_epoch` set replaces the arena's `is_data` bool
+/// array (stamp equality = member).
+#[allow(clippy::too_many_arguments)]
+fn probe_packed(
+    graph: &PackedGraph,
+    states: &mut [DijkstraState],
+    si: usize,
+    v: VertexId,
+    thresholds: &mut [f64],
+    live: &mut [bool],
+    data_epoch: &[u32],
+    epoch: u32,
+    pending: &mut Vec<VertexId>,
+) -> Option<f64> {
+    if let Some(d) = states[si].settled_distance(v) {
+        return Some(d);
+    }
+    loop {
+        match states[si].step(graph) {
+            None => {
+                thresholds[si] = f64::INFINITY;
+                live[si] = false;
+                return None;
+            }
+            Some((u, d)) => {
+                thresholds[si] = d;
+                if data_epoch[u.index()] == epoch {
                     pending.push(u);
                 }
                 if u == v {
@@ -236,12 +307,124 @@ impl NetworkTa {
 
         NetworkGnnResult {
             neighbors: neighbors_from(best),
-            settled_vertices: streams.iter().map(|s| s.settled_count() as u64).sum(),
-            relaxed_edges: streams.iter().map(|s| s.relaxed_edges()).sum(),
+            stats: NetworkGnnStats {
+                settled_vertices: streams.iter().map(|s| s.settled_count() as u64).sum(),
+                relaxed_edges: streams.iter().map(|s| s.relaxed_edges()).sum(),
+                euclidean_candidates: 0,
+                rtree_accesses: 0,
+                elapsed: t0.elapsed(),
+            },
+        }
+    }
+
+    /// The packed, scratch-threaded variant: same mechanics as
+    /// [`NetworkTa::k_gnn`] against a [`PackedGraph`] snapshot, reusing
+    /// `scratch` (no `V`-sized allocations in steady state). Results and
+    /// expansion counters are **bit-identical** to the arena entry point on
+    /// the same graph — the equivalence proptests pin exactly that.
+    pub fn k_gnn_in<'s>(
+        &self,
+        graph: &PackedGraph,
+        data: &[VertexId],
+        query: &[VertexId],
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut NetworkScratch,
+    ) -> (&'s [Neighbor], NetworkGnnStats) {
+        assert!(!query.is_empty(), "query group must be non-empty");
+        let t0 = Instant::now();
+        scratch.begin(graph.vertex_count(), query.len(), k);
+        let NetworkScratch {
+            states,
+            thresholds,
+            live,
+            pending,
+            data_epoch,
+            evaluated_epoch,
+            epoch,
+            best,
+            out,
+            ..
+        } = scratch;
+        let epoch = *epoch;
+        let states = &mut states[..query.len()];
+        for (s, &q) in states.iter_mut().zip(query) {
+            s.begin(graph, q);
+        }
+        for &v in data {
+            data_epoch[v.index()] = epoch;
+        }
+
+        'outer: loop {
+            let mut progressed = false;
+            for si in 0..states.len() {
+                // Drain candidates discovered so far (including those swept
+                // up by probes) before judging the termination threshold.
+                while let Some(v) = pending.pop() {
+                    if evaluated_epoch[v.index()] == epoch {
+                        continue;
+                    }
+                    evaluated_epoch[v.index()] = epoch;
+                    let mut acc = aggregate.identity();
+                    let mut reachable = true;
+                    for pi in 0..states.len() {
+                        match probe_packed(
+                            graph, states, pi, v, thresholds, live, data_epoch, epoch, pending,
+                        ) {
+                            Some(d) => acc = aggregate.fold(acc, d),
+                            None => {
+                                if aggregate != Aggregate::Min {
+                                    reachable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if reachable && acc.is_finite() {
+                        best.offer(Neighbor {
+                            id: PointId(u64::from(v.0)),
+                            point: graph.position(v),
+                            dist: acc,
+                        });
+                    }
+                }
+                let t = aggregate.aggregate(thresholds.iter().copied());
+                if t >= best.bound() {
+                    break 'outer;
+                }
+                if !live[si] {
+                    continue;
+                }
+                // Advance stream si by one settled vertex.
+                match states[si].step(graph) {
+                    None => {
+                        // Stream exhausted: every reachable vertex settled.
+                        thresholds[si] = f64::INFINITY;
+                        live[si] = false;
+                    }
+                    Some((v, d)) => {
+                        progressed = true;
+                        thresholds[si] = d;
+                        if data_epoch[v.index()] == epoch && evaluated_epoch[v.index()] != epoch {
+                            pending.push(v);
+                        }
+                    }
+                }
+            }
+            if !progressed && pending.is_empty() {
+                break;
+            }
+        }
+
+        let stats = NetworkGnnStats {
+            settled_vertices: states.iter().map(|s| s.settled_count() as u64).sum(),
+            relaxed_edges: states.iter().map(|s| s.relaxed_edges()).sum(),
             euclidean_candidates: 0,
             rtree_accesses: 0,
             elapsed: t0.elapsed(),
-        }
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 }
 
@@ -309,12 +492,81 @@ impl NetworkIer {
 
         NetworkGnnResult {
             neighbors: neighbors_from(best),
-            settled_vertices: streams.iter().map(|s| s.settled_count() as u64).sum(),
-            relaxed_edges: streams.iter().map(|s| s.relaxed_edges()).sum(),
+            stats: NetworkGnnStats {
+                settled_vertices: streams.iter().map(|s| s.settled_count() as u64).sum(),
+                relaxed_edges: streams.iter().map(|s| s.relaxed_edges()).sum(),
+                euclidean_candidates: candidates,
+                rtree_accesses: cursor.stats().logical,
+                elapsed: t0.elapsed(),
+            },
+        }
+    }
+
+    /// The packed, scratch-threaded variant: the Euclidean filter runs over
+    /// a **prebuilt** frozen R\*-tree of the data vertices (`data_tree`,
+    /// ids = vertex ids — see `NetworkSnapshot`, which builds it once at
+    /// freeze time instead of per query), the MBM stream reuses the
+    /// scratch's `MbmScratch`, and refinement runs epoch-stamped packed
+    /// Dijkstra states. Results and counters are bit-identical to
+    /// [`NetworkIer::k_gnn`] when `data_tree` is the frozen image of the
+    /// arena tree that entry point builds (same bulk load, same order).
+    pub fn k_gnn_in<'s>(
+        &self,
+        graph: &PackedGraph,
+        data_tree: &PackedRTree,
+        query: &[VertexId],
+        k: usize,
+        aggregate: Aggregate,
+        scratch: &'s mut NetworkScratch,
+    ) -> (&'s [Neighbor], NetworkGnnStats) {
+        assert!(!query.is_empty(), "query group must be non-empty");
+        let t0 = Instant::now();
+        scratch.begin(graph.vertex_count(), query.len(), k);
+        let cursor = TreeCursor::packed(data_tree);
+        let group = QueryGroup::with_aggregate(
+            query.iter().map(|&q| graph.position(q)).collect(),
+            aggregate,
+        )
+        .expect("non-empty query group");
+        let NetworkScratch {
+            states,
+            mbm,
+            best,
+            out,
+            ..
+        } = scratch;
+        let states = &mut states[..query.len()];
+        for (s, &q) in states.iter_mut().zip(query) {
+            s.begin(graph, q);
+        }
+        let mut euclid_stream = MbmStream::new_in(&cursor, &group, mbm);
+        let mut candidates = 0u64;
+        for cand in euclid_stream.by_ref() {
+            // cand.dist is the Euclidean aggregate = a network lower bound.
+            if cand.dist >= best.bound() {
+                break;
+            }
+            candidates += 1;
+            let v = VertexId(cand.id.0 as u32);
+            let agg = aggregate_over_queries_packed(graph, states, v, aggregate);
+            if agg.is_finite() {
+                best.offer(Neighbor {
+                    id: cand.id,
+                    point: cand.point,
+                    dist: agg,
+                });
+            }
+        }
+
+        let stats = NetworkGnnStats {
+            settled_vertices: states.iter().map(|s| s.settled_count() as u64).sum(),
+            relaxed_edges: states.iter().map(|s| s.relaxed_edges()).sum(),
             euclidean_candidates: candidates,
             rtree_accesses: cursor.stats().logical,
             elapsed: t0.elapsed(),
-        }
+        };
+        best.drain_sorted_into(out);
+        (&*out, stats)
     }
 }
 
@@ -458,9 +710,9 @@ mod tests {
         let query = vec![VertexId(210), VertexId(211), VertexId(230)];
         let r = NetworkIer.k_gnn(&g, &data, &query, 1, Aggregate::Sum);
         assert!(
-            r.euclidean_candidates < 60,
+            r.stats.euclidean_candidates < 60,
             "refined {} of 200 candidates",
-            r.euclidean_candidates
+            r.stats.euclidean_candidates
         );
         // And it still matches TA.
         let ta = NetworkTa.k_gnn(&g, &data, &query, 1, Aggregate::Sum);
@@ -473,10 +725,10 @@ mod tests {
         let data = sample_vertices(&g, 20, 8);
         let query = sample_vertices(&g, 3, 9);
         let ta = NetworkTa.k_gnn(&g, &data, &query, 2, Aggregate::Sum);
-        assert!(ta.settled_vertices > 0);
-        assert!(ta.relaxed_edges > 0);
+        assert!(ta.stats.settled_vertices > 0);
+        assert!(ta.stats.relaxed_edges > 0);
         let ier = NetworkIer.k_gnn(&g, &data, &query, 2, Aggregate::Sum);
-        assert!(ier.rtree_accesses > 0);
-        assert!(ier.euclidean_candidates > 0);
+        assert!(ier.stats.rtree_accesses > 0);
+        assert!(ier.stats.euclidean_candidates > 0);
     }
 }

@@ -120,6 +120,58 @@ pub fn single_source_distances(graph: &RoadNetwork, source: VertexId) -> Vec<f64
     stream.dist
 }
 
+/// The shortest path from `source` to `target` as a vertex sequence
+/// (inclusive of both endpoints) with its network length, or `None` if
+/// unreachable. Parent-tracking Dijkstra with early exit at `target` — the
+/// building block of the trip-based workloads (`gnn_datasets::trip_workload`
+/// samples query positions along these routes).
+///
+/// Ties between equal-length paths resolve deterministically: the expansion
+/// relaxes edges in adjacency order with strict `<` improvement, so the
+/// first-discovered predecessor wins.
+pub fn shortest_path(
+    graph: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Vec<VertexId>, f64)> {
+    let n = graph.vertex_count();
+    assert!(source.index() < n, "unknown source vertex");
+    assert!(target.index() < n, "unknown target vertex");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<u32> = vec![u32::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrderedF64(0.0), source.0)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let vi = v as usize;
+        if settled[vi] {
+            continue;
+        }
+        settled[vi] = true;
+        let d = d.get();
+        if VertexId(v) == target {
+            let mut path = vec![target];
+            let mut cur = target;
+            while cur != source {
+                cur = VertexId(parent[cur.index()]);
+                path.push(cur);
+            }
+            path.reverse();
+            return Some((path, d));
+        }
+        for (u, w) in graph.neighbors(VertexId(v)) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = v;
+                heap.push(Reverse((OrderedF64(nd), u.0)));
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +245,47 @@ mod tests {
                 "vertex {i}: network {d} < euclid {euclid}"
             );
         }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = RoadNetwork::grid(5, 4, 0.25, 8);
+        let (path, len) = shortest_path(&g, VertexId(0), VertexId(19)).unwrap();
+        assert_eq!(path.first(), Some(&VertexId(0)));
+        assert_eq!(path.last(), Some(&VertexId(19)));
+        // Path edges must exist and sum to the reported length.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let weight = g
+                .neighbors(w[0])
+                .find(|&(u, _)| u == w[1])
+                .map(|(_, weight)| weight)
+                .expect("consecutive path vertices must be adjacent");
+            total += weight;
+        }
+        assert!((total - len).abs() < 1e-9);
+        // And the length must match the plain stream.
+        let d = DijkstraStream::new(&g, VertexId(0))
+            .distance_to(VertexId(19))
+            .unwrap();
+        assert_eq!(len, d);
+    }
+
+    #[test]
+    fn shortest_path_to_unreachable_is_none() {
+        let mut g = path_graph(3);
+        let lonely = g.add_vertex(Point::new(50.0, 50.0));
+        let other = g.add_vertex(Point::new(51.0, 50.0));
+        g.add_edge(lonely, other);
+        assert!(shortest_path(&g, VertexId(0), lonely).is_none());
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_trivial() {
+        let g = path_graph(3);
+        let (path, len) = shortest_path(&g, VertexId(1), VertexId(1)).unwrap();
+        assert_eq!(path, vec![VertexId(1)]);
+        assert_eq!(len, 0.0);
     }
 
     #[test]

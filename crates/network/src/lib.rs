@@ -23,6 +23,22 @@
 //!     straight lines), then refined with exact network distances.
 //!
 //! Both are verified against a brute-force multi-source Dijkstra oracle.
+//!
+//! ## Serving layer
+//!
+//! The arena types above are built for construction and experimentation;
+//! serving goes through packed snapshots:
+//!
+//! * [`PackedGraph`] — [`RoadNetwork::freeze`] lays the adjacency lists
+//!   into contiguous CSR arenas, mirrors positions into SoA arrays, and
+//!   freezes a vertex R\*-tree for packed NN snapping;
+//! * [`NetworkScratch`] — reusable epoch-stamped per-query state threaded
+//!   through [`NetworkTa::k_gnn_in`] / [`NetworkIer::k_gnn_in`], making
+//!   steady-state queries allocation-free;
+//! * [`NetworkSnapshot`] — graph + data vertices + frozen Euclidean filter
+//!   index behind [`gnn_core::NetworkBackend`], so `gnn-service` worker
+//!   pools serve network GNN through the same submission surface as
+//!   Euclidean queries, bit-identical to the sequential reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +46,15 @@
 mod algorithms;
 mod dijkstra;
 mod graph;
+mod packed;
+mod scratch;
+mod serve;
 
-pub use algorithms::{network_oracle, NetworkGnnResult, NetworkIer, NetworkNeighbor, NetworkTa};
-pub use dijkstra::DijkstraStream;
+pub use algorithms::{
+    network_oracle, NetworkGnnResult, NetworkGnnStats, NetworkIer, NetworkNeighbor, NetworkTa,
+};
+pub use dijkstra::{shortest_path, DijkstraStream};
 pub use graph::{EdgeId, RoadNetwork, VertexId};
+pub use packed::PackedGraph;
+pub use scratch::NetworkScratch;
+pub use serve::NetworkSnapshot;

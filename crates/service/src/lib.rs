@@ -126,9 +126,11 @@ pub use gnn_telemetry::{
 
 use gnn_core::batch::{execute_batch_hooked, BatchAccounting};
 use gnn_core::sharded::primary_shard;
-use gnn_core::{Aggregate, Planner, QueryGroup, QueryRequest, QueryResponse, Target};
+use gnn_core::{
+    Aggregate, NetworkBackend, Planner, QueryGroup, QueryRequest, QueryResponse, Target,
+};
 use gnn_core::{QueryScratch, QueryStats, QueryTrace, ShardRouting};
-use gnn_rtree::{PackedRTree, ShardedSnapshot, TreeCursor};
+use gnn_rtree::{PackedRTree, RTree, RTreeParams, ShardedSnapshot, TreeCursor};
 use gnn_telemetry::StageHistograms;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -800,6 +802,11 @@ pub struct Service {
     /// Refresh-driver flight ring (`RefreezeStart` / `RefreezeEnd`),
     /// written by the driver thread through [`Service::driver_flight`].
     driver_flight: FlightRecorder,
+    /// When present, this service serves **network-distance** GNN: every
+    /// request (single or batch) executes on [`Target::Network`] against
+    /// this backend instead of the Euclidean snapshot slot. Set by
+    /// [`Service::start_network`]; `None` for Euclidean services.
+    network: Option<Arc<dyn NetworkBackend>>,
 }
 
 impl Service {
@@ -825,6 +832,40 @@ impl Service {
     ///
     /// Panics when `config.workers` or `config.queue_depth` is zero.
     pub fn start_sharded(snapshot: Arc<ShardedSnapshot>, config: ServiceConfig) -> Service {
+        Self::start_inner(snapshot, config, None)
+    }
+
+    /// Spins up a **network-distance** service: one pool of
+    /// `config.workers` workers serving GNN queries on a road-network
+    /// backend (typically a `gnn_network::NetworkSnapshot` wrapped via its
+    /// `into_backend()`). Every request — single or batch — executes on
+    /// [`Target::Network`], through the exact same submission surface,
+    /// worker supervision, deadline shedding, and telemetry as the
+    /// Euclidean services; each worker keeps the backend's reusable state
+    /// (e.g. `NetworkScratch`) inside its own [`QueryScratch`], warmed at
+    /// spawn via [`NetworkBackend::warm`]. Results are bit-identical to a
+    /// sequential run of the same workload against the same backend, on
+    /// any worker count.
+    ///
+    /// The Euclidean snapshot slot holds an empty placeholder: `publish`
+    /// and the [`RefreshDriver`] are Euclidean-refresh machinery and do not
+    /// apply to a network service.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    pub fn start_network(backend: Arc<dyn NetworkBackend>, config: ServiceConfig) -> Service {
+        let placeholder = Arc::new(ShardedSnapshot::single(Arc::new(
+            RTree::new(RTreeParams::default()).freeze(),
+        )));
+        Self::start_inner(placeholder, config, Some(backend))
+    }
+
+    fn start_inner(
+        snapshot: Arc<ShardedSnapshot>,
+        config: ServiceConfig,
+        network: Option<Arc<dyn NetworkBackend>>,
+    ) -> Service {
         assert!(config.workers > 0, "service needs at least one worker");
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let shards = snapshot.shard_count();
@@ -857,11 +898,20 @@ impl Service {
                 let rx = Arc::clone(&rx);
                 let planner = config.planner;
                 let fault = config.fault_plan.clone();
+                let network = network.clone();
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("gnn-worker-{shard}-{worker_id}"))
                         .spawn(move || {
-                            worker_loop(&slot, &rx, planner, &counter, worker_id, &fault)
+                            worker_loop(
+                                &slot,
+                                &rx,
+                                planner,
+                                &counter,
+                                worker_id,
+                                &fault,
+                                network.as_deref(),
+                            )
                         })
                         .expect("spawn worker thread"),
                 );
@@ -883,6 +933,7 @@ impl Service {
             epoch,
             control,
             driver_flight,
+            network,
         }
     }
 
@@ -994,6 +1045,14 @@ impl Service {
     /// Number of shard pools (fixed at start).
     pub fn shard_count(&self) -> usize {
         self.pools.len()
+    }
+
+    /// The network backend this service executes on, when started through
+    /// [`Service::start_network`] (`None` for Euclidean services). Handy
+    /// for running the sequential reference of a served workload against
+    /// the exact same backend.
+    pub fn network_backend(&self) -> Option<&Arc<dyn NetworkBackend>> {
+        self.network.as_ref()
     }
 
     /// The configuration the service was started with.
@@ -1365,6 +1424,7 @@ fn worker_loop(
     counters: &WorkerCounters,
     worker_id: usize,
     fault: &FaultPlan,
+    network: Option<&dyn NetworkBackend>,
 ) {
     let mut scratch = QueryScratch::new();
     let (mut snap, mut generation) = slot.load();
@@ -1386,7 +1446,12 @@ fn worker_loop(
         // the scratch survives snapshot swaps.
         if !warmed {
             warmed = true;
-            if !snap.is_empty() {
+            if let Some(backend) = network {
+                // Network services self-warm through the backend: it sizes
+                // the per-worker network state the same way the canned
+                // Euclidean query sizes the core scratch.
+                backend.warm(&mut scratch);
+            } else if !snap.is_empty() {
                 if let Ok(group) = QueryGroup::sum(vec![snap.root_mbr().center()]) {
                     let warm = QueryRequest::new(group, 1);
                     let _ = warm.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
@@ -1452,8 +1517,19 @@ fn worker_loop(
                     let exec0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         inject_fault(fault, worker_id, attempts);
+                        // A network service executes every request on the
+                        // backend; Euclidean services follow the sharded
+                        // path (single-shard snapshots take the exact
+                        // single-tree route inside).
+                        let target = match network {
+                            Some(backend) => Target::Network(backend),
+                            None => Target::Sharded {
+                                snapshot: &snap,
+                                cursors: &cursors,
+                            },
+                        };
                         let (choice, neighbors, stats, routing) =
-                            request.execute_sharded_in(&planner, &snap, &cursors, &mut scratch);
+                            request.execute_on(&planner, &target, &mut scratch);
                         let response = QueryResponse {
                             choice,
                             neighbors: neighbors.to_vec(),
@@ -1583,9 +1659,20 @@ fn worker_loop(
                         let pass0 = Instant::now();
                         let mut last = pass0;
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            let target = Target::Sharded {
-                                snapshot: &snap,
-                                cursors: &cursors,
+                            // Same target rule as the single path. The
+                            // batch executor is target-generic: on a
+                            // network target the Hilbert pass still orders
+                            // the sub-batch by group MBR (deterministic,
+                            // good source-vertex locality), while page
+                            // tracking sees no cursors and reports zero
+                            // unique pages — fixed up after the pass, since
+                            // network refinement shares no page reads.
+                            let target = match network {
+                                Some(backend) => Target::Network(backend),
+                                None => Target::Sharded {
+                                    snapshot: &snap,
+                                    cursors: &cursors,
+                                },
                             };
                             execute_batch_hooked(
                                 &planner,
@@ -1642,7 +1729,15 @@ fn worker_loop(
                         }));
                         attempts = pass_attempts;
                         match outcome {
-                            Ok(accounting) => {
+                            Ok(mut accounting) => {
+                                if network.is_some() {
+                                    // No shared traversal under network
+                                    // distance: every query pays its own
+                                    // R-tree filter reads, so the honest
+                                    // ledger is unique == sequential
+                                    // (savings 0), not the untracked 0.
+                                    accounting.unique_pages = accounting.sequential_pages;
+                                }
                                 counters.record_batch(&accounting);
                                 counters.flight.record(
                                     FlightEventKind::ExecEnd,

@@ -18,7 +18,9 @@
 //! # let _ = single;
 //! ```
 
-use gnn_core::{Aggregate, Algo, QueryGroup, QueryGroupError, QueryRequest, QueryResponse};
+use gnn_core::{
+    Aggregate, Algo, NetworkQuery, QueryGroup, QueryGroupError, QueryRequest, QueryResponse,
+};
 use gnn_geom::Point;
 use std::fmt;
 use std::time::Duration;
@@ -215,6 +217,7 @@ impl Submission {
             shard_hint: None,
             deadline: None,
             trace: false,
+            network: None,
             blocking: true,
         }
     }
@@ -273,6 +276,7 @@ pub struct GroupSubmission {
     shard_hint: Option<u32>,
     deadline: Option<Duration>,
     trace: bool,
+    network: Option<NetworkQuery>,
     blocking: bool,
 }
 
@@ -315,6 +319,15 @@ impl GroupSubmission {
         self
     }
 
+    /// Attaches a network-domain payload so a network-backed service
+    /// answers under shortest-path distance (see [`QueryRequest::network`]).
+    /// [`NetworkQuery::snapped`] snaps the group's points onto the graph;
+    /// [`NetworkQuery::at_vertices`] pins explicit source vertices.
+    pub fn network(mut self, network: NetworkQuery) -> GroupSubmission {
+        self.network = Some(network);
+        self
+    }
+
     /// Sets whether the submission blocks on a full queue (`true`, the
     /// default) or fails fast with [`SubmitError::QueueFull`] (`false`).
     pub fn blocking(mut self, blocking: bool) -> GroupSubmission {
@@ -338,6 +351,7 @@ impl GroupSubmission {
             shard_hint: self.shard_hint,
             deadline: self.deadline,
             trace: self.trace,
+            network: self.network,
         })
     }
 }

@@ -1,0 +1,103 @@
+//! Road-network GNN served end-to-end: a packed city snapshot behind
+//! `Service::start_network`, answering trip-based meetup queries through
+//! the same submission surface (worker pool, deadlines, telemetry) as the
+//! Euclidean engine.
+//!
+//! Groups of friends, each partway through their own trip across the city,
+//! ask for the meeting point minimising total remaining *network* travel.
+//! Every query opts into stage tracing, so the tail of the run prints the
+//! queue-wait / execution decomposition per query.
+//!
+//! ```text
+//! cargo run --example meetup_server
+//! ```
+
+use gnn::datasets::{trip_workload, TripSpec};
+use gnn::network::{NetworkSnapshot, RoadNetwork, VertexId};
+use gnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    // A 24x24 perturbed street grid, cafés on ~10% of intersections.
+    let city = RoadNetwork::grid(24, 24, 0.25, 7);
+    let mut rng = StdRng::seed_from_u64(11);
+    let cafes: Vec<VertexId> = (0..city.vertex_count() as u32)
+        .filter(|_| rng.gen::<f64>() < 0.10)
+        .map(VertexId)
+        .collect();
+    println!(
+        "City: {} intersections, {} street segments, {} cafés.",
+        city.vertex_count(),
+        city.edge_count(),
+        cafes.len()
+    );
+
+    // Freeze once, serve forever: the CSR-packed snapshot + frozen café
+    // index is the immutable artifact workers share.
+    let backend = Arc::new(NetworkSnapshot::new(city.freeze(), cafes));
+
+    // 24 groups of 4 friends, each friend sampled partway along their own
+    // shortest-path trip (fixed seed — rerunning reproduces this exactly).
+    let trips = trip_workload(
+        &city,
+        TripSpec {
+            group_size: 4,
+            max_retries: 8,
+        },
+        24,
+        0xCAFE,
+    );
+
+    let service = Service::start_network(
+        Arc::clone(&backend) as Arc<dyn NetworkBackend>,
+        ServiceConfig::with_workers(2),
+    );
+
+    // Submit every group's query: k=3 candidate cafés, sources pinned to
+    // the trip vertices (no snapping at serve time), stage tracing on.
+    let handles: Vec<_> = trips
+        .iter()
+        .map(|trip| {
+            let group = QueryGroup::sum(trip.points.clone()).expect("trip group");
+            let request = QueryRequest::new(group, 3)
+                .with_network(NetworkQuery::at_vertices(
+                    trip.sources.iter().map(|v| v.0).collect(),
+                ))
+                .with_trace();
+            service.submit(request).expect("submit meetup query")
+        })
+        .collect();
+
+    println!();
+    println!(
+        "{:<6} {:<9} {:>8} {:>10} {:>9} {:>10} {:>11}",
+        "group", "algo", "café", "total", "settled", "queue", "exec"
+    );
+    for (i, handle) in handles.into_iter().enumerate() {
+        let r = handle.wait().expect("meetup query served");
+        let best = r.neighbors.first().expect("at least one café");
+        let trace = r.trace.expect("tracing was requested");
+        println!(
+            "{:<6} {:<9} {:>8} {:>10.3} {:>9} {:>9.1}us {:>9.1}us",
+            i,
+            format!("{:?}", r.choice),
+            best.id.0,
+            best.dist,
+            r.stats.settled_vertices,
+            trace.queue_wait.as_secs_f64() * 1e6,
+            trace.execution.as_secs_f64() * 1e6,
+        );
+    }
+
+    let stats = service.shutdown();
+    println!();
+    let us = |d: Option<std::time::Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    println!(
+        "Served {} queries; latency p50 {:.1}us, p99 {:.1}us.",
+        stats.queries_served,
+        us(stats.latency.p50()),
+        us(stats.latency.p99()),
+    );
+}

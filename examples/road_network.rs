@@ -53,11 +53,11 @@ fn main() {
         );
         println!(
             "  TA : settled {} vertices, relaxed {} edges",
-            ta.settled_vertices, ta.relaxed_edges
+            ta.stats.settled_vertices, ta.stats.relaxed_edges
         );
         println!(
             "  IER: settled {} vertices, refined {} Euclidean candidates, {} R-tree accesses",
-            ier.settled_vertices, ier.euclidean_candidates, ier.rtree_accesses
+            ier.stats.settled_vertices, ier.stats.euclidean_candidates, ier.stats.rtree_accesses
         );
     }
 

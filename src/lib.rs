@@ -51,7 +51,7 @@
 //! | [`core`] | `gnn-core` | MQM, SPM, MBM, GCP, F-MQM, F-MBM |
 //! | [`telemetry`] | `gnn-telemetry` | latency histograms, stage decomposition, flight recorder |
 //! | [`service`] | `gnn-service` | sharded multi-threaded query serving + metrics export |
-//! | [`network`] | `gnn-network` | the future-work extension: GNN under network distance |
+//! | [`network`] | `gnn-network` | the future-work extension: GNN under network distance, with packed serving snapshots |
 
 pub use gnn_core as core;
 pub use gnn_datasets as datasets;
@@ -66,11 +66,14 @@ pub use gnn_telemetry as telemetry;
 pub mod prelude {
     pub use gnn_core::{
         execute_batch_in, Aggregate, Algo, BatchAccounting, Choice, FileGnnAlgorithm, Fmbm, Fmqm,
-        Gcp, GnnResult, Mbm, MbmStream, MemoryGnnAlgorithm, Mqm, Neighbor, Planner, QueryGroup,
-        QueryRequest, QueryResponse, QueryScratch, QueryStats, QueryTrace, ShardRouting, Spm,
-        Target, Traversal,
+        Gcp, GnnResult, Mbm, MbmStream, MemoryGnnAlgorithm, Mqm, Neighbor, NetworkBackend,
+        NetworkQuery, Planner, QueryGroup, QueryRequest, QueryResponse, QueryScratch, QueryStats,
+        QueryTrace, ShardRouting, Spm, Target, Traversal,
     };
     pub use gnn_geom::{Point, PointId, Rect};
+    pub use gnn_network::{
+        NetworkIer, NetworkScratch, NetworkSnapshot, NetworkTa, PackedGraph, RoadNetwork, VertexId,
+    };
     pub use gnn_qfile::{FileCursor, GroupedQueryFile, PointFile};
     pub use gnn_rtree::{
         LeafEntry, PackedRTree, RTree, RTreeParams, ShardedSnapshot, ShardedTree, TreeCursor,

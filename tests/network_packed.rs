@@ -1,0 +1,164 @@
+//! Bit-identity of the packed (CSR snapshot + reusable scratch) network
+//! algorithms against the arena reference, and agreement of both with the
+//! Dijkstra oracle: the packed refactor must change *performance*, never
+//! results. Compared per query: neighbor ids, distance **bits**, and every
+//! expansion counter (`settled_vertices`, `relaxed_edges`,
+//! `euclidean_candidates`, `rtree_accesses`).
+
+use gnn::network::{
+    network_oracle, NetworkGnnResult, NetworkIer, NetworkScratch, NetworkTa, RoadNetwork, VertexId,
+};
+use gnn::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_vertices(g: &RoadNetwork, count: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<u32> = (0..g.vertex_count() as u32).collect();
+    for i in 0..count.min(picked.len()) {
+        let j = rng.gen_range(i..picked.len());
+        picked.swap(i, j);
+    }
+    picked.truncate(count);
+    picked.into_iter().map(VertexId).collect()
+}
+
+/// The Euclidean filter index over the data vertices, built exactly as both
+/// the arena IER (per query) and `NetworkSnapshot::new` (once) build it.
+fn data_tree(g: &RoadNetwork, data: &[VertexId]) -> PackedRTree {
+    RTree::bulk_load(
+        RTreeParams::default(),
+        data.iter()
+            .map(|&v| LeafEntry::new(PointId(u64::from(v.0)), g.position(v))),
+    )
+    .freeze()
+}
+
+/// Asserts the packed result is bit-identical to the arena result.
+fn assert_bit_identical(
+    label: &str,
+    arena: &NetworkGnnResult,
+    packed: &[Neighbor],
+    packed_stats: &gnn::network::NetworkGnnStats,
+) {
+    assert_eq!(
+        arena.neighbors.len(),
+        packed.len(),
+        "{label}: result cardinality"
+    );
+    for (a, p) in arena.neighbors.iter().zip(packed) {
+        assert_eq!(u64::from(a.vertex.0), p.id.0, "{label}: neighbor id");
+        assert_eq!(
+            a.dist.to_bits(),
+            p.dist.to_bits(),
+            "{label}: distance bits ({} vs {})",
+            a.dist,
+            p.dist
+        );
+    }
+    assert_eq!(
+        arena.stats.settled_vertices, packed_stats.settled_vertices,
+        "{label}: settled_vertices"
+    );
+    assert_eq!(
+        arena.stats.relaxed_edges, packed_stats.relaxed_edges,
+        "{label}: relaxed_edges"
+    );
+    assert_eq!(
+        arena.stats.euclidean_candidates, packed_stats.euclidean_candidates,
+        "{label}: euclidean_candidates"
+    );
+    assert_eq!(
+        arena.stats.rtree_accesses, packed_stats.rtree_accesses,
+        "{label}: rtree_accesses"
+    );
+}
+
+/// Asserts a result's distances agree with the oracle's (same floating-point
+/// expressions evaluated in a different order, so tolerance not bits).
+fn assert_matches_oracle(label: &str, got: &[Neighbor], want: &[gnn::network::NetworkNeighbor]) {
+    assert_eq!(got.len(), want.len(), "{label}: oracle cardinality");
+    for (g, w) in got.iter().zip(want) {
+        assert!(
+            (g.dist - w.dist).abs() < 1e-9 * (1.0 + w.dist),
+            "{label}: {} vs oracle {}",
+            g.dist,
+            w.dist
+        );
+    }
+}
+
+/// One full comparison on one network: TA and IER, arena vs packed vs
+/// oracle, across all three aggregates and k ∈ {1, 4}, reusing a single
+/// scratch so epoch-stamped reset is exercised too.
+fn check_network(g: &RoadNetwork, data: &[VertexId], query: &[VertexId], label: &str) {
+    let packed = g.freeze();
+    let tree = data_tree(g, data);
+    let mut scratch = NetworkScratch::new();
+    for aggregate in [Aggregate::Sum, Aggregate::Max, Aggregate::Min] {
+        for k in [1usize, 4] {
+            let tag = format!("{label} {aggregate:?} k={k}");
+            let want = network_oracle(g, data, query, k, aggregate);
+
+            let arena_ta = NetworkTa.k_gnn(g, data, query, k, aggregate);
+            let (out, stats) = NetworkTa.k_gnn_in(&packed, data, query, k, aggregate, &mut scratch);
+            let (out, stats) = (out.to_vec(), stats);
+            assert_bit_identical(&format!("{tag} TA"), &arena_ta, &out, &stats);
+            assert_matches_oracle(&format!("{tag} TA"), &out, &want);
+
+            let arena_ier = NetworkIer.k_gnn(g, data, query, k, aggregate);
+            let (out, stats) =
+                NetworkIer.k_gnn_in(&packed, &tree, query, k, aggregate, &mut scratch);
+            let (out, stats) = (out.to_vec(), stats);
+            assert_bit_identical(&format!("{tag} IER"), &arena_ier, &out, &stats);
+            assert_matches_oracle(&format!("{tag} IER"), &out, &want);
+        }
+    }
+}
+
+#[test]
+fn packed_matches_arena_on_perturbed_grids() {
+    for seed in 0..4u64 {
+        let g = RoadNetwork::grid(12, 12, 0.25, seed);
+        let data = sample_vertices(&g, 50, seed + 100);
+        let query = sample_vertices(&g, 1 + (seed as usize % 5), seed + 200);
+        check_network(&g, &data, &query, &format!("grid seed={seed}"));
+    }
+}
+
+#[test]
+fn packed_snap_matches_linear_scan_oracle() {
+    // The frozen vertex R-tree snap must pick the same vertex as the O(V)
+    // scan it replaced (both tie-break toward the lowest vertex id).
+    for seed in 0..3u64 {
+        let g = RoadNetwork::grid(10, 10, 0.3, seed);
+        let packed = g.freeze();
+        let mut rng = StdRng::seed_from_u64(seed + 900);
+        for _ in 0..200 {
+            let p = Point::new(rng.gen::<f64>() * 11.0 - 1.0, rng.gen::<f64>() * 11.0 - 1.0);
+            assert_eq!(packed.snap(p), g.snap_linear(p), "seed {seed} point {p:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_matches_arena_on_random_geometric_networks(
+        seed in 0u64..10_000,
+        n_data in 5usize..40,
+        n_query in 1usize..6,
+    ) {
+        let g = RoadNetwork::random_geometric(
+            80,
+            Rect::from_corners(0.0, 0.0, 10.0, 10.0),
+            1.6,
+            seed,
+        );
+        let data = sample_vertices(&g, n_data, seed + 1);
+        let query = sample_vertices(&g, n_query, seed + 2);
+        check_network(&g, &data, &query, &format!("rg seed={seed}"));
+    }
+}
