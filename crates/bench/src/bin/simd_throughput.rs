@@ -1,0 +1,98 @@
+//! The SIMD kernel experiment: every `gnn_geom::batch` kernel at every
+//! level the host supports (scalar oracle, SSE2, AVX2), equivalence-gated
+//! and timed over PP-drawn arenas.
+//!
+//! ```text
+//! cargo run -p gnn-bench --release --bin simd_throughput
+//! cargo run -p gnn-bench --release --bin simd_throughput -- --quick --json BENCH_simd.json
+//! ```
+//!
+//! Flags:
+//! * `--quick`      smaller timed workload (smoke / CI run)
+//! * `--json PATH`  write the `gnn-simd-bench/1` report (the committed
+//!   `BENCH_simd.json` at the repo root is a `--quick --json` run)
+//!
+//! Every (kernel, level) cell first passes an equivalence sweep — ragged
+//! sizes, exact and lane-padded entry points, padding lanes poisoned —
+//! demanding bit-identity against the scalar module. The exit code gates
+//! BOTH that equivalence and the speedup claim: on AVX2 hosts the fused
+//! aggregates (weighted SUM / MAX / MIN over a 64-point group) must beat
+//! scalar by at least 1.2x (CI floor; the tentpole target is 2x and the
+//! committed report records what the host actually measured).
+
+use gnn_bench::run_simd_throughput;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                // Fail fast on an unwritable path, but WITHOUT truncating:
+                // the target is typically the committed BENCH_simd.json,
+                // which must survive an interrupted run.
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("--json path {path} is not writable: {e}"));
+                json_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (flags: --quick, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[simd_throughput] running kernel sweep (quick={quick})...");
+    let report = run_simd_throughput(quick);
+
+    println!(
+        "== SIMD distance kernels (dispatch: {}, levels: {}, map_len={}, group n={}, host cores: {}{}) ==",
+        report.dispatch_level,
+        report.available_levels.join("/"),
+        report.map_len,
+        report.group_n,
+        report.host_parallelism,
+        if report.forced_scalar {
+            ", GNN_FORCE_SCALAR"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<24} {:<10} {:>12} {:>10} {:>10}",
+        "kernel", "level", "Melem/s", "speedup", "bits"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<24} {:<10} {:>12.1} {:>9.2}x {:>10}",
+            c.kernel,
+            c.level,
+            c.melems_per_sec,
+            c.speedup_vs_scalar,
+            if c.matches_scalar {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write json report");
+        eprintln!("[json] {path}");
+    }
+    if !report.gate_passes() {
+        eprintln!(
+            "[simd_throughput] GATE FAILED: a level diverged bitwise from \
+             the scalar oracle, or an AVX2 fused aggregate fell below the \
+             1.2x speedup floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -583,7 +583,15 @@ impl Iterator for MbmStream<'_, '_, '_, '_> {
                         s.bounds.push(e.point.x);
                         s.bounds2.push(e.point.y);
                     }
-                    group.dist_many(&s.bounds, &s.bounds2, &mut s.bounds3);
+                    // Pad the staging buffers to the SIMD lane quantum so
+                    // the fused aggregate kernel runs full vectors; the
+                    // sentinels are computed on but truncated at `end-pos`,
+                    // so results stay bit-identical (see gnn_geom::simd).
+                    for _ in end - pos..gnn_geom::simd::pad_len(end - pos) {
+                        s.bounds.push(0.0);
+                        s.bounds2.push(0.0);
+                    }
+                    group.dist_many_padded(&s.bounds, &s.bounds2, end - pos, &mut s.bounds3);
                     s.dist_computations += ((end - pos) * group.len()) as u64;
                     for (&(_, e), &dist) in s.runs[ri][pos..end].iter().zip(&s.bounds3) {
                         s.heap.push(Reverse(StreamItem {

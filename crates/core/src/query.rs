@@ -230,6 +230,31 @@ impl QueryGroup {
         }
     }
 
+    /// Lane-padded [`QueryGroup::dist_many`]: `n` logical points whose
+    /// coordinate slices hold at least `pad_len(n)` readable lanes (the
+    /// layout of packed-arena leaf runs and padded staging buffers), so the
+    /// SIMD kernels run full vectors with no scalar tail. Exactly `n`
+    /// results are written, bit-identical to the unpadded call on
+    /// `xs[..n]`/`ys[..n]`.
+    pub fn dist_many_padded(&self, xs: &[f64], ys: &[f64], n: usize, out: &mut Vec<f64>) {
+        let k = gnn_geom::batch::BatchKernels::auto();
+        match self.aggregate {
+            Aggregate::Sum => {
+                k.points_weighted_dist_sum_multi_padded(
+                    xs, ys, n, &self.qx, &self.qy, &self.wts, out,
+                );
+            }
+            Aggregate::Max => {
+                k.points_dist_sq_max_multi_padded(xs, ys, n, &self.qx, &self.qy, out);
+                out.iter_mut().for_each(|v| *v = v.sqrt());
+            }
+            Aggregate::Min => {
+                k.points_dist_sq_min_multi_padded(xs, ys, n, &self.qx, &self.qy, out);
+                out.iter_mut().for_each(|v| *v = v.sqrt());
+            }
+        }
+    }
+
     /// **Cheap node bound** (heuristic 2 shape): a lower bound on
     /// `dist(p, Q)` for every point `p` inside `rect`, using only
     /// `mindist(rect, M)` — one rectangle distance, no per-query-point work.

@@ -3,9 +3,25 @@
 //! The packed R-tree snapshot ([`gnn-rtree`]'s `PackedRTree`) stores the
 //! rectangles of each internal page as four parallel `f64` arrays (SoA), and
 //! query groups cache their points the same way. These kernels consume such
-//! slices directly so a node scan is one linear pass the compiler can
-//! autovectorize: every per-element operation is expressed with `max`
-//! (`maxsd`/`maxpd`) instead of comparisons and branches.
+//! slices directly so a node scan is one linear pass.
+//!
+//! Two implementations exist per kernel. The [`scalar`] module holds the
+//! original branch-free scalar loops — the **bit-identity oracle** and the
+//! fallback on targets without explicit SIMD backends. [`crate::simd`] holds
+//! hand-written SSE2/AVX2 kernels that produce bit-identical results (see
+//! that module's contract). [`BatchKernels`] picks between them: call
+//! [`BatchKernels::auto`] for the process-wide [`crate::simd::dispatch_level`]
+//! choice, or [`BatchKernels::for_level`] to pin a specific level (how the
+//! equivalence bench and the property suite compare levels in one process).
+//! The free functions at the top level keep their original signatures and
+//! delegate to `auto()`.
+//!
+//! The `*_padded` methods additionally accept **lane-padded** inputs: the
+//! caller passes the logical element count `n` while the coordinate slices
+//! hold at least [`crate::simd::pad_len`]`(n)` readable lanes (packed-arena
+//! page spans are stored this way). Full vectors then cover the whole range
+//! with no scalar tail; exactly `n` results come back, so the sentinel
+//! values in the padding lanes never influence an output.
 //!
 //! All kernels work in **squared** distance. Squared values order exactly
 //! like true distances, so callers compare in squared space where possible
@@ -15,25 +31,889 @@
 //!
 //! Scalar oracles for every kernel live in [`crate::Rect`] /
 //! [`crate::Point`]; the property suite (`crates/geom/tests/batch_props.rs`)
-//! pins the two implementations together.
+//! pins all implementations together bit-for-bit.
 
+// The only `unsafe` in this module is calling the `#[target_feature]` AVX2
+// entry points, sound because `BatchKernels` holds `Avx2Fma` only after
+// runtime detection (see each SAFETY comment).
+#![allow(unsafe_code)]
+
+use crate::simd::{self, pad_len, SimdLevel};
 use crate::{Point, Rect};
 
-/// Distance from `v` to the interval `[lo, hi]`, branch-free (0 inside).
-#[inline(always)]
-fn interval_excess(v: f64, lo: f64, hi: f64) -> f64 {
-    (lo - v).max(v - hi).max(0.0)
+pub mod scalar {
+    //! The original scalar kernels, verbatim — the bit-identity reference
+    //! for every SIMD backend and the only implementation on targets
+    //! without one.
+
+    use crate::{Point, Rect};
+
+    /// Distance from `v` to the interval `[lo, hi]`, branch-free (0 inside).
+    #[inline(always)]
+    fn interval_excess(v: f64, lo: f64, hi: f64) -> f64 {
+        (lo - v).max(v - hi).max(0.0)
+    }
+
+    /// Gap between the intervals `[a_lo, a_hi]` and `[b_lo, b_hi]`,
+    /// branch-free (0 when they overlap).
+    #[inline(always)]
+    fn interval_gap(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+        (b_lo - a_hi).max(a_lo - b_hi).max(0.0)
+    }
+
+    /// `out[i] = mindist²(rect_i, q)` for rectangles given as four parallel
+    /// coordinate slices. `out` is cleared and refilled (capacity is
+    /// reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn rects_mindist_sq_point(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let n = lo_x.len();
+        assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            let dx = interval_excess(q.x, lo_x[i], hi_x[i]);
+            let dy = interval_excess(q.y, lo_y[i], hi_y[i]);
+            out.push(dx * dx + dy * dy);
+        }
+    }
+
+    /// `out[i] = mindist²(rect_i, m)` for rectangles given as four parallel
+    /// coordinate slices against one fixed rectangle `m`. `out` is cleared
+    /// and refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn rects_mindist_sq_rect(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let n = lo_x.len();
+        assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            let dx = interval_gap(lo_x[i], hi_x[i], m.lo.x, m.hi.x);
+            let dy = interval_gap(lo_y[i], hi_y[i], m.lo.y, m.hi.y);
+            out.push(dx * dx + dy * dy);
+        }
+    }
+
+    /// `out[i] = |p_i q|²` for points given as two parallel coordinate
+    /// slices. `out` is cleared and refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` disagree in length.
+    pub fn points_dist_sq(xs: &[f64], ys: &[f64], q: Point, out: &mut Vec<f64>) {
+        let n = xs.len();
+        assert_eq!(ys.len(), n);
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            let dx = xs[i] - q.x;
+            let dy = ys[i] - q.y;
+            out.push(dx * dx + dy * dy);
+        }
+    }
+
+    /// `out[i] = mindist²(p_i, m)` for points given as two parallel
+    /// coordinate slices against one rectangle. `out` is cleared and
+    /// refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` disagree in length.
+    pub fn points_mindist_sq_rect(xs: &[f64], ys: &[f64], m: &Rect, out: &mut Vec<f64>) {
+        let n = xs.len();
+        assert_eq!(ys.len(), n);
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            let dx = interval_excess(xs[i], m.lo.x, m.hi.x);
+            let dy = interval_excess(ys[i], m.lo.y, m.hi.y);
+            out.push(dx * dx + dy * dy);
+        }
+    }
+
+    /// `Σ_i w_i · √(mindist²(m, q_i))` over query points in SoA form — the
+    /// SUM aggregate's tight node bound (heuristic 3) in one fused
+    /// branch-free pass.
+    ///
+    /// The fold is deliberately **sequential**, making the result
+    /// bit-identical to the scalar reference
+    /// (`Σ w_i · Rect::mindist_point(q_i)` evaluated in order). Node keys
+    /// computed through this kernel therefore match the reference engine's
+    /// exactly, which is what lets the property suite pin packed-vs-arena
+    /// node accesses with strict equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn rect_weighted_mindist_sum(m: &Rect, qx: &[f64], qy: &[f64], w: &[f64]) -> f64 {
+        let n = qx.len();
+        assert!(qy.len() == n && w.len() == n);
+        let mut acc = 0.0f64;
+        for j in 0..n {
+            let dx = interval_excess(qx[j], m.lo.x, m.hi.x);
+            let dy = interval_excess(qy[j], m.lo.y, m.hi.y);
+            acc += w[j] * (dx * dx + dy * dy).sqrt();
+        }
+        acc
+    }
+
+    /// Multi-point weighted distance sums: `out[j] = Σ_i w_i · |p_j q_i|`
+    /// for a batch of points `p_j` (SoA) against query points `q_i` (SoA).
+    ///
+    /// The accumulation runs query-point-major, so each `out[j]` is the
+    /// plain sequential fold over `i` — **bit-identical** to evaluating the
+    /// points one at a time with the same sequential fold — while the inner
+    /// loop vectorizes over the point batch `j`. This is the conversion
+    /// kernel of the packed query engine (a leaf run's pending points are
+    /// evaluated 16 at a time instead of one by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the paired slices disagree in length.
+    pub fn points_weighted_dist_sum_multi(
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let m = xs.len();
+        assert_eq!(ys.len(), m);
+        let n = qx.len();
+        assert!(qy.len() == n && w.len() == n);
+        out.clear();
+        out.resize(m, 0.0);
+        for i in 0..n {
+            let (qxi, qyi, wi) = (qx[i], qy[i], w[i]);
+            for (j, o) in out.iter_mut().enumerate() {
+                let dx = xs[j] - qxi;
+                let dy = ys[j] - qyi;
+                *o += wi * (dx * dx + dy * dy).sqrt();
+            }
+        }
+    }
+
+    /// Multi-point MAX fold: `out[j] = max_i |p_j q_i|²` (sequential fold
+    /// over `i`, vectorized over `j`; see
+    /// [`points_weighted_dist_sum_multi`]).
+    pub fn points_dist_sq_max_multi(
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        points_dist_sq_fold_multi(xs, ys, qx, qy, f64::NEG_INFINITY, f64::max, out)
+    }
+
+    /// Multi-point MIN fold: `out[j] = min_i |p_j q_i|²`.
+    pub fn points_dist_sq_min_multi(
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        points_dist_sq_fold_multi(xs, ys, qx, qy, f64::INFINITY, f64::min, out)
+    }
+
+    #[inline(always)]
+    fn points_dist_sq_fold_multi(
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        identity: f64,
+        fold: impl Fn(f64, f64) -> f64,
+        out: &mut Vec<f64>,
+    ) {
+        let m = xs.len();
+        assert_eq!(ys.len(), m);
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        out.clear();
+        out.resize(m, identity);
+        for i in 0..n {
+            let (qxi, qyi) = (qx[i], qy[i]);
+            for (j, o) in out.iter_mut().enumerate() {
+                let dx = xs[j] - qxi;
+                let dy = ys[j] - qyi;
+                *o = fold(*o, dx * dx + dy * dy);
+            }
+        }
+    }
+
+    /// Maximum of `mindist²(m, q_i)` over query points in SoA form.
+    /// Combined with one final `sqrt` this is the MAX aggregate's tight
+    /// node bound (`max √x = √(max x)`).
+    pub fn rect_mindist_sq_max(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+        fold_rect_mindist_sq(m, qx, qy, f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum of `mindist²(m, q_i)` over query points in SoA form (the
+    /// MIN aggregate's tight node bound before the final `sqrt`).
+    pub fn rect_mindist_sq_min(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+        fold_rect_mindist_sq(m, qx, qy, f64::INFINITY, f64::min)
+    }
+
+    /// Maximum of `|p q_i|²` over query points in SoA form.
+    pub fn point_dist_sq_max(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+        fold_point_dist_sq(p, qx, qy, f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum of `|p q_i|²` over query points in SoA form.
+    pub fn point_dist_sq_min(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+        fold_point_dist_sq(p, qx, qy, f64::INFINITY, f64::min)
+    }
+
+    #[inline(always)]
+    fn fold_rect_mindist_sq(
+        m: &Rect,
+        qx: &[f64],
+        qy: &[f64],
+        identity: f64,
+        fold: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        let mut acc = identity;
+        for i in 0..n {
+            let dx = interval_excess(qx[i], m.lo.x, m.hi.x);
+            let dy = interval_excess(qy[i], m.lo.y, m.hi.y);
+            acc = fold(acc, dx * dx + dy * dy);
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn fold_point_dist_sq(
+        p: Point,
+        qx: &[f64],
+        qy: &[f64],
+        identity: f64,
+        fold: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        let mut acc = identity;
+        for i in 0..n {
+            let dx = qx[i] - p.x;
+            let dy = qy[i] - p.y;
+            acc = fold(acc, dx * dx + dy * dy);
+        }
+        acc
+    }
 }
 
-/// Gap between the intervals `[a_lo, a_hi]` and `[b_lo, b_hi]`, branch-free
-/// (0 when they overlap).
-#[inline(always)]
-fn interval_gap(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
-    (b_lo - a_hi).max(a_lo - b_hi).max(0.0)
+/// Level-pinned handle over the batch kernels.
+///
+/// All methods produce **bit-identical** results regardless of the level
+/// (the SIMD contract in [`crate::simd`]); the level only changes how fast
+/// they get there. Construct with [`BatchKernels::auto`] in production
+/// code; [`BatchKernels::for_level`] exists so benches and tests can
+/// compare levels within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchKernels {
+    level: SimdLevel,
+}
+
+impl BatchKernels {
+    /// Kernels at the process-wide [`simd::dispatch_level`].
+    #[inline]
+    pub fn auto() -> Self {
+        BatchKernels {
+            level: simd::dispatch_level(),
+        }
+    }
+
+    /// Kernels pinned to `level`, or `None` when the host can't run it.
+    pub fn for_level(level: SimdLevel) -> Option<Self> {
+        level.is_available().then_some(BatchKernels { level })
+    }
+
+    /// The pinned dispatch level.
+    #[inline]
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Vector width (`f64` lanes) of the pinned level; 1 for scalar.
+    #[inline]
+    fn lanes(&self) -> usize {
+        match self.level {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 => 2,
+            SimdLevel::Avx2Fma => 4,
+        }
+    }
+
+    /// Largest lane multiple ≤ `n` (the exact-slice vector span).
+    #[inline]
+    fn vec_floor(&self, n: usize) -> usize {
+        n - n % self.lanes()
+    }
+
+    /// See [`rects_mindist_sq_point`].
+    pub fn rects_mindist_sq_point(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let n = lo_x.len();
+        assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+        self.rects_point_dispatch(lo_x, lo_y, hi_x, hi_y, n, self.vec_floor(n), q, out);
+    }
+
+    /// Lane-padded [`rects_mindist_sq_point`]: `n` logical rectangles whose
+    /// coordinate slices hold at least [`pad_len`]`(n)` readable lanes.
+    /// Exactly `n` results are written.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice is shorter than `pad_len(n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rects_mindist_sq_point_padded(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(n);
+        assert!(lo_x.len() >= p && lo_y.len() >= p && hi_x.len() >= p && hi_y.len() >= p);
+        self.rects_point_dispatch(lo_x, lo_y, hi_x, hi_y, n, p, q, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn rects_point_dispatch(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        vec_n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => {
+                scalar::rects_mindist_sq_point(
+                    &lo_x[..n],
+                    &lo_y[..n],
+                    &hi_x[..n],
+                    &hi_y[..n],
+                    q,
+                    out,
+                );
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => {
+                simd::x86::rects_mindist_sq_point_sse2(lo_x, lo_y, hi_x, hi_y, n, vec_n, q, out)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `BatchKernels` holds `Avx2Fma` only when runtime
+            // detection confirmed avx2+fma (auto/for_level check
+            // `is_available`); slice bounds are validated by the callers.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::rects_mindist_sq_point_avx2(lo_x, lo_y, hi_x, hi_y, n, vec_n, q, out)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`rects_mindist_sq_rect`].
+    pub fn rects_mindist_sq_rect(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let n = lo_x.len();
+        assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
+        self.rects_rect_dispatch(lo_x, lo_y, hi_x, hi_y, n, self.vec_floor(n), m, out);
+    }
+
+    /// Lane-padded [`rects_mindist_sq_rect`] (contract as
+    /// [`Self::rects_mindist_sq_point_padded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice is shorter than `pad_len(n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rects_mindist_sq_rect_padded(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(n);
+        assert!(lo_x.len() >= p && lo_y.len() >= p && hi_x.len() >= p && hi_y.len() >= p);
+        self.rects_rect_dispatch(lo_x, lo_y, hi_x, hi_y, n, p, m, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn rects_rect_dispatch(
+        &self,
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        vec_n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => {
+                scalar::rects_mindist_sq_rect(
+                    &lo_x[..n],
+                    &lo_y[..n],
+                    &hi_x[..n],
+                    &hi_y[..n],
+                    m,
+                    out,
+                );
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => {
+                simd::x86::rects_mindist_sq_rect_sse2(lo_x, lo_y, hi_x, hi_y, n, vec_n, m, out)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::rects_mindist_sq_rect_avx2(lo_x, lo_y, hi_x, hi_y, n, vec_n, m, out)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`points_dist_sq`].
+    pub fn points_dist_sq(&self, xs: &[f64], ys: &[f64], q: Point, out: &mut Vec<f64>) {
+        let n = xs.len();
+        assert_eq!(ys.len(), n);
+        self.points_point_dispatch(xs, ys, n, self.vec_floor(n), q, out);
+    }
+
+    /// Lane-padded [`points_dist_sq`]: `n` logical points whose coordinate
+    /// slices hold at least [`pad_len`]`(n)` readable lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice is shorter than `pad_len(n)`.
+    pub fn points_dist_sq_padded(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(n);
+        assert!(xs.len() >= p && ys.len() >= p);
+        self.points_point_dispatch(xs, ys, n, p, q, out);
+    }
+
+    #[inline]
+    fn points_point_dispatch(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        vec_n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => scalar::points_dist_sq(&xs[..n], &ys[..n], q, out),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::points_dist_sq_sse2(xs, ys, n, vec_n, q, out),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::points_dist_sq_avx2(xs, ys, n, vec_n, q, out)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`points_mindist_sq_rect`].
+    pub fn points_mindist_sq_rect(&self, xs: &[f64], ys: &[f64], m: &Rect, out: &mut Vec<f64>) {
+        let n = xs.len();
+        assert_eq!(ys.len(), n);
+        self.points_rect_dispatch(xs, ys, n, self.vec_floor(n), m, out);
+    }
+
+    /// Lane-padded [`points_mindist_sq_rect`] (contract as
+    /// [`Self::points_dist_sq_padded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice is shorter than `pad_len(n)`.
+    pub fn points_mindist_sq_rect_padded(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(n);
+        assert!(xs.len() >= p && ys.len() >= p);
+        self.points_rect_dispatch(xs, ys, n, p, m, out);
+    }
+
+    #[inline]
+    fn points_rect_dispatch(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        vec_n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => scalar::points_mindist_sq_rect(&xs[..n], &ys[..n], m, out),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::points_mindist_sq_rect_sse2(xs, ys, n, vec_n, m, out),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::points_mindist_sq_rect_avx2(xs, ys, n, vec_n, m, out)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`points_weighted_dist_sum_multi`]. The query-point slices
+    /// `qx`/`qy`/`w` are never padded (the fold dimension must be exact —
+    /// that is what keeps the sequential SUM bit-identical).
+    pub fn points_weighted_dist_sum_multi(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let m = xs.len();
+        assert_eq!(ys.len(), m);
+        let n = qx.len();
+        assert!(qy.len() == n && w.len() == n);
+        self.wsum_multi_dispatch(xs, ys, m, self.vec_floor(m), qx, qy, w, out);
+    }
+
+    /// Lane-padded [`points_weighted_dist_sum_multi`]: `m` logical points
+    /// whose coordinate slices hold at least [`pad_len`]`(m)` readable
+    /// lanes. Query-point slices stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a point slice is shorter than `pad_len(m)` or the query
+    /// slices disagree in length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn points_weighted_dist_sum_multi_padded(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(m);
+        assert!(xs.len() >= p && ys.len() >= p);
+        let n = qx.len();
+        assert!(qy.len() == n && w.len() == n);
+        self.wsum_multi_dispatch(xs, ys, m, p, qx, qy, w, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn wsum_multi_dispatch(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        vec_m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => {
+                scalar::points_weighted_dist_sum_multi(&xs[..m], &ys[..m], qx, qy, w, out);
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => {
+                simd::x86::points_weighted_dist_sum_multi_sse2(xs, ys, m, vec_m, qx, qy, w, out)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::points_weighted_dist_sum_multi_avx2(xs, ys, m, vec_m, qx, qy, w, out)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`points_dist_sq_max_multi`].
+    pub fn points_dist_sq_max_multi(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let m = xs.len();
+        assert_eq!(ys.len(), m);
+        assert_eq!(qy.len(), qx.len());
+        self.fold_multi_dispatch::<true>(xs, ys, m, self.vec_floor(m), qx, qy, out);
+    }
+
+    /// Lane-padded [`points_dist_sq_max_multi`] (contract as
+    /// [`Self::points_weighted_dist_sum_multi_padded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a point slice is shorter than `pad_len(m)`.
+    pub fn points_dist_sq_max_multi_padded(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(m);
+        assert!(xs.len() >= p && ys.len() >= p);
+        assert_eq!(qy.len(), qx.len());
+        self.fold_multi_dispatch::<true>(xs, ys, m, p, qx, qy, out);
+    }
+
+    /// See [`points_dist_sq_min_multi`].
+    pub fn points_dist_sq_min_multi(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let m = xs.len();
+        assert_eq!(ys.len(), m);
+        assert_eq!(qy.len(), qx.len());
+        self.fold_multi_dispatch::<false>(xs, ys, m, self.vec_floor(m), qx, qy, out);
+    }
+
+    /// Lane-padded [`points_dist_sq_min_multi`] (contract as
+    /// [`Self::points_weighted_dist_sum_multi_padded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a point slice is shorter than `pad_len(m)`.
+    pub fn points_dist_sq_min_multi_padded(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let p = pad_len(m);
+        assert!(xs.len() >= p && ys.len() >= p);
+        assert_eq!(qy.len(), qx.len());
+        self.fold_multi_dispatch::<false>(xs, ys, m, p, qx, qy, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn fold_multi_dispatch<const MAX: bool>(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        vec_m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match self.level {
+            SimdLevel::Scalar => {
+                if MAX {
+                    scalar::points_dist_sq_max_multi(&xs[..m], &ys[..m], qx, qy, out);
+                } else {
+                    scalar::points_dist_sq_min_multi(&xs[..m], &ys[..m], qx, qy, out);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => {
+                if MAX {
+                    simd::x86::points_dist_sq_max_multi_sse2(xs, ys, m, vec_m, qx, qy, out);
+                } else {
+                    simd::x86::points_dist_sq_min_multi_sse2(xs, ys, m, vec_m, qx, qy, out);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                if MAX {
+                    simd::x86::points_dist_sq_max_multi_avx2(xs, ys, m, vec_m, qx, qy, out);
+                } else {
+                    simd::x86::points_dist_sq_min_multi_avx2(xs, ys, m, vec_m, qx, qy, out);
+                }
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`rect_weighted_mindist_sum`]. The accumulation order is the
+    /// scalar one on every level (sequential in `i`), so the result is
+    /// bit-identical across levels.
+    pub fn rect_weighted_mindist_sum(&self, m: &Rect, qx: &[f64], qy: &[f64], w: &[f64]) -> f64 {
+        let n = qx.len();
+        assert!(qy.len() == n && w.len() == n);
+        match self.level {
+            SimdLevel::Scalar => scalar::rect_weighted_mindist_sum(m, qx, qy, w),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => {
+                simd::x86::rect_weighted_mindist_sum_sse2(m, qx, qy, w, n, self.vec_floor(n))
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::rect_weighted_mindist_sum_avx2(m, qx, qy, w, n, self.vec_floor(n))
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`rect_mindist_sq_max`].
+    pub fn rect_mindist_sq_max(&self, m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        match self.level {
+            SimdLevel::Scalar => scalar::rect_mindist_sq_max(m, qx, qy),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::rect_mindist_sq_max_sse2(m, qx, qy, n, self.vec_floor(n)),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::rect_mindist_sq_max_avx2(m, qx, qy, n, self.vec_floor(n))
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`rect_mindist_sq_min`].
+    pub fn rect_mindist_sq_min(&self, m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        match self.level {
+            SimdLevel::Scalar => scalar::rect_mindist_sq_min(m, qx, qy),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::rect_mindist_sq_min_sse2(m, qx, qy, n, self.vec_floor(n)),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::rect_mindist_sq_min_avx2(m, qx, qy, n, self.vec_floor(n))
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`point_dist_sq_max`].
+    pub fn point_dist_sq_max(&self, p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        match self.level {
+            SimdLevel::Scalar => scalar::point_dist_sq_max(p, qx, qy),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::point_dist_sq_max_sse2(p, qx, qy, n, self.vec_floor(n)),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::point_dist_sq_max_avx2(p, qx, qy, n, self.vec_floor(n))
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
+
+    /// See [`point_dist_sq_min`].
+    pub fn point_dist_sq_min(&self, p: Point, qx: &[f64], qy: &[f64]) -> f64 {
+        let n = qx.len();
+        assert_eq!(qy.len(), n);
+        match self.level {
+            SimdLevel::Scalar => scalar::point_dist_sq_min(p, qx, qy),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => simd::x86::point_dist_sq_min_sse2(p, qx, qy, n, self.vec_floor(n)),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rects_point_dispatch`.
+            SimdLevel::Avx2Fma => unsafe {
+                simd::x86::point_dist_sq_min_avx2(p, qx, qy, n, self.vec_floor(n))
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar level on a target without SIMD backends"),
+        }
+    }
 }
 
 /// `out[i] = mindist²(rect_i, q)` for rectangles given as four parallel
 /// coordinate slices. `out` is cleared and refilled (capacity is reused).
+/// Dispatches at the process-wide SIMD level ([`BatchKernels::auto`]).
 ///
 /// # Panics
 ///
@@ -46,20 +926,12 @@ pub fn rects_mindist_sq_point(
     q: Point,
     out: &mut Vec<f64>,
 ) {
-    let n = lo_x.len();
-    assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
-    out.clear();
-    out.reserve(n);
-    for i in 0..n {
-        let dx = interval_excess(q.x, lo_x[i], hi_x[i]);
-        let dy = interval_excess(q.y, lo_y[i], hi_y[i]);
-        out.push(dx * dx + dy * dy);
-    }
+    BatchKernels::auto().rects_mindist_sq_point(lo_x, lo_y, hi_x, hi_y, q, out);
 }
 
 /// `out[i] = mindist²(rect_i, m)` for rectangles given as four parallel
 /// coordinate slices against one fixed rectangle `m`. `out` is cleared and
-/// refilled.
+/// refilled. Dispatches at the process-wide SIMD level.
 ///
 /// # Panics
 ///
@@ -72,87 +944,45 @@ pub fn rects_mindist_sq_rect(
     m: &Rect,
     out: &mut Vec<f64>,
 ) {
-    let n = lo_x.len();
-    assert!(lo_y.len() == n && hi_x.len() == n && hi_y.len() == n);
-    out.clear();
-    out.reserve(n);
-    for i in 0..n {
-        let dx = interval_gap(lo_x[i], hi_x[i], m.lo.x, m.hi.x);
-        let dy = interval_gap(lo_y[i], hi_y[i], m.lo.y, m.hi.y);
-        out.push(dx * dx + dy * dy);
-    }
+    BatchKernels::auto().rects_mindist_sq_rect(lo_x, lo_y, hi_x, hi_y, m, out);
 }
 
 /// `out[i] = |p_i q|²` for points given as two parallel coordinate slices.
-/// `out` is cleared and refilled.
+/// `out` is cleared and refilled. Dispatches at the process-wide SIMD
+/// level.
 ///
 /// # Panics
 ///
 /// Panics when `xs` and `ys` disagree in length.
 pub fn points_dist_sq(xs: &[f64], ys: &[f64], q: Point, out: &mut Vec<f64>) {
-    let n = xs.len();
-    assert_eq!(ys.len(), n);
-    out.clear();
-    out.reserve(n);
-    for i in 0..n {
-        let dx = xs[i] - q.x;
-        let dy = ys[i] - q.y;
-        out.push(dx * dx + dy * dy);
-    }
+    BatchKernels::auto().points_dist_sq(xs, ys, q, out);
 }
 
 /// `out[i] = mindist²(p_i, m)` for points given as two parallel coordinate
-/// slices against one rectangle. `out` is cleared and refilled.
+/// slices against one rectangle. `out` is cleared and refilled. Dispatches
+/// at the process-wide SIMD level.
 ///
 /// # Panics
 ///
 /// Panics when `xs` and `ys` disagree in length.
 pub fn points_mindist_sq_rect(xs: &[f64], ys: &[f64], m: &Rect, out: &mut Vec<f64>) {
-    let n = xs.len();
-    assert_eq!(ys.len(), n);
-    out.clear();
-    out.reserve(n);
-    for i in 0..n {
-        let dx = interval_excess(xs[i], m.lo.x, m.hi.x);
-        let dy = interval_excess(ys[i], m.lo.y, m.hi.y);
-        out.push(dx * dx + dy * dy);
-    }
+    BatchKernels::auto().points_mindist_sq_rect(xs, ys, m, out);
 }
 
 /// `Σ_i w_i · √(mindist²(m, q_i))` over query points in SoA form — the SUM
-/// aggregate's tight node bound (heuristic 3) in one fused branch-free
-/// pass.
-///
-/// The fold is deliberately **sequential**, making the result bit-identical
-/// to the scalar reference (`Σ w_i · Rect::mindist_point(q_i)` evaluated in
-/// order). Node keys computed through this kernel therefore match the
-/// reference engine's exactly, which is what lets the property suite pin
-/// packed-vs-arena node accesses with strict equality.
+/// aggregate's tight node bound (heuristic 3). Sequential fold on every
+/// dispatch level; see [`scalar::rect_weighted_mindist_sum`].
 ///
 /// # Panics
 ///
 /// Panics when the slices disagree in length.
 pub fn rect_weighted_mindist_sum(m: &Rect, qx: &[f64], qy: &[f64], w: &[f64]) -> f64 {
-    let n = qx.len();
-    assert!(qy.len() == n && w.len() == n);
-    let mut acc = 0.0f64;
-    for j in 0..n {
-        let dx = interval_excess(qx[j], m.lo.x, m.hi.x);
-        let dy = interval_excess(qy[j], m.lo.y, m.hi.y);
-        acc += w[j] * (dx * dx + dy * dy).sqrt();
-    }
-    acc
+    BatchKernels::auto().rect_weighted_mindist_sum(m, qx, qy, w)
 }
 
-/// Multi-point weighted distance sums: `out[j] = Σ_i w_i · |p_j q_i|` for a
-/// batch of points `p_j` (SoA) against query points `q_i` (SoA).
-///
-/// The accumulation runs query-point-major, so each `out[j]` is the plain
-/// sequential fold over `i` — **bit-identical** to evaluating the points
-/// one at a time with the same sequential fold — while the inner loop
-/// vectorizes over the point batch `j`. This is the conversion kernel of
-/// the packed query engine (a leaf run's pending points are evaluated 16 at
-/// a time instead of one by one).
+/// Multi-point weighted distance sums: `out[j] = Σ_i w_i · |p_j q_i|`.
+/// Dispatches at the process-wide SIMD level; see
+/// [`scalar::points_weighted_dist_sum_multi`] for the fold contract.
 ///
 /// # Panics
 ///
@@ -165,24 +995,11 @@ pub fn points_weighted_dist_sum_multi(
     w: &[f64],
     out: &mut Vec<f64>,
 ) {
-    let m = xs.len();
-    assert_eq!(ys.len(), m);
-    let n = qx.len();
-    assert!(qy.len() == n && w.len() == n);
-    out.clear();
-    out.resize(m, 0.0);
-    for i in 0..n {
-        let (qxi, qyi, wi) = (qx[i], qy[i], w[i]);
-        for (j, o) in out.iter_mut().enumerate() {
-            let dx = xs[j] - qxi;
-            let dy = ys[j] - qyi;
-            *o += wi * (dx * dx + dy * dy).sqrt();
-        }
-    }
+    BatchKernels::auto().points_weighted_dist_sum_multi(xs, ys, qx, qy, w, out);
 }
 
-/// Multi-point MAX fold: `out[j] = max_i |p_j q_i|²` (sequential fold over
-/// `i`, vectorized over `j`; see [`points_weighted_dist_sum_multi`]).
+/// Multi-point MAX fold: `out[j] = max_i |p_j q_i|²`. Dispatches at the
+/// process-wide SIMD level.
 pub fn points_dist_sq_max_multi(
     xs: &[f64],
     ys: &[f64],
@@ -190,10 +1007,11 @@ pub fn points_dist_sq_max_multi(
     qy: &[f64],
     out: &mut Vec<f64>,
 ) {
-    points_dist_sq_fold_multi(xs, ys, qx, qy, f64::NEG_INFINITY, f64::max, out)
+    BatchKernels::auto().points_dist_sq_max_multi(xs, ys, qx, qy, out);
 }
 
-/// Multi-point MIN fold: `out[j] = min_i |p_j q_i|²`.
+/// Multi-point MIN fold: `out[j] = min_i |p_j q_i|²`. Dispatches at the
+/// process-wide SIMD level.
 pub fn points_dist_sq_min_multi(
     xs: &[f64],
     ys: &[f64],
@@ -201,94 +1019,30 @@ pub fn points_dist_sq_min_multi(
     qy: &[f64],
     out: &mut Vec<f64>,
 ) {
-    points_dist_sq_fold_multi(xs, ys, qx, qy, f64::INFINITY, f64::min, out)
-}
-
-#[inline(always)]
-fn points_dist_sq_fold_multi(
-    xs: &[f64],
-    ys: &[f64],
-    qx: &[f64],
-    qy: &[f64],
-    identity: f64,
-    fold: impl Fn(f64, f64) -> f64,
-    out: &mut Vec<f64>,
-) {
-    let m = xs.len();
-    assert_eq!(ys.len(), m);
-    let n = qx.len();
-    assert_eq!(qy.len(), n);
-    out.clear();
-    out.resize(m, identity);
-    for i in 0..n {
-        let (qxi, qyi) = (qx[i], qy[i]);
-        for (j, o) in out.iter_mut().enumerate() {
-            let dx = xs[j] - qxi;
-            let dy = ys[j] - qyi;
-            *o = fold(*o, dx * dx + dy * dy);
-        }
-    }
+    BatchKernels::auto().points_dist_sq_min_multi(xs, ys, qx, qy, out);
 }
 
 /// Maximum of `mindist²(m, q_i)` over query points in SoA form. Combined
 /// with one final `sqrt` this is the MAX aggregate's tight node bound
 /// (`max √x = √(max x)`).
 pub fn rect_mindist_sq_max(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
-    fold_rect_mindist_sq(m, qx, qy, f64::NEG_INFINITY, f64::max)
+    BatchKernels::auto().rect_mindist_sq_max(m, qx, qy)
 }
 
 /// Minimum of `mindist²(m, q_i)` over query points in SoA form (the MIN
 /// aggregate's tight node bound before the final `sqrt`).
 pub fn rect_mindist_sq_min(m: &Rect, qx: &[f64], qy: &[f64]) -> f64 {
-    fold_rect_mindist_sq(m, qx, qy, f64::INFINITY, f64::min)
+    BatchKernels::auto().rect_mindist_sq_min(m, qx, qy)
 }
 
 /// Maximum of `|p q_i|²` over query points in SoA form.
 pub fn point_dist_sq_max(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
-    fold_point_dist_sq(p, qx, qy, f64::NEG_INFINITY, f64::max)
+    BatchKernels::auto().point_dist_sq_max(p, qx, qy)
 }
 
 /// Minimum of `|p q_i|²` over query points in SoA form.
 pub fn point_dist_sq_min(p: Point, qx: &[f64], qy: &[f64]) -> f64 {
-    fold_point_dist_sq(p, qx, qy, f64::INFINITY, f64::min)
-}
-
-#[inline(always)]
-fn fold_rect_mindist_sq(
-    m: &Rect,
-    qx: &[f64],
-    qy: &[f64],
-    identity: f64,
-    fold: impl Fn(f64, f64) -> f64,
-) -> f64 {
-    let n = qx.len();
-    assert_eq!(qy.len(), n);
-    let mut acc = identity;
-    for i in 0..n {
-        let dx = interval_excess(qx[i], m.lo.x, m.hi.x);
-        let dy = interval_excess(qy[i], m.lo.y, m.hi.y);
-        acc = fold(acc, dx * dx + dy * dy);
-    }
-    acc
-}
-
-#[inline(always)]
-fn fold_point_dist_sq(
-    p: Point,
-    qx: &[f64],
-    qy: &[f64],
-    identity: f64,
-    fold: impl Fn(f64, f64) -> f64,
-) -> f64 {
-    let n = qx.len();
-    assert_eq!(qy.len(), n);
-    let mut acc = identity;
-    for i in 0..n {
-        let dx = qx[i] - p.x;
-        let dy = qy[i] - p.y;
-        acc = fold(acc, dx * dx + dy * dy);
-    }
-    acc
+    BatchKernels::auto().point_dist_sq_min(p, qx, qy)
 }
 
 impl Rect {
@@ -433,5 +1187,134 @@ mod tests {
             point_dist_sq_min(p, &qx, &qy),
             e2.iter().copied().fold(f64::INFINITY, f64::min)
         );
+    }
+
+    #[test]
+    fn every_available_level_matches_the_scalar_oracle_bitwise() {
+        // Ragged lengths straddle vector-width boundaries on purpose.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33] {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 50.0).collect();
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).cos() * 50.0).collect();
+            let qn = 5;
+            let qx: Vec<f64> = (0..qn).map(|i| i as f64 * 3.3 - 6.0).collect();
+            let qy: Vec<f64> = (0..qn).map(|i| 4.0 - i as f64 * 2.1).collect();
+            let w: Vec<f64> = (0..qn).map(|i| 0.25 + i as f64 * 0.5).collect();
+            let q = Point::new(1.5, -2.5);
+            let m = Rect::from_corners(-3.0, -3.0, 3.0, 3.0);
+
+            let oracle = BatchKernels::for_level(SimdLevel::Scalar).unwrap();
+            for level in SimdLevel::available_levels() {
+                let k = BatchKernels::for_level(level).unwrap();
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+
+                oracle.points_dist_sq(&xs, &ys, q, &mut a);
+                k.points_dist_sq(&xs, &ys, q, &mut b);
+                assert_eq!(a, b, "points_dist_sq n={n} level={level:?}");
+
+                oracle.points_mindist_sq_rect(&xs, &ys, &m, &mut a);
+                k.points_mindist_sq_rect(&xs, &ys, &m, &mut b);
+                assert_eq!(a, b, "points_mindist_sq_rect n={n} level={level:?}");
+
+                oracle.rects_mindist_sq_point(&xs, &ys, &xs, &ys, q, &mut a);
+                k.rects_mindist_sq_point(&xs, &ys, &xs, &ys, q, &mut b);
+                assert_eq!(a, b, "rects_mindist_sq_point n={n} level={level:?}");
+
+                oracle.rects_mindist_sq_rect(&xs, &ys, &xs, &ys, &m, &mut a);
+                k.rects_mindist_sq_rect(&xs, &ys, &xs, &ys, &m, &mut b);
+                assert_eq!(a, b, "rects_mindist_sq_rect n={n} level={level:?}");
+
+                oracle.points_weighted_dist_sum_multi(&xs, &ys, &qx, &qy, &w, &mut a);
+                k.points_weighted_dist_sum_multi(&xs, &ys, &qx, &qy, &w, &mut b);
+                assert_eq!(a, b, "wsum_multi n={n} level={level:?}");
+
+                oracle.points_dist_sq_max_multi(&xs, &ys, &qx, &qy, &mut a);
+                k.points_dist_sq_max_multi(&xs, &ys, &qx, &qy, &mut b);
+                assert_eq!(a, b, "max_multi n={n} level={level:?}");
+
+                oracle.points_dist_sq_min_multi(&xs, &ys, &qx, &qy, &mut a);
+                k.points_dist_sq_min_multi(&xs, &ys, &qx, &qy, &mut b);
+                assert_eq!(a, b, "min_multi n={n} level={level:?}");
+
+                if n > 0 {
+                    assert_eq!(
+                        oracle.rect_weighted_mindist_sum(&m, &xs, &ys, &xs),
+                        k.rect_weighted_mindist_sum(&m, &xs, &ys, &xs),
+                        "rect_wsum n={n} level={level:?}"
+                    );
+                }
+                assert_eq!(
+                    oracle.rect_mindist_sq_max(&m, &xs, &ys),
+                    k.rect_mindist_sq_max(&m, &xs, &ys),
+                    "rect_max n={n} level={level:?}"
+                );
+                assert_eq!(
+                    oracle.rect_mindist_sq_min(&m, &xs, &ys),
+                    k.rect_mindist_sq_min(&m, &xs, &ys),
+                    "rect_min n={n} level={level:?}"
+                );
+                assert_eq!(
+                    oracle.point_dist_sq_max(q, &xs, &ys),
+                    k.point_dist_sq_max(q, &xs, &ys),
+                    "point_max n={n} level={level:?}"
+                );
+                assert_eq!(
+                    oracle.point_dist_sq_min(q, &xs, &ys),
+                    k.point_dist_sq_min(q, &xs, &ys),
+                    "point_min n={n} level={level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_variants_ignore_sentinel_lanes() {
+        use crate::simd::pad_len;
+        for n in [0usize, 1, 3, 7, 8, 9, 13, 16, 21] {
+            let mut xs: Vec<f64> = (0..n).map(|i| i as f64 * 1.3 - 4.0).collect();
+            let mut ys: Vec<f64> = (0..n).map(|i| 7.0 - i as f64 * 0.9).collect();
+            // Poison padding with values that would corrupt any aggregate
+            // that read them (the arena uses 0.0; the contract is stronger:
+            // padding is *never read into a result*).
+            xs.resize(pad_len(n), 1e300);
+            ys.resize(pad_len(n), -1e300);
+            let q = Point::new(0.5, 0.5);
+            let m = Rect::from_corners(-1.0, -1.0, 1.0, 1.0);
+            let qx = [0.0, 2.0, -3.0];
+            let qy = [1.0, -2.0, 0.0];
+            let w = [1.0, 0.5, 2.0];
+
+            for level in SimdLevel::available_levels() {
+                let k = BatchKernels::for_level(level).unwrap();
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+
+                k.points_dist_sq(&xs[..n], &ys[..n], q, &mut a);
+                k.points_dist_sq_padded(&xs, &ys, n, q, &mut b);
+                assert_eq!(a, b, "points_dist_sq_padded n={n} level={level:?}");
+
+                k.points_mindist_sq_rect(&xs[..n], &ys[..n], &m, &mut a);
+                k.points_mindist_sq_rect_padded(&xs, &ys, n, &m, &mut b);
+                assert_eq!(a, b, "points_mindist_sq_rect_padded n={n} level={level:?}");
+
+                k.rects_mindist_sq_point(&xs[..n], &ys[..n], &xs[..n], &ys[..n], q, &mut a);
+                k.rects_mindist_sq_point_padded(&xs, &ys, &xs, &ys, n, q, &mut b);
+                assert_eq!(a, b, "rects_point_padded n={n} level={level:?}");
+
+                k.rects_mindist_sq_rect(&xs[..n], &ys[..n], &xs[..n], &ys[..n], &m, &mut a);
+                k.rects_mindist_sq_rect_padded(&xs, &ys, &xs, &ys, n, &m, &mut b);
+                assert_eq!(a, b, "rects_rect_padded n={n} level={level:?}");
+
+                k.points_weighted_dist_sum_multi(&xs[..n], &ys[..n], &qx, &qy, &w, &mut a);
+                k.points_weighted_dist_sum_multi_padded(&xs, &ys, n, &qx, &qy, &w, &mut b);
+                assert_eq!(a, b, "wsum_multi_padded n={n} level={level:?}");
+
+                k.points_dist_sq_max_multi(&xs[..n], &ys[..n], &qx, &qy, &mut a);
+                k.points_dist_sq_max_multi_padded(&xs, &ys, n, &qx, &qy, &mut b);
+                assert_eq!(a, b, "max_multi_padded n={n} level={level:?}");
+
+                k.points_dist_sq_min_multi(&xs[..n], &ys[..n], &qx, &qy, &mut a);
+                k.points_dist_sq_min_multi_padded(&xs, &ys, n, &qx, &qy, &mut b);
+                assert_eq!(a, b, "min_multi_padded n={n} level={level:?}");
+            }
+        }
     }
 }

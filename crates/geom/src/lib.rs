@@ -9,22 +9,33 @@
 //! * [`OrderedF64`] — a totally-ordered `f64` wrapper so distances can key
 //!   binary heaps,
 //! * [`batch`] — branch-free batched distance kernels over SoA coordinate
-//!   slices (the packed R-tree's scan primitives),
+//!   slices (the packed R-tree's scan primitives), with scalar and explicit
+//!   SIMD backends behind one dispatch ([`batch::BatchKernels`]),
+//! * [`simd`] — the SSE2/AVX2 kernel bodies, runtime dispatch level
+//!   ([`SimdLevel`]) and the lane-padding helpers,
+//! * [`aligned`] — [`AlignedVec`], a 64-byte-aligned growable `f64` buffer
+//!   backing the packed arenas,
 //! * [`hilbert`] — the 2-D Hilbert space-filling curve used to sort query
 //!   points for access locality (paper §3.1, §4.2, §4.3).
 //!
-//! All computations are `f64`; the crate has no dependencies and forbids
-//! `unsafe`.
+//! All computations are `f64`; the crate has no dependencies. `unsafe` is
+//! denied everywhere except the two modules that need it by nature
+//! ([`aligned`]'s raw slice views and [`simd`]'s `core::arch` intrinsics),
+//! each carrying its own safety argument.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aligned;
 pub mod batch;
 pub mod hilbert;
 mod ordered;
 mod point;
 mod rect;
+pub mod simd;
 
+pub use aligned::AlignedVec;
 pub use ordered::OrderedF64;
 pub use point::{Point, PointId};
 pub use rect::Rect;
+pub use simd::SimdLevel;

@@ -1,0 +1,800 @@
+//! Explicit SIMD backends for the [`crate::batch`] kernels.
+//!
+//! Three dispatch levels, selected **once** per process at first use:
+//!
+//! * [`SimdLevel::Avx2Fma`] — 256-bit, 4 `f64` lanes. Taken on `x86_64`
+//!   when runtime detection reports both `avx2` and `fma`. (FMA gates the
+//!   level and names it, but the kernels never emit contracted
+//!   multiply-adds: `fma(a,b,c)` rounds once where the scalar reference
+//!   rounds twice, which would break bit-identity.)
+//! * [`SimdLevel::Sse2`] — 128-bit, 2 `f64` lanes. The `x86_64` baseline:
+//!   always available there, so it is the floor on that architecture.
+//! * [`SimdLevel::Scalar`] — the original scalar kernels
+//!   ([`crate::batch::scalar`]), verbatim. The only level on non-x86
+//!   targets, and forced everywhere by the `GNN_FORCE_SCALAR` environment
+//!   variable (set to anything but `0`; see [`dispatch_level`]).
+//!
+//! # Bit-identity contract
+//!
+//! Every SIMD kernel returns **bit-identical** results to its scalar
+//! reference for finite inputs, because each one falls into (or composes)
+//! two shapes that vectorize without changing any rounding:
+//!
+//! * **Elementwise maps** (`mindist²` / `dist²` per rectangle or point):
+//!   each output lane runs the exact scalar operation sequence — IEEE
+//!   sub/mul/add/sqrt round identically lane-wise, and the trailing
+//!   `max(·, 0.0)` clamp makes the `maxpd`-vs-`f64::max` signed-zero
+//!   difference unobservable (everything ≤ 0 collapses to `+0.0` on both
+//!   paths).
+//! * **Sequential folds stay sequential.** The weighted SUM aggregates
+//!   never reassociate: vectors only compute the per-element terms, and
+//!   the accumulation still happens one lane at a time in index order
+//!   (or lane-parallel over *independent* accumulators, one per output).
+//!   MAX/MIN folds may reduce in any order — on finite, non-NaN squared
+//!   distances (always `≥ +0.0`) the maximum/minimum of a set is a single
+//!   well-defined bit pattern.
+//!
+//! The property suite (`crates/geom/tests/batch_props.rs`) pins every
+//! level to the scalar oracle bit-for-bit, including ragged and padded
+//! lane counts.
+
+#![allow(unsafe_code)] // core::arch intrinsics + raw-pointer kernel loops
+
+use std::sync::OnceLock;
+
+/// Lane quantum used for arena padding: `f64`s per 64-byte chunk. Page
+/// spans in packed arenas are padded to a multiple of this, which is wide
+/// enough for every vector width dispatched here (2 or 4 lanes).
+pub const LANE_COUNT: usize = 8;
+
+/// `n` rounded up to a multiple of [`LANE_COUNT`] — the stride a padded
+/// span of `n` entries occupies in a packed arena.
+#[inline]
+pub const fn pad_len(n: usize) -> usize {
+    n.div_ceil(LANE_COUNT) * LANE_COUNT
+}
+
+/// A kernel dispatch level. Order is ascending capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Scalar reference kernels ([`crate::batch::scalar`]).
+    Scalar,
+    /// 128-bit SSE2 kernels (`x86_64` baseline).
+    Sse2,
+    /// 256-bit AVX2 kernels (FMA detected but deliberately unused).
+    Avx2Fma,
+}
+
+impl SimdLevel {
+    /// Stable human/telemetry label: `"scalar"`, `"sse2"`, `"avx2+fma"`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2Fma => "avx2+fma",
+        }
+    }
+
+    /// Whether this level can run on the current host (ignores the
+    /// `GNN_FORCE_SCALAR` override — scalar is always available).
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every level the current host can run, ascending (scalar first).
+    pub fn available_levels() -> Vec<SimdLevel> {
+        [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2Fma]
+            .into_iter()
+            .filter(|l| l.is_available())
+            .collect()
+    }
+}
+
+/// The level the process-wide kernel dispatch uses, decided once at first
+/// call and cached: [`SimdLevel::Scalar`] when the `GNN_FORCE_SCALAR`
+/// environment variable is set to anything other than `""` or `"0"`
+/// (the escape hatch that keeps the fallback path exercised in CI),
+/// otherwise the best [`SimdLevel::is_available`] level.
+pub fn dispatch_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if force_scalar_requested() {
+            return SimdLevel::Scalar;
+        }
+        if SimdLevel::Avx2Fma.is_available() {
+            SimdLevel::Avx2Fma
+        } else if SimdLevel::Sse2.is_available() {
+            SimdLevel::Sse2
+        } else {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// Whether `GNN_FORCE_SCALAR` asks for the scalar path (set, non-empty,
+/// not `"0"`). Read directly — only [`dispatch_level`] caches.
+pub fn force_scalar_requested() -> bool {
+    match std::env::var("GNN_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    //! SSE2 and AVX2 kernel bodies, written once against a tiny vector
+    //! trait and monomorphized per width. Entry points take `n` (logical
+    //! element count) and `vec_n` (how many leading elements to process
+    //! with full vectors; the `vec_n..n` remainder runs the scalar
+    //! reference code). The dispatcher sets `vec_n = n` rounded *up* for
+    //! padded inputs (sentinel lanes readable past `n`) or rounded *down*
+    //! for exact slices.
+
+    use super::{pad_len, LANE_COUNT};
+    use crate::{Point, Rect};
+    use core::arch::x86_64::*;
+
+    /// Minimal `f64` vector interface. All methods are `unsafe`: AVX2
+    /// intrinsics require the caller to have verified the feature at
+    /// runtime, and loads/stores trust the pointer range.
+    trait Vf64: Copy {
+        const LANES: usize;
+        unsafe fn loadu(p: *const f64) -> Self;
+        unsafe fn storeu(self, p: *mut f64);
+        unsafe fn splat(v: f64) -> Self;
+        unsafe fn add(self, o: Self) -> Self;
+        unsafe fn sub(self, o: Self) -> Self;
+        unsafe fn mul(self, o: Self) -> Self;
+        unsafe fn vmax(self, o: Self) -> Self;
+        unsafe fn vmin(self, o: Self) -> Self;
+        unsafe fn vsqrt(self) -> Self;
+    }
+
+    #[derive(Clone, Copy)]
+    struct V2(__m128d);
+
+    // SAFETY (all V2 methods): SSE2 is part of the x86_64 baseline, so
+    // these intrinsics are always callable on this target.
+    impl Vf64 for V2 {
+        const LANES: usize = 2;
+        #[inline(always)]
+        unsafe fn loadu(p: *const f64) -> Self {
+            V2(_mm_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn storeu(self, p: *mut f64) {
+            _mm_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            V2(_mm_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            V2(_mm_add_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            V2(_mm_sub_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            V2(_mm_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            V2(_mm_max_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vmin(self, o: Self) -> Self {
+            V2(_mm_min_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            V2(_mm_sqrt_pd(self.0))
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct V4(__m256d);
+
+    // SAFETY (all V4 methods): reached only through the `*_avx2` entry
+    // points below, which carry `#[target_feature(enable = "avx2")]` and
+    // are themselves gated behind runtime detection by the dispatcher.
+    impl Vf64 for V4 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn loadu(p: *const f64) -> Self {
+            V4(_mm256_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn storeu(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            V4(_mm256_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            V4(_mm256_add_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            V4(_mm256_sub_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            V4(_mm256_mul_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            V4(_mm256_max_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vmin(self, o: Self) -> Self {
+            V4(_mm256_min_pd(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            V4(_mm256_sqrt_pd(self.0))
+        }
+    }
+
+    /// Clears `out`, guarantees capacity for `pad_len(n)` lanes (so full
+    /// vectors may store past `n` into spare capacity) and returns the
+    /// write pointer. Callers must `set_len(n)` after filling `0..n`.
+    #[inline(always)]
+    fn prep_out(out: &mut Vec<f64>, n: usize) -> *mut f64 {
+        out.clear();
+        out.reserve(pad_len(n));
+        out.as_mut_ptr()
+    }
+
+    /// `dx = max(max(a - v, v - b), 0.0)` — the branch-free
+    /// interval-excess with the clamp LAST, so any signed-zero difference
+    /// between `maxpd` and `f64::max` collapses to `+0.0` on both paths.
+    #[inline(always)]
+    unsafe fn excess<V: Vf64>(v: V, lo: V, hi: V, zero: V) -> V {
+        lo.sub(v).vmax(v.sub(hi)).vmax(zero)
+    }
+
+    /// `dx² + dy²` with the scalar's rounding order (mul, mul, add).
+    #[inline(always)]
+    unsafe fn hypot_sq<V: Vf64>(dx: V, dy: V) -> V {
+        dx.mul(dx).add(dy.mul(dy))
+    }
+
+    // ---- elementwise maps -------------------------------------------
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn map_rects_point<V: Vf64>(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        vec_n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let po = prep_out(out, n);
+        let (plx, ply, phx, phy) = (lo_x.as_ptr(), lo_y.as_ptr(), hi_x.as_ptr(), hi_y.as_ptr());
+        let qx = V::splat(q.x);
+        let qy = V::splat(q.y);
+        let zero = V::splat(0.0);
+        let mut i = 0;
+        while i < vec_n {
+            let dx = excess(qx, V::loadu(plx.add(i)), V::loadu(phx.add(i)), zero);
+            let dy = excess(qy, V::loadu(ply.add(i)), V::loadu(phy.add(i)), zero);
+            hypot_sq(dx, dy).storeu(po.add(i));
+            i += V::LANES;
+        }
+        for i in vec_n..n {
+            let dx = (lo_x[i] - q.x).max(q.x - hi_x[i]).max(0.0);
+            let dy = (lo_y[i] - q.y).max(q.y - hi_y[i]).max(0.0);
+            *po.add(i) = dx * dx + dy * dy;
+        }
+        out.set_len(n);
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn map_rects_rect<V: Vf64>(
+        lo_x: &[f64],
+        lo_y: &[f64],
+        hi_x: &[f64],
+        hi_y: &[f64],
+        n: usize,
+        vec_n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let po = prep_out(out, n);
+        let (plx, ply, phx, phy) = (lo_x.as_ptr(), lo_y.as_ptr(), hi_x.as_ptr(), hi_y.as_ptr());
+        let (mlx, mly, mhx, mhy) = (
+            V::splat(m.lo.x),
+            V::splat(m.lo.y),
+            V::splat(m.hi.x),
+            V::splat(m.hi.y),
+        );
+        let zero = V::splat(0.0);
+        let mut i = 0;
+        while i < vec_n {
+            // gap = max(max(b_lo - a_hi, a_lo - b_hi), 0.0), clamp last.
+            let dx = mlx
+                .sub(V::loadu(phx.add(i)))
+                .vmax(V::loadu(plx.add(i)).sub(mhx))
+                .vmax(zero);
+            let dy = mly
+                .sub(V::loadu(phy.add(i)))
+                .vmax(V::loadu(ply.add(i)).sub(mhy))
+                .vmax(zero);
+            hypot_sq(dx, dy).storeu(po.add(i));
+            i += V::LANES;
+        }
+        for i in vec_n..n {
+            let dx = (m.lo.x - hi_x[i]).max(lo_x[i] - m.hi.x).max(0.0);
+            let dy = (m.lo.y - hi_y[i]).max(lo_y[i] - m.hi.y).max(0.0);
+            *po.add(i) = dx * dx + dy * dy;
+        }
+        out.set_len(n);
+    }
+
+    #[inline(always)]
+    unsafe fn map_points_point<V: Vf64>(
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        vec_n: usize,
+        q: Point,
+        out: &mut Vec<f64>,
+    ) {
+        let po = prep_out(out, n);
+        let (px, py) = (xs.as_ptr(), ys.as_ptr());
+        let qx = V::splat(q.x);
+        let qy = V::splat(q.y);
+        let mut i = 0;
+        while i < vec_n {
+            let dx = V::loadu(px.add(i)).sub(qx);
+            let dy = V::loadu(py.add(i)).sub(qy);
+            hypot_sq(dx, dy).storeu(po.add(i));
+            i += V::LANES;
+        }
+        for i in vec_n..n {
+            let dx = xs[i] - q.x;
+            let dy = ys[i] - q.y;
+            *po.add(i) = dx * dx + dy * dy;
+        }
+        out.set_len(n);
+    }
+
+    #[inline(always)]
+    unsafe fn map_points_rect<V: Vf64>(
+        xs: &[f64],
+        ys: &[f64],
+        n: usize,
+        vec_n: usize,
+        m: &Rect,
+        out: &mut Vec<f64>,
+    ) {
+        let po = prep_out(out, n);
+        let (px, py) = (xs.as_ptr(), ys.as_ptr());
+        let (mlx, mly, mhx, mhy) = (
+            V::splat(m.lo.x),
+            V::splat(m.lo.y),
+            V::splat(m.hi.x),
+            V::splat(m.hi.y),
+        );
+        let zero = V::splat(0.0);
+        let mut i = 0;
+        while i < vec_n {
+            let dx = excess(V::loadu(px.add(i)), mlx, mhx, zero);
+            let dy = excess(V::loadu(py.add(i)), mly, mhy, zero);
+            hypot_sq(dx, dy).storeu(po.add(i));
+            i += V::LANES;
+        }
+        for i in vec_n..n {
+            let dx = (m.lo.x - xs[i]).max(xs[i] - m.hi.x).max(0.0);
+            let dy = (m.lo.y - ys[i]).max(ys[i] - m.hi.y).max(0.0);
+            *po.add(i) = dx * dx + dy * dy;
+        }
+        out.set_len(n);
+    }
+
+    // ---- fused multi-point aggregates -------------------------------
+    //
+    // `out[j]` folds over the query points `i`; lanes are independent
+    // output accumulators, so vectorizing over `j` keeps every fold
+    // sequential in `i` — bit-identical to the scalar kernels. The body
+    // is unrolled ×2 (two vectors of accumulators) to overlap the sqrt /
+    // fold dependency chains.
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn multi_wsum<V: Vf64>(
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        vec_m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let po = prep_out(out, m);
+        let (px, py) = (xs.as_ptr(), ys.as_ptr());
+        let n = qx.len();
+        let mut j = 0;
+        while j + 2 * V::LANES <= vec_m {
+            let x0 = V::loadu(px.add(j));
+            let y0 = V::loadu(py.add(j));
+            let x1 = V::loadu(px.add(j + V::LANES));
+            let y1 = V::loadu(py.add(j + V::LANES));
+            let mut a0 = V::splat(0.0);
+            let mut a1 = V::splat(0.0);
+            for i in 0..n {
+                let qxi = V::splat(qx[i]);
+                let qyi = V::splat(qy[i]);
+                let wi = V::splat(w[i]);
+                a0 = a0.add(wi.mul(hypot_sq(x0.sub(qxi), y0.sub(qyi)).vsqrt()));
+                a1 = a1.add(wi.mul(hypot_sq(x1.sub(qxi), y1.sub(qyi)).vsqrt()));
+            }
+            a0.storeu(po.add(j));
+            a1.storeu(po.add(j + V::LANES));
+            j += 2 * V::LANES;
+        }
+        while j < vec_m {
+            let x0 = V::loadu(px.add(j));
+            let y0 = V::loadu(py.add(j));
+            let mut a0 = V::splat(0.0);
+            for i in 0..n {
+                let qxi = V::splat(qx[i]);
+                let qyi = V::splat(qy[i]);
+                a0 = a0.add(V::splat(w[i]).mul(hypot_sq(x0.sub(qxi), y0.sub(qyi)).vsqrt()));
+            }
+            a0.storeu(po.add(j));
+            j += V::LANES;
+        }
+        for j in vec_m..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                let dx = xs[j] - qx[i];
+                let dy = ys[j] - qy[i];
+                acc += w[i] * (dx * dx + dy * dy).sqrt();
+            }
+            *po.add(j) = acc;
+        }
+        out.set_len(m);
+    }
+
+    #[inline(always)]
+    unsafe fn multi_fold<V: Vf64, const MAX: bool>(
+        xs: &[f64],
+        ys: &[f64],
+        m: usize,
+        vec_m: usize,
+        qx: &[f64],
+        qy: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let identity = if MAX {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        let po = prep_out(out, m);
+        let (px, py) = (xs.as_ptr(), ys.as_ptr());
+        let n = qx.len();
+        #[inline(always)]
+        unsafe fn fold1<V: Vf64, const MAX: bool>(acc: V, d2: V) -> V {
+            if MAX {
+                acc.vmax(d2)
+            } else {
+                acc.vmin(d2)
+            }
+        }
+        let mut j = 0;
+        while j + 2 * V::LANES <= vec_m {
+            let x0 = V::loadu(px.add(j));
+            let y0 = V::loadu(py.add(j));
+            let x1 = V::loadu(px.add(j + V::LANES));
+            let y1 = V::loadu(py.add(j + V::LANES));
+            let mut a0 = V::splat(identity);
+            let mut a1 = V::splat(identity);
+            for i in 0..n {
+                let qxi = V::splat(qx[i]);
+                let qyi = V::splat(qy[i]);
+                a0 = fold1::<V, MAX>(a0, hypot_sq(x0.sub(qxi), y0.sub(qyi)));
+                a1 = fold1::<V, MAX>(a1, hypot_sq(x1.sub(qxi), y1.sub(qyi)));
+            }
+            a0.storeu(po.add(j));
+            a1.storeu(po.add(j + V::LANES));
+            j += 2 * V::LANES;
+        }
+        while j < vec_m {
+            let x0 = V::loadu(px.add(j));
+            let y0 = V::loadu(py.add(j));
+            let mut a0 = V::splat(identity);
+            for i in 0..n {
+                let qxi = V::splat(qx[i]);
+                let qyi = V::splat(qy[i]);
+                a0 = fold1::<V, MAX>(a0, hypot_sq(x0.sub(qxi), y0.sub(qyi)));
+            }
+            a0.storeu(po.add(j));
+            j += V::LANES;
+        }
+        for j in vec_m..m {
+            let mut acc = identity;
+            for i in 0..n {
+                let dx = xs[j] - qx[i];
+                let dy = ys[j] - qy[i];
+                let d2 = dx * dx + dy * dy;
+                acc = if MAX { acc.max(d2) } else { acc.min(d2) };
+            }
+            *po.add(j) = acc;
+        }
+        out.set_len(m);
+    }
+
+    // ---- group-dimension reductions ---------------------------------
+    //
+    // These fold over the query points themselves. The weighted SUM keeps
+    // its accumulation strictly sequential (vectors only produce the
+    // per-element terms, added back in index order); MAX/MIN reduce
+    // vector-first, which is order-safe on squared distances (no NaN, no
+    // -0.0 — see module docs).
+
+    #[inline(always)]
+    unsafe fn rect_wsum<V: Vf64>(
+        m: &Rect,
+        qx: &[f64],
+        qy: &[f64],
+        w: &[f64],
+        n: usize,
+        vec_n: usize,
+    ) -> f64 {
+        let (px, py, pw) = (qx.as_ptr(), qy.as_ptr(), w.as_ptr());
+        let (mlx, mly, mhx, mhy) = (
+            V::splat(m.lo.x),
+            V::splat(m.lo.y),
+            V::splat(m.hi.x),
+            V::splat(m.hi.y),
+        );
+        let zero = V::splat(0.0);
+        let mut buf = [0.0f64; LANE_COUNT];
+        let mut acc = 0.0f64;
+        let mut i = 0;
+        while i < vec_n {
+            let dx = excess(V::loadu(px.add(i)), mlx, mhx, zero);
+            let dy = excess(V::loadu(py.add(i)), mly, mhy, zero);
+            let t = V::loadu(pw.add(i)).mul(hypot_sq(dx, dy).vsqrt());
+            t.storeu(buf.as_mut_ptr());
+            // Strictly sequential accumulation in index order — the SUM
+            // bound must match the scalar fold bit-for-bit.
+            for &b in &buf[..V::LANES] {
+                acc += b;
+            }
+            i += V::LANES;
+        }
+        for i in vec_n..n {
+            let dx = (m.lo.x - qx[i]).max(qx[i] - m.hi.x).max(0.0);
+            let dy = (m.lo.y - qy[i]).max(qy[i] - m.hi.y).max(0.0);
+            acc += w[i] * (dx * dx + dy * dy).sqrt();
+        }
+        acc
+    }
+
+    #[inline(always)]
+    unsafe fn rect_fold<V: Vf64, const MAX: bool>(
+        m: &Rect,
+        qx: &[f64],
+        qy: &[f64],
+        n: usize,
+        vec_n: usize,
+    ) -> f64 {
+        let identity = if MAX {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        let (px, py) = (qx.as_ptr(), qy.as_ptr());
+        let (mlx, mly, mhx, mhy) = (
+            V::splat(m.lo.x),
+            V::splat(m.lo.y),
+            V::splat(m.hi.x),
+            V::splat(m.hi.y),
+        );
+        let zero = V::splat(0.0);
+        let mut vacc = V::splat(identity);
+        let mut i = 0;
+        while i < vec_n {
+            let dx = excess(V::loadu(px.add(i)), mlx, mhx, zero);
+            let dy = excess(V::loadu(py.add(i)), mly, mhy, zero);
+            let d2 = hypot_sq(dx, dy);
+            vacc = if MAX { vacc.vmax(d2) } else { vacc.vmin(d2) };
+            i += V::LANES;
+        }
+        let mut buf = [0.0f64; LANE_COUNT];
+        vacc.storeu(buf.as_mut_ptr());
+        let mut acc = identity;
+        for &b in &buf[..V::LANES] {
+            acc = if MAX { acc.max(b) } else { acc.min(b) };
+        }
+        for i in vec_n..n {
+            let dx = (m.lo.x - qx[i]).max(qx[i] - m.hi.x).max(0.0);
+            let dy = (m.lo.y - qy[i]).max(qy[i] - m.hi.y).max(0.0);
+            let d2 = dx * dx + dy * dy;
+            acc = if MAX { acc.max(d2) } else { acc.min(d2) };
+        }
+        acc
+    }
+
+    #[inline(always)]
+    unsafe fn point_fold<V: Vf64, const MAX: bool>(
+        p: Point,
+        qx: &[f64],
+        qy: &[f64],
+        n: usize,
+        vec_n: usize,
+    ) -> f64 {
+        let identity = if MAX {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        let (pqx, pqy) = (qx.as_ptr(), qy.as_ptr());
+        let vx = V::splat(p.x);
+        let vy = V::splat(p.y);
+        let mut vacc = V::splat(identity);
+        let mut i = 0;
+        while i < vec_n {
+            let dx = V::loadu(pqx.add(i)).sub(vx);
+            let dy = V::loadu(pqy.add(i)).sub(vy);
+            let d2 = hypot_sq(dx, dy);
+            vacc = if MAX { vacc.vmax(d2) } else { vacc.vmin(d2) };
+            i += V::LANES;
+        }
+        let mut buf = [0.0f64; LANE_COUNT];
+        vacc.storeu(buf.as_mut_ptr());
+        let mut acc = identity;
+        for &b in &buf[..V::LANES] {
+            acc = if MAX { acc.max(b) } else { acc.min(b) };
+        }
+        for i in vec_n..n {
+            let dx = qx[i] - p.x;
+            let dy = qy[i] - p.y;
+            let d2 = dx * dx + dy * dy;
+            acc = if MAX { acc.max(d2) } else { acc.min(d2) };
+        }
+        acc
+    }
+
+    // ---- per-level entry points -------------------------------------
+    //
+    // SSE2 wrappers are safe functions (the feature is statically part of
+    // the x86_64 baseline); AVX2 wrappers carry `#[target_feature]` and
+    // must only be invoked after runtime detection — the dispatcher in
+    // `crate::batch` is the single call site and checks once per process.
+    //
+    // Shared contract (enforced by the dispatcher's asserts): coordinate
+    // slices hold at least `max(n, vec_n)` readable lanes; `vec_n` is a
+    // lane multiple. `out` is cleared and refilled with exactly `n`
+    // results.
+
+    macro_rules! entry {
+        ($sse2:ident, $avx2:ident, $generic:ident $(, $c:literal)? ;
+         ($($arg:ident : $ty:ty),*)) => {
+            #[allow(clippy::too_many_arguments, clippy::missing_safety_doc)]
+            pub fn $sse2($($arg: $ty),*) {
+                // SAFETY: SSE2 is the x86_64 baseline; slice bounds are
+                // pre-checked by the dispatcher (see contract above).
+                unsafe { $generic::<V2 $(, $c)?>($($arg),*) }
+            }
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = "avx2,fma")]
+            pub fn $avx2($($arg: $ty),*) {
+                // SAFETY: caller verified AVX2 at runtime; slice bounds
+                // are pre-checked by the dispatcher.
+                unsafe { $generic::<V4 $(, $c)?>($($arg),*) }
+            }
+        };
+        (ret $sse2:ident, $avx2:ident, $generic:ident $(, $c:literal)? ;
+         ($($arg:ident : $ty:ty),*)) => {
+            #[allow(clippy::too_many_arguments, clippy::missing_safety_doc)]
+            pub fn $sse2($($arg: $ty),*) -> f64 {
+                // SAFETY: as above.
+                unsafe { $generic::<V2 $(, $c)?>($($arg),*) }
+            }
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = "avx2,fma")]
+            pub fn $avx2($($arg: $ty),*) -> f64 {
+                // SAFETY: as above.
+                unsafe { $generic::<V4 $(, $c)?>($($arg),*) }
+            }
+        };
+    }
+
+    entry!(rects_mindist_sq_point_sse2, rects_mindist_sq_point_avx2, map_rects_point;
+        (lo_x: &[f64], lo_y: &[f64], hi_x: &[f64], hi_y: &[f64], n: usize, vec_n: usize,
+         q: Point, out: &mut Vec<f64>));
+    entry!(rects_mindist_sq_rect_sse2, rects_mindist_sq_rect_avx2, map_rects_rect;
+        (lo_x: &[f64], lo_y: &[f64], hi_x: &[f64], hi_y: &[f64], n: usize, vec_n: usize,
+         m: &Rect, out: &mut Vec<f64>));
+    entry!(points_dist_sq_sse2, points_dist_sq_avx2, map_points_point;
+        (xs: &[f64], ys: &[f64], n: usize, vec_n: usize, q: Point, out: &mut Vec<f64>));
+    entry!(points_mindist_sq_rect_sse2, points_mindist_sq_rect_avx2, map_points_rect;
+        (xs: &[f64], ys: &[f64], n: usize, vec_n: usize, m: &Rect, out: &mut Vec<f64>));
+    entry!(points_weighted_dist_sum_multi_sse2, points_weighted_dist_sum_multi_avx2, multi_wsum;
+        (xs: &[f64], ys: &[f64], m: usize, vec_m: usize, qx: &[f64], qy: &[f64], w: &[f64],
+         out: &mut Vec<f64>));
+    entry!(points_dist_sq_max_multi_sse2, points_dist_sq_max_multi_avx2, multi_fold, true;
+        (xs: &[f64], ys: &[f64], m: usize, vec_m: usize, qx: &[f64], qy: &[f64],
+         out: &mut Vec<f64>));
+    entry!(points_dist_sq_min_multi_sse2, points_dist_sq_min_multi_avx2, multi_fold, false;
+        (xs: &[f64], ys: &[f64], m: usize, vec_m: usize, qx: &[f64], qy: &[f64],
+         out: &mut Vec<f64>));
+    entry!(ret rect_weighted_mindist_sum_sse2, rect_weighted_mindist_sum_avx2, rect_wsum;
+        (m: &Rect, qx: &[f64], qy: &[f64], w: &[f64], n: usize, vec_n: usize));
+    entry!(ret rect_mindist_sq_max_sse2, rect_mindist_sq_max_avx2, rect_fold, true;
+        (m: &Rect, qx: &[f64], qy: &[f64], n: usize, vec_n: usize));
+    entry!(ret rect_mindist_sq_min_sse2, rect_mindist_sq_min_avx2, rect_fold, false;
+        (m: &Rect, qx: &[f64], qy: &[f64], n: usize, vec_n: usize));
+    entry!(ret point_dist_sq_max_sse2, point_dist_sq_max_avx2, point_fold, true;
+        (p: Point, qx: &[f64], qy: &[f64], n: usize, vec_n: usize));
+    entry!(ret point_dist_sq_min_sse2, point_dist_sq_min_avx2, point_fold, false;
+        (p: Point, qx: &[f64], qy: &[f64], n: usize, vec_n: usize));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_len_rounds_to_lane_quanta() {
+        assert_eq!(pad_len(0), 0);
+        assert_eq!(pad_len(1), 8);
+        assert_eq!(pad_len(8), 8);
+        assert_eq!(pad_len(9), 16);
+        assert_eq!(pad_len(16), 16);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimdLevel::Scalar.label(), "scalar");
+        assert_eq!(SimdLevel::Sse2.label(), "sse2");
+        assert_eq!(SimdLevel::Avx2Fma.label(), "avx2+fma");
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_levels_ascend() {
+        assert!(SimdLevel::Scalar.is_available());
+        let levels = SimdLevel::available_levels();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        #[cfg(target_arch = "x86_64")]
+        assert!(levels.contains(&SimdLevel::Sse2));
+    }
+
+    #[test]
+    fn dispatch_level_is_available_and_cached() {
+        let first = dispatch_level();
+        assert!(first.is_available());
+        assert_eq!(dispatch_level(), first);
+        if force_scalar_requested() {
+            assert_eq!(first, SimdLevel::Scalar);
+        }
+    }
+}

@@ -45,8 +45,137 @@ fn xy(ps: &[Point]) -> (Vec<f64>, Vec<f64>) {
     )
 }
 
+/// Copies `src` and extends it to [`pad_len`](gnn_geom::simd::pad_len)
+/// lanes of `poison` — the padded kernel entry points must never let a
+/// padding lane influence a real result, whatever bits it holds.
+fn poisoned(src: &[f64], poison: f64) -> Vec<f64> {
+    let mut v = src.to_vec();
+    v.resize(gnn_geom::simd::pad_len(src.len()), poison);
+    v
+}
+
+fn bits(out: &[f64]) -> Vec<u64> {
+    out.iter().map(|x| x.to_bits()).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tentpole contract in one property: every SIMD level the host
+    /// can run produces the same bits as the scalar module on every
+    /// kernel, through both the exact and the lane-padded entry points,
+    /// with padding lanes poisoned by huge magnitudes or NaN.
+    #[test]
+    fn every_level_is_bit_identical_and_padding_neutral(
+        rs in rects(80),
+        ps in points(90),
+        qs in points(33),
+        m in rect(),
+        q in point(),
+        poison_idx in 0..2usize,
+    ) {
+        use gnn_geom::batch::BatchKernels;
+        use gnn_geom::simd::pad_len;
+        use gnn_geom::SimdLevel;
+
+        let poison = [1e300, f64::NAN][poison_idx];
+        let (lx, ly, hx, hy) = soa(&rs);
+        let (xs, ys) = xy(&ps);
+        let (qx, qy) = xy(&qs);
+        let w: Vec<f64> = (0..qs.len()).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+        let (lxp, lyp, hxp, hyp) = (
+            poisoned(&lx, poison),
+            poisoned(&ly, poison),
+            poisoned(&hx, poison),
+            poisoned(&hy, poison),
+        );
+        let (xsp, ysp) = (poisoned(&xs, poison), poisoned(&ys, poison));
+        let nr = rs.len();
+        let np = ps.len();
+
+        let oracle = BatchKernels::for_level(SimdLevel::Scalar).expect("scalar");
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for level in SimdLevel::available_levels() {
+            let k = BatchKernels::for_level(level).expect("available");
+            let label = level.label();
+
+            oracle.rects_mindist_sq_point(&lx, &ly, &hx, &hy, q, &mut want);
+            k.rects_mindist_sq_point(&lx, &ly, &hx, &hy, q, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "rects/point exact {}", label);
+            k.rects_mindist_sq_point_padded(&lxp, &lyp, &hxp, &hyp, nr, q, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "rects/point padded {}", label);
+
+            oracle.rects_mindist_sq_rect(&lx, &ly, &hx, &hy, &m, &mut want);
+            k.rects_mindist_sq_rect(&lx, &ly, &hx, &hy, &m, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "rects/rect exact {}", label);
+            k.rects_mindist_sq_rect_padded(&lxp, &lyp, &hxp, &hyp, nr, &m, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "rects/rect padded {}", label);
+
+            oracle.points_dist_sq(&xs, &ys, q, &mut want);
+            k.points_dist_sq(&xs, &ys, q, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "points/point exact {}", label);
+            k.points_dist_sq_padded(&xsp, &ysp, np, q, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "points/point padded {}", label);
+
+            oracle.points_mindist_sq_rect(&xs, &ys, &m, &mut want);
+            k.points_mindist_sq_rect(&xs, &ys, &m, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "points/rect exact {}", label);
+            k.points_mindist_sq_rect_padded(&xsp, &ysp, np, &m, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "points/rect padded {}", label);
+
+            oracle.points_weighted_dist_sum_multi(&xs, &ys, &qx, &qy, &w, &mut want);
+            k.points_weighted_dist_sum_multi(&xs, &ys, &qx, &qy, &w, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "wsum exact {}", label);
+            k.points_weighted_dist_sum_multi_padded(&xsp, &ysp, np, &qx, &qy, &w, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "wsum padded {}", label);
+
+            oracle.points_dist_sq_max_multi(&xs, &ys, &qx, &qy, &mut want);
+            k.points_dist_sq_max_multi(&xs, &ys, &qx, &qy, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "max exact {}", label);
+            k.points_dist_sq_max_multi_padded(&xsp, &ysp, np, &qx, &qy, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "max padded {}", label);
+
+            oracle.points_dist_sq_min_multi(&xs, &ys, &qx, &qy, &mut want);
+            k.points_dist_sq_min_multi(&xs, &ys, &qx, &qy, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "min exact {}", label);
+            k.points_dist_sq_min_multi_padded(&xsp, &ysp, np, &qx, &qy, &mut got);
+            prop_assert_eq!(bits(&want), bits(&got), "min padded {}", label);
+
+            // Single-MBR / single-point folds have no padded variant (the
+            // fold dimension must stay exact); pin the levels anyway.
+            prop_assert_eq!(
+                k.rect_weighted_mindist_sum(&m, &qx, &qy, &w).to_bits(),
+                oracle.rect_weighted_mindist_sum(&m, &qx, &qy, &w).to_bits(),
+                "rect wsum {}", label
+            );
+            prop_assert_eq!(
+                k.rect_mindist_sq_max(&m, &qx, &qy).to_bits(),
+                oracle.rect_mindist_sq_max(&m, &qx, &qy).to_bits(),
+                "rect max {}", label
+            );
+            prop_assert_eq!(
+                k.rect_mindist_sq_min(&m, &qx, &qy).to_bits(),
+                oracle.rect_mindist_sq_min(&m, &qx, &qy).to_bits(),
+                "rect min {}", label
+            );
+            prop_assert_eq!(
+                k.point_dist_sq_max(q, &qx, &qy).to_bits(),
+                oracle.point_dist_sq_max(q, &qx, &qy).to_bits(),
+                "point max {}", label
+            );
+            prop_assert_eq!(
+                k.point_dist_sq_min(q, &qx, &qy).to_bits(),
+                oracle.point_dist_sq_min(q, &qx, &qy).to_bits(),
+                "point min {}", label
+            );
+
+            // Padded outputs stop at n even when the buffers extend to a
+            // full lane block beyond it.
+            prop_assert_eq!(pad_len(nr) >= nr, true);
+            prop_assert_eq!(got.len(), np, "no sentinel escapes {}", label);
+        }
+    }
 
     #[test]
     fn rects_mindist_sq_point_matches_scalar(rs in rects(80), q in point()) {

@@ -158,11 +158,16 @@ impl<'t> PageRef<'t> {
 
 /// A borrowed leaf page: the entry slice, plus SoA coordinate mirrors when
 /// the page comes from a packed snapshot (enabling the batched point
-/// kernels). Dereferences to `[LeafEntry]`.
+/// kernels). The mirrors are **lane-padded**: they hold at least
+/// `pad_len(entries.len())` readable lanes (sentinel-filled past the
+/// entries), which is what lets the SIMD kernels run full vectors with no
+/// scalar tail. Exactly `entries.len()` results ever come out of the
+/// batched methods. Dereferences to `[LeafEntry]`.
 #[derive(Debug, Clone, Copy)]
 pub struct LeafRef<'t> {
     entries: &'t [LeafEntry],
-    /// `Some` on packed snapshots: x/y coordinates of `entries`, parallel.
+    /// `Some` on packed snapshots: x/y coordinates of `entries`, parallel
+    /// and lane-padded.
     xs: Option<&'t [f64]>,
     ys: Option<&'t [f64]>,
 }
@@ -178,10 +183,12 @@ impl<'t> LeafRef<'t> {
         }
     }
 
-    /// A view over a packed leaf with its SoA coordinate mirror.
+    /// A view over a packed leaf with its lane-padded SoA coordinate
+    /// mirror.
     #[inline]
     pub(crate) fn soa(entries: &'t [LeafEntry], xs: &'t [f64], ys: &'t [f64]) -> Self {
-        debug_assert!(xs.len() == entries.len() && ys.len() == entries.len());
+        let pad = gnn_geom::simd::pad_len(entries.len());
+        debug_assert!(xs.len() >= pad && ys.len() >= pad);
         LeafRef {
             entries,
             xs: Some(xs),
@@ -199,7 +206,13 @@ impl<'t> LeafRef<'t> {
     /// present. `out` is cleared and refilled (capacity reused).
     pub fn dist_sq_into(&self, q: Point, out: &mut Vec<f64>) {
         match (self.xs, self.ys) {
-            (Some(xs), Some(ys)) => gnn_geom::batch::points_dist_sq(xs, ys, q, out),
+            (Some(xs), Some(ys)) => gnn_geom::batch::BatchKernels::auto().points_dist_sq_padded(
+                xs,
+                ys,
+                self.entries.len(),
+                q,
+                out,
+            ),
             _ => {
                 out.clear();
                 out.extend(self.entries.iter().map(|e| e.point.dist_sq(q)));
@@ -212,7 +225,8 @@ impl<'t> LeafRef<'t> {
     /// cleared and refilled.
     pub fn mindist_sq_rect_into(&self, m: &Rect, out: &mut Vec<f64>) {
         match (self.xs, self.ys) {
-            (Some(xs), Some(ys)) => gnn_geom::batch::points_mindist_sq_rect(xs, ys, m, out),
+            (Some(xs), Some(ys)) => gnn_geom::batch::BatchKernels::auto()
+                .points_mindist_sq_rect_padded(xs, ys, self.entries.len(), m, out),
             _ => {
                 out.clear();
                 out.extend(self.entries.iter().map(|e| m.mindist_point_sq(e.point)));
@@ -251,17 +265,22 @@ pub enum BranchesRef<'t> {
 }
 
 /// The SoA form of an internal page's branches (packed snapshots).
+///
+/// The coordinate slices are **lane-padded**: they hold at least
+/// `pad_len(children.len())` readable lanes, the tail filled with `0.0`
+/// sentinels. `children` stops at the page's true length and is what bounds
+/// every loop; the batched methods emit exactly `children.len()` results.
 #[derive(Debug, Clone, Copy)]
 pub struct SoaBranches<'t> {
-    /// `lo.x` of every child MBR.
+    /// `lo.x` of every child MBR (lane-padded).
     pub lo_x: &'t [f64],
-    /// `lo.y` of every child MBR.
+    /// `lo.y` of every child MBR (lane-padded).
     pub lo_y: &'t [f64],
-    /// `hi.x` of every child MBR.
+    /// `hi.x` of every child MBR (lane-padded).
     pub hi_x: &'t [f64],
-    /// `hi.y` of every child MBR.
+    /// `hi.y` of every child MBR (lane-padded).
     pub hi_y: &'t [f64],
-    /// Child page ids, parallel to the coordinate slices.
+    /// Child page ids — exactly the page's true length (no padding).
     pub children: &'t [PageId],
 }
 
@@ -311,7 +330,15 @@ impl<'t> BranchesRef<'t> {
                 out.extend(bs.iter().map(|b| b.mbr.mindist_point_sq(q)));
             }
             BranchesRef::Soa(s) => {
-                gnn_geom::batch::rects_mindist_sq_point(s.lo_x, s.lo_y, s.hi_x, s.hi_y, q, out);
+                gnn_geom::batch::BatchKernels::auto().rects_mindist_sq_point_padded(
+                    s.lo_x,
+                    s.lo_y,
+                    s.hi_x,
+                    s.hi_y,
+                    s.children.len(),
+                    q,
+                    out,
+                );
             }
         }
     }
@@ -325,7 +352,15 @@ impl<'t> BranchesRef<'t> {
                 out.extend(bs.iter().map(|b| b.mbr.mindist_rect_sq(m)));
             }
             BranchesRef::Soa(s) => {
-                gnn_geom::batch::rects_mindist_sq_rect(s.lo_x, s.lo_y, s.hi_x, s.hi_y, m, out);
+                gnn_geom::batch::BatchKernels::auto().rects_mindist_sq_rect_padded(
+                    s.lo_x,
+                    s.lo_y,
+                    s.hi_x,
+                    s.hi_y,
+                    s.children.len(),
+                    m,
+                    out,
+                );
             }
         }
     }

@@ -5,10 +5,21 @@
 //!
 //! * internal pages become spans over four parallel rectangle-coordinate
 //!   arrays plus a child-id array (SoA), so a node scan is one linear,
-//!   branch-predictable pass the batched `gnn_geom::batch` kernels can
-//!   autovectorize;
+//!   branch-predictable pass for the batched `gnn_geom::batch` kernels;
 //! * leaf pages become spans over one contiguous [`LeafEntry`] array with an
 //!   SoA coordinate mirror for the batched point kernels.
+//!
+//! The `f64` arenas live in 64-byte-aligned [`AlignedVec`] allocations and
+//! every page span is **lane-padded**: all parallel arrays of a page occupy
+//! `pad_len(len)` slots (a multiple of [`gnn_geom::simd::LANE_COUNT`]), so
+//! each span starts on a cache-line boundary and the explicit SIMD kernels
+//! cover it with full vectors — no scalar tail, no cache-line splits.
+//! Padding lanes hold fixed sentinels (`0.0` coordinates, [`PAD_CHILD`] ids,
+//! [`PAD_LEAF`] entries) that the padded kernels compute on but never emit:
+//! outputs are truncated at the page's true `len`, so results, distance bits
+//! and node-access counts stay bit-identical to the unpadded layout. The
+//! sentinels are deterministic, which keeps `PartialEq` (and the
+//! refreeze-equals-freeze invariant) exact.
 //!
 //! Page ids are renumbered densely in BFS order (the root is page 0), which
 //! keeps sibling pages adjacent in memory and lets the LRU buffer use a
@@ -24,14 +35,27 @@
 use crate::node::{BranchesRef, LeafEntry, LeafRef, Node, PageId, PageRef, SoaBranches};
 use crate::tree::RTree;
 use crate::RTreeParams;
-use gnn_geom::Rect;
+use gnn_geom::simd::pad_len;
+use gnn_geom::{AlignedVec, Point, PointId, Rect};
+
+/// Child-id sentinel filling the padding lanes of internal spans. Never a
+/// valid page (the id space is dense and bounded by `node_count`), and never
+/// read by queries: child iteration stops at the span's true `len`.
+const PAD_CHILD: PageId = PageId(u32::MAX);
+
+/// Leaf-entry sentinel filling the padding lanes of leaf spans. The id is
+/// reserved (no dataset uses `u64::MAX`) and the coordinates match the `0.0`
+/// the coordinate mirrors pad with.
+const PAD_LEAF: LeafEntry = LeafEntry::new(PointId(u64::MAX), Point::new(0.0, 0.0));
 
 /// Location of one page inside the packed arenas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PageSpan {
     /// Offset into the branch arenas (internal) or the leaf arena (leaf).
+    /// Always a multiple of the lane quantum (spans are lane-padded).
     offset: u32,
-    /// Number of entries in the page.
+    /// Number of **real** entries in the page; the span occupies
+    /// `pad_len(len)` arena slots.
     len: u32,
     /// Whether the span indexes the leaf arena.
     leaf: bool,
@@ -53,15 +77,18 @@ pub struct PackedRTree {
     params: RTreeParams,
     spans: Vec<PageSpan>,
     // Internal-page arena, SoA: child MBR coordinates and child ids.
-    br_lo_x: Vec<f64>,
-    br_lo_y: Vec<f64>,
-    br_hi_x: Vec<f64>,
-    br_hi_y: Vec<f64>,
+    // Coordinate arrays are 64-byte aligned and lane-padded per span.
+    br_lo_x: AlignedVec,
+    br_lo_y: AlignedVec,
+    br_hi_x: AlignedVec,
+    br_hi_y: AlignedVec,
     br_child: Vec<PageId>,
-    // Leaf-page arena: entries plus an SoA coordinate mirror.
+    // Leaf-page arena: entries plus an SoA coordinate mirror (aligned and
+    // lane-padded the same way; `leaves` carries `PAD_LEAF` sentinels so
+    // all three stay parallel).
     leaves: Vec<LeafEntry>,
-    leaf_xs: Vec<f64>,
-    leaf_ys: Vec<f64>,
+    leaf_xs: AlignedVec,
+    leaf_ys: AlignedVec,
     root_mbr: Rect,
     height: usize,
     len: usize,
@@ -187,14 +214,14 @@ impl PackedRTree {
         let mut packed = PackedRTree {
             params: *tree.params(),
             spans: Vec::with_capacity(order.len()),
-            br_lo_x: Vec::new(),
-            br_lo_y: Vec::new(),
-            br_hi_x: Vec::new(),
-            br_hi_y: Vec::new(),
+            br_lo_x: AlignedVec::new(),
+            br_lo_y: AlignedVec::new(),
+            br_hi_x: AlignedVec::new(),
+            br_hi_y: AlignedVec::new(),
             br_child: Vec::new(),
             leaves: Vec::with_capacity(tree.len()),
-            leaf_xs: Vec::with_capacity(tree.len()),
-            leaf_ys: Vec::with_capacity(tree.len()),
+            leaf_xs: AlignedVec::with_capacity(tree.len()),
+            leaf_ys: AlignedVec::with_capacity(tree.len()),
             root_mbr: tree.root_mbr(),
             height: tree.height(),
             len: tree.len(),
@@ -206,6 +233,10 @@ impl PackedRTree {
         // adjacent in the new order, so instead of one copy per page the
         // pending contiguous range of `prev`'s leaf arena is carried in
         // `run` and flushed as a single three-arena memcpy when it breaks.
+        // Ranges are in *padded* arena slots: each span occupies
+        // `pad_len(len)` of them, so merged runs copy the sentinels along
+        // with the data and land on lane boundaries again (aligned source,
+        // aligned destination).
         let mut run = 0usize..0usize;
         let flush_run = |packed: &mut PackedRTree, run: &mut std::ops::Range<usize>| {
             if run.start < run.end {
@@ -226,7 +257,8 @@ impl PackedRTree {
                 let p = prev.expect("reuse implies prev");
                 let span = p.spans[prev_id as usize];
                 let lo = span.offset as usize;
-                let hi = lo + span.len as usize;
+                let real_hi = lo + span.len as usize;
+                let pad_hi = lo + pad_len(span.len as usize);
                 if span.leaf {
                     let pending = run.end - run.start;
                     packed.spans.push(PageSpan {
@@ -236,10 +268,10 @@ impl PackedRTree {
                         leaf: true,
                     });
                     if run.end == lo {
-                        run.end = hi; // extends the pending contiguous range
+                        run.end = pad_hi; // extends the pending contiguous range
                     } else {
                         flush_run(&mut packed, &mut run);
-                        run = lo..hi;
+                        run = lo..pad_hi;
                     }
                 } else {
                     flush_run(&mut packed, &mut run);
@@ -249,15 +281,21 @@ impl PackedRTree {
                         len: span.len,
                         leaf: false,
                     });
-                    packed.br_lo_x.extend_from_slice(&p.br_lo_x[lo..hi]);
-                    packed.br_lo_y.extend_from_slice(&p.br_lo_y[lo..hi]);
-                    packed.br_hi_x.extend_from_slice(&p.br_hi_x[lo..hi]);
-                    packed.br_hi_y.extend_from_slice(&p.br_hi_y[lo..hi]);
+                    // Coordinate copies carry the padded range wholesale —
+                    // the 0.0 sentinels come along for free.
+                    packed.br_lo_x.extend_from_slice(&p.br_lo_x[lo..pad_hi]);
+                    packed.br_lo_y.extend_from_slice(&p.br_lo_y[lo..pad_hi]);
+                    packed.br_hi_x.extend_from_slice(&p.br_hi_x[lo..pad_hi]);
+                    packed.br_hi_y.extend_from_slice(&p.br_hi_y[lo..pad_hi]);
                     // The page is clean, so its children's arena ids are
-                    // unchanged: prev packed id → arena id → new id.
-                    for c in &p.br_child[lo..hi] {
+                    // unchanged: prev packed id → arena id → new id. Only
+                    // the real lanes are remapped (sentinels aren't pages).
+                    for c in &p.br_child[lo..real_hi] {
                         let arena_child = p.arena_of[c.index()];
                         packed.br_child.push(PageId(new_of[arena_child.index()]));
+                    }
+                    for _ in real_hi..pad_hi {
+                        packed.br_child.push(PAD_CHILD);
                     }
                 }
                 continue;
@@ -275,6 +313,11 @@ impl PackedRTree {
                         packed.leaf_xs.push(e.point.x);
                         packed.leaf_ys.push(e.point.y);
                     }
+                    for _ in es.len()..pad_len(es.len()) {
+                        packed.leaves.push(PAD_LEAF);
+                        packed.leaf_xs.push(0.0);
+                        packed.leaf_ys.push(0.0);
+                    }
                 }
                 Node::Internal(bs) => {
                     packed.spans.push(PageSpan {
@@ -289,6 +332,13 @@ impl PackedRTree {
                         packed.br_hi_x.push(b.mbr.hi.x);
                         packed.br_hi_y.push(b.mbr.hi.y);
                         packed.br_child.push(PageId(new_of[b.child.index()]));
+                    }
+                    for _ in bs.len()..pad_len(bs.len()) {
+                        packed.br_lo_x.push(0.0);
+                        packed.br_lo_y.push(0.0);
+                        packed.br_hi_x.push(0.0);
+                        packed.br_hi_y.push(0.0);
+                        packed.br_child.push(PAD_CHILD);
                     }
                 }
             }
@@ -352,26 +402,34 @@ impl PackedRTree {
         let span = self.spans[id.index()];
         let lo = span.offset as usize;
         let hi = lo + span.len as usize;
+        // Coordinate slices expose the full lane-padded span so the SIMD
+        // kernels can run full vectors over it; entry/child slices stop at
+        // the true length, which is what bounds every loop and output.
+        let pad_hi = lo + pad_len(span.len as usize);
         if span.leaf {
             PageRef::Leaf(LeafRef::soa(
                 &self.leaves[lo..hi],
-                &self.leaf_xs[lo..hi],
-                &self.leaf_ys[lo..hi],
+                &self.leaf_xs[lo..pad_hi],
+                &self.leaf_ys[lo..pad_hi],
             ))
         } else {
             PageRef::Internal(BranchesRef::Soa(SoaBranches {
-                lo_x: &self.br_lo_x[lo..hi],
-                lo_y: &self.br_lo_y[lo..hi],
-                hi_x: &self.br_hi_x[lo..hi],
-                hi_y: &self.br_hi_y[lo..hi],
+                lo_x: &self.br_lo_x[lo..pad_hi],
+                lo_y: &self.br_lo_y[lo..pad_hi],
+                hi_x: &self.br_hi_x[lo..pad_hi],
+                hi_y: &self.br_hi_y[lo..pad_hi],
                 children: &self.br_child[lo..hi],
             }))
         }
     }
 
     /// Iterates over every stored point (arbitrary order, no accounting).
+    /// Skips the lane-padding sentinels by walking leaf spans.
     pub fn iter(&self) -> impl Iterator<Item = LeafEntry> + '_ {
-        self.leaves.iter().copied()
+        self.spans.iter().filter(|s| s.leaf).flat_map(move |s| {
+            let lo = s.offset as usize;
+            self.leaves[lo..lo + s.len as usize].iter().copied()
+        })
     }
 
     /// A fresh unbuffered [`crate::TreeCursor`] over this snapshot — the
@@ -466,6 +524,59 @@ mod tests {
         assert!(packed.is_empty());
         assert_eq!(packed.node_count(), 1);
         assert!(matches!(packed.page(packed.root()), PageRef::Leaf(_)));
+    }
+
+    #[test]
+    fn arenas_are_lane_padded_aligned_and_sentinel_filled() {
+        use gnn_geom::simd::{pad_len, LANE_COUNT};
+        let tree = random_tree(700, 21);
+        let packed = tree.freeze();
+        // Arena base pointers are 64-byte aligned (AlignedVec guarantee).
+        assert_eq!(packed.leaf_xs.as_slice().as_ptr() as usize % 64, 0);
+        assert_eq!(packed.leaf_ys.as_slice().as_ptr() as usize % 64, 0);
+        assert_eq!(packed.br_lo_x.as_slice().as_ptr() as usize % 64, 0);
+        // Every span starts on a lane boundary…
+        for span in &packed.spans {
+            assert_eq!(span.offset as usize % LANE_COUNT, 0);
+        }
+        // …and the arenas are exactly the sum of padded span lengths.
+        let leaf_total: usize = packed
+            .spans
+            .iter()
+            .filter(|s| s.leaf)
+            .map(|s| pad_len(s.len as usize))
+            .sum();
+        assert_eq!(packed.leaves.len(), leaf_total);
+        assert_eq!(packed.leaf_xs.len(), leaf_total);
+        assert_eq!(packed.leaf_ys.len(), leaf_total);
+        let br_total: usize = packed
+            .spans
+            .iter()
+            .filter(|s| !s.leaf)
+            .map(|s| pad_len(s.len as usize))
+            .sum();
+        assert_eq!(packed.br_child.len(), br_total);
+        assert_eq!(packed.br_lo_x.len(), br_total);
+        // Padding lanes hold the fixed sentinels (determinism: equal trees
+        // freeze to bitwise-equal arenas, padding included).
+        for s in packed.spans.iter().filter(|s| s.leaf) {
+            let lo = s.offset as usize;
+            for i in lo + s.len as usize..lo + pad_len(s.len as usize) {
+                assert_eq!(packed.leaves[i], PAD_LEAF);
+                assert_eq!(packed.leaf_xs[i], 0.0);
+                assert_eq!(packed.leaf_ys[i], 0.0);
+            }
+        }
+        for s in packed.spans.iter().filter(|s| !s.leaf) {
+            let lo = s.offset as usize;
+            for i in lo + s.len as usize..lo + pad_len(s.len as usize) {
+                assert_eq!(packed.br_child[i], PAD_CHILD);
+                assert_eq!(packed.br_lo_x[i], 0.0);
+            }
+        }
+        // iter() skips every sentinel.
+        assert_eq!(packed.iter().count(), tree.len());
+        assert!(packed.iter().all(|e| e.id.0 != u64::MAX));
     }
 
     #[test]

@@ -48,6 +48,11 @@ impl ServiceStats {
         let o = &mut out;
         let _ = writeln!(o, "# TYPE gnn_generation gauge");
         let _ = writeln!(o, "gnn_generation {}", self.generation);
+        // Info-style gauge: the constant 1 carries the static simd_level
+        // label, so dashboards can join any series against the ISA the
+        // distance kernels actually dispatched to.
+        let _ = writeln!(o, "# TYPE gnn_simd_level gauge");
+        let _ = writeln!(o, "gnn_simd_level{{simd_level=\"{}\"}} 1", self.simd_level);
         for (name, value) in [
             ("gnn_queries_served_total", self.queries_served),
             ("gnn_node_accesses_total", self.node_accesses),
@@ -129,10 +134,12 @@ impl ServiceStats {
         let o = &mut out;
         let _ = write!(
             o,
-            "{{\"generation\":{},\"queries_served\":{},\"node_accesses\":{},\"io\":{},\
+            "{{\"generation\":{},\"simd_level\":\"{}\",\"queries_served\":{},\
+             \"node_accesses\":{},\"io\":{},\
              \"dist_computations\":{},\"single_shard_hits\":{},\"batches\":{},\
              \"batch_queries\":{},\"batch_unique_pages\":{},\"batch_sequential_pages\":{}",
             self.generation,
+            self.simd_level,
             self.queries_served,
             self.node_accesses,
             self.io,
@@ -281,6 +288,8 @@ mod tests {
         assert!(text.contains("gnn_latency_seconds_count{} 5"));
         assert!(text.contains("gnn_stage_seconds{stage=\"execution\",quantile=\"0.99\"}"));
         assert!(text.contains("gnn_shard_routed_total{shard=\"0\"} 5"));
+        let level = gnn_geom::simd::dispatch_level().label();
+        assert!(text.contains(&format!("gnn_simd_level{{simd_level=\"{level}\"}} 1")));
         // Every metric line is "name value" or "name{labels} value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
@@ -297,6 +306,8 @@ mod tests {
         assert!(json.contains("\"queries_served\":3"));
         assert!(json.contains("\"stages\":{\"queue_wait\":"));
         assert!(json.contains("\"flight\":{"));
+        let level = gnn_geom::simd::dispatch_level().label();
+        assert!(json.contains(&format!("\"simd_level\":\"{level}\"")));
         // Balanced braces (a cheap structural check without a parser).
         let depth = json.chars().fold(0i64, |d, c| match c {
             '{' => d + 1,

@@ -748,6 +748,13 @@ pub struct ServiceStats {
     /// control ring (publishes) and the refresh driver's ring, sorted by
     /// timestamp, with the exact count of events dropped to ring overflow.
     pub flight: FlightLog,
+    /// The SIMD dispatch level the distance kernels ran at, as a static
+    /// label: `"avx2+fma"`, `"sse2"` or `"scalar"`
+    /// ([`gnn_geom::SimdLevel::label`]). Process-wide and constant for the
+    /// service's lifetime; recorded so exported metrics and bench JSON
+    /// identify the ISA a number was measured on, next to
+    /// `host_parallelism`.
+    pub simd_level: &'static str,
 }
 
 impl ServiceStats {
@@ -1299,6 +1306,7 @@ impl Service {
             latency,
             stages,
             flight,
+            simd_level: gnn_geom::simd::dispatch_level().label(),
         }
     }
 

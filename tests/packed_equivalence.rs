@@ -144,6 +144,54 @@ proptest! {
     }
 
     #[test]
+    fn lane_boundary_sizes_stay_identical(
+        jitter in 0usize..3,
+        query in points(9),
+        k in 1usize..4,
+    ) {
+        // Padding-focused sweep: dataset sizes straddling the 8-lane
+        // padding quantum of the packed arenas (exact multiples and both
+        // neighbors), with capacity-8 pages so leaf runs and branch spans
+        // land ragged against the vector width. The first points sit at
+        // the arena sentinel coordinate (0, 0) — a legitimate location
+        // that must keep behaving like data, not like padding.
+        for base in [8usize, 16, 64, 128, 256] {
+            let n = base - 1 + jitter; // base-1, base, base+1
+            // Low-discrepancy coordinates: unique, well-spread, and —
+            // unlike a grid — free of exact node-mindist ties (tie pop
+            // order is the one thing freeze() does not preserve).
+            let data: Vec<Point> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Point::new(0.0, 0.0)
+                    } else {
+                        Point::new(
+                            (i as f64 * 0.754_877_666_2).fract() * 100.0,
+                            (i as f64 * 0.569_840_290_9).fract() * 100.0,
+                        )
+                    }
+                })
+                .collect();
+            let tree = tree_of(&data);
+            let packed: PackedRTree = tree.freeze();
+            for agg in aggregates() {
+                let group = QueryGroup::with_aggregate(query.clone(), agg).unwrap();
+                let ac = TreeCursor::unbuffered(&tree);
+                let a = Mbm::best_first().k_gnn(&ac, &group, k);
+                let pc = TreeCursor::packed(&packed);
+                let p = Mbm::best_first().k_gnn(&pc, &group, k);
+                assert_same(
+                    "MBM@boundary",
+                    &a,
+                    ac.stats().logical,
+                    &p,
+                    pc.stats().logical,
+                )?;
+            }
+        }
+    }
+
+    #[test]
     fn scratch_and_convenience_entries_agree(
         data in points(400),
         query in points(10),
